@@ -1,0 +1,65 @@
+//! Error type for the analog substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by analog component constructors and solvers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AnalogError {
+    /// A component parameter was non-physical.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The netlist DC solve failed (singular matrix — usually a floating
+    /// node or a short between two voltage sources).
+    SingularNetwork,
+    /// A netlist element referenced a node that does not exist.
+    UnknownNode {
+        /// The out-of-range node index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for AnalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalogError::InvalidParameter { name, value } => {
+                write!(f, "invalid analog parameter {name} = {value}")
+            }
+            AnalogError::SingularNetwork => {
+                write!(f, "netlist solve failed: singular network (floating node?)")
+            }
+            AnalogError::UnknownNode { index } => {
+                write!(f, "netlist element references unknown node {index}")
+            }
+        }
+    }
+}
+
+impl Error for AnalogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(AnalogError::SingularNetwork.to_string().contains("singular"));
+        assert!(AnalogError::UnknownNode { index: 7 }.to_string().contains('7'));
+        let e = AnalogError::InvalidParameter {
+            name: "on_resistance",
+            value: -2.0,
+        };
+        assert!(e.to_string().contains("on_resistance"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<T: Error + Send + Sync>() {}
+        assert_err::<AnalogError>();
+    }
+}

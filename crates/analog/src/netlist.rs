@@ -1,0 +1,440 @@
+//! A small modified-nodal-analysis (MNA) DC solver for linear resistive
+//! networks with ideal voltage and current sources.
+//!
+//! Used to solve the paper's resistive sub-networks exactly: the R1/R2
+//! sampling divider under buffer bias load, the astable's three-resistor
+//! threshold network (including its hysteresis feedback), and the U5
+//! supply-splitter. Being exact at DC also gives the behavioural blocks
+//! an oracle to test against.
+//!
+//! # Example: loaded divider
+//!
+//! ```
+//! use eh_analog::netlist::Netlist;
+//! use eh_units::{Ohms, Volts};
+//!
+//! let mut net = Netlist::new();
+//! let vin = net.node();
+//! let tap = net.node();
+//! net.voltage_source(vin, Netlist::GROUND, Volts::new(5.0))?;
+//! net.resistor(vin, tap, Ohms::from_mega(3.5))?;
+//! net.resistor(tap, Netlist::GROUND, Ohms::from_mega(1.5))?;
+//! let sol = net.solve()?;
+//! assert!((sol.voltage(tap)?.value() - 1.5).abs() < 1e-9);
+//! # Ok::<(), eh_analog::AnalogError>(())
+//! ```
+
+use eh_units::{Amps, Ohms, Volts};
+
+use crate::error::AnalogError;
+
+/// A node handle in a [`Netlist`].
+pub type Node = usize;
+
+#[derive(Debug, Clone)]
+enum Element {
+    Resistor { a: Node, b: Node, conductance: f64 },
+    CurrentSource { from: Node, to: Node, amps: f64 },
+    VoltageSource { pos: Node, neg: Node, volts: f64 },
+}
+
+/// A linear DC netlist under construction.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    node_count: usize,
+    elements: Vec<Element>,
+}
+
+/// The solved node voltages and voltage-source currents of a netlist.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    node_voltages: Vec<f64>,
+    source_currents: Vec<f64>,
+}
+
+impl Netlist {
+    /// The ground reference node (always node 0, fixed at 0 V).
+    pub const GROUND: Node = 0;
+
+    /// Creates a netlist containing only the ground node.
+    pub fn new() -> Self {
+        Self {
+            node_count: 1,
+            elements: Vec::new(),
+        }
+    }
+
+    /// Allocates a new node and returns its handle.
+    pub fn node(&mut self) -> Node {
+        let n = self.node_count;
+        self.node_count += 1;
+        n
+    }
+
+    /// Number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Adds a resistor between nodes `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown nodes and non-positive or non-finite resistance.
+    pub fn resistor(&mut self, a: Node, b: Node, r: Ohms) -> Result<(), AnalogError> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        if !(r.value().is_finite() && r.value() > 0.0) {
+            return Err(AnalogError::InvalidParameter {
+                name: "resistance",
+                value: r.value(),
+            });
+        }
+        self.elements.push(Element::Resistor {
+            a,
+            b,
+            conductance: 1.0 / r.value(),
+        });
+        Ok(())
+    }
+
+    /// Adds an ideal current source driving `amps` from node `from` into
+    /// node `to` (conventional current).
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown nodes and non-finite current.
+    pub fn current_source(&mut self, from: Node, to: Node, i: Amps) -> Result<(), AnalogError> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        if !i.value().is_finite() {
+            return Err(AnalogError::InvalidParameter {
+                name: "current",
+                value: i.value(),
+            });
+        }
+        self.elements.push(Element::CurrentSource {
+            from,
+            to,
+            amps: i.value(),
+        });
+        Ok(())
+    }
+
+    /// Adds an ideal voltage source holding `pos − neg = volts`.
+    ///
+    /// Returns the index of the source (for reading its current from the
+    /// [`Solution`]).
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown nodes and non-finite voltage.
+    pub fn voltage_source(
+        &mut self,
+        pos: Node,
+        neg: Node,
+        v: Volts,
+    ) -> Result<usize, AnalogError> {
+        self.check_node(pos)?;
+        self.check_node(neg)?;
+        if !v.value().is_finite() {
+            return Err(AnalogError::InvalidParameter {
+                name: "voltage",
+                value: v.value(),
+            });
+        }
+        self.elements.push(Element::VoltageSource {
+            pos,
+            neg,
+            volts: v.value(),
+        });
+        Ok(self
+            .elements
+            .iter()
+            .filter(|e| matches!(e, Element::VoltageSource { .. }))
+            .count()
+            - 1)
+    }
+
+    /// Solves the network by MNA with partial-pivot Gaussian elimination.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::SingularNetwork`] for floating nodes or
+    /// contradictory sources.
+    pub fn solve(&self) -> Result<Solution, AnalogError> {
+        let n = self.node_count - 1; // unknown node voltages (ground excluded)
+        let m = self
+            .elements
+            .iter()
+            .filter(|e| matches!(e, Element::VoltageSource { .. }))
+            .count();
+        let dim = n + m;
+        if dim == 0 {
+            return Ok(Solution {
+                node_voltages: vec![0.0],
+                source_currents: Vec::new(),
+            });
+        }
+        // Dense MNA matrix [G B; C 0] and RHS.
+        let mut a = vec![vec![0.0f64; dim]; dim];
+        let mut rhs = vec![0.0f64; dim];
+        let idx = |node: Node| -> Option<usize> { (node > 0).then(|| node - 1) };
+
+        let mut vs_row = 0usize;
+        for e in &self.elements {
+            match *e {
+                Element::Resistor { a: na, b: nb, conductance: g } => {
+                    if let Some(i) = idx(na) {
+                        a[i][i] += g;
+                    }
+                    if let Some(j) = idx(nb) {
+                        a[j][j] += g;
+                    }
+                    if let (Some(i), Some(j)) = (idx(na), idx(nb)) {
+                        a[i][j] -= g;
+                        a[j][i] -= g;
+                    }
+                }
+                Element::CurrentSource { from, to, amps } => {
+                    if let Some(i) = idx(from) {
+                        rhs[i] -= amps;
+                    }
+                    if let Some(j) = idx(to) {
+                        rhs[j] += amps;
+                    }
+                }
+                Element::VoltageSource { pos, neg, volts } => {
+                    let row = n + vs_row;
+                    if let Some(i) = idx(pos) {
+                        a[row][i] += 1.0;
+                        a[i][row] += 1.0;
+                    }
+                    if let Some(j) = idx(neg) {
+                        a[row][j] -= 1.0;
+                        a[j][row] -= 1.0;
+                    }
+                    rhs[row] = volts;
+                    vs_row += 1;
+                }
+            }
+        }
+
+        gaussian_solve(&mut a, &mut rhs)?;
+
+        let mut node_voltages = vec![0.0; self.node_count];
+        for (node, v) in node_voltages.iter_mut().enumerate().skip(1) {
+            *v = rhs[node - 1];
+        }
+        Ok(Solution {
+            node_voltages,
+            source_currents: rhs[n..].to_vec(),
+        })
+    }
+
+    fn check_node(&self, n: Node) -> Result<(), AnalogError> {
+        if n < self.node_count {
+            Ok(())
+        } else {
+            Err(AnalogError::UnknownNode { index: n })
+        }
+    }
+}
+
+/// In-place Gaussian elimination with partial pivoting; solution left in
+/// `rhs`.
+fn gaussian_solve(a: &mut [Vec<f64>], rhs: &mut [f64]) -> Result<(), AnalogError> {
+    let dim = rhs.len();
+    for col in 0..dim {
+        // Pivot.
+        let pivot = (col..dim)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty range");
+        if a[pivot][col].abs() < 1e-18 {
+            return Err(AnalogError::SingularNetwork);
+        }
+        a.swap(col, pivot);
+        rhs.swap(col, pivot);
+        // Eliminate below.
+        for row in col + 1..dim {
+            let f = a[row][col] / a[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            let pivot_row = a[col][col..dim].to_vec();
+            for (entry, pivot) in a[row][col..dim].iter_mut().zip(&pivot_row) {
+                *entry -= f * pivot;
+            }
+            rhs[row] -= f * rhs[col];
+        }
+    }
+    // Back substitution.
+    for col in (0..dim).rev() {
+        let mut sum = rhs[col];
+        for k in col + 1..dim {
+            sum -= a[col][k] * rhs[k];
+        }
+        rhs[col] = sum / a[col][col];
+    }
+    Ok(())
+}
+
+impl Solution {
+    /// Voltage of a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::UnknownNode`] for out-of-range handles.
+    pub fn voltage(&self, node: Node) -> Result<Volts, AnalogError> {
+        self.node_voltages
+            .get(node)
+            .map(|&v| Volts::new(v))
+            .ok_or(AnalogError::UnknownNode { index: node })
+    }
+
+    /// Current through the `idx`-th voltage source (flowing out of its
+    /// positive terminal into the network is negative by MNA convention).
+    pub fn source_current(&self, idx: usize) -> Option<Amps> {
+        self.source_currents.get(idx).map(|&i| Amps::new(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unloaded_divider() {
+        let mut net = Netlist::new();
+        let vin = net.node();
+        let tap = net.node();
+        net.voltage_source(vin, Netlist::GROUND, Volts::new(3.3)).unwrap();
+        net.resistor(vin, tap, Ohms::from_kilo(10.0)).unwrap();
+        net.resistor(tap, Netlist::GROUND, Ohms::from_kilo(10.0)).unwrap();
+        let sol = net.solve().unwrap();
+        assert!((sol.voltage(tap).unwrap().value() - 1.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loaded_divider_sags() {
+        let mut net = Netlist::new();
+        let vin = net.node();
+        let tap = net.node();
+        net.voltage_source(vin, Netlist::GROUND, Volts::new(5.0)).unwrap();
+        net.resistor(vin, tap, Ohms::from_mega(1.0)).unwrap();
+        net.resistor(tap, Netlist::GROUND, Ohms::from_mega(1.0)).unwrap();
+        // Load resistor equal to the bottom leg: tap drops from 2.5 to 1.6667.
+        net.resistor(tap, Netlist::GROUND, Ohms::from_mega(1.0)).unwrap();
+        let sol = net.solve().unwrap();
+        assert!((sol.voltage(tap).unwrap().value() - 5.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut net = Netlist::new();
+        let n = net.node();
+        net.current_source(Netlist::GROUND, n, Amps::from_micro(10.0)).unwrap();
+        net.resistor(n, Netlist::GROUND, Ohms::from_kilo(100.0)).unwrap();
+        let sol = net.solve().unwrap();
+        assert!((sol.voltage(n).unwrap().value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn source_current_through_series_resistors() {
+        let mut net = Netlist::new();
+        let a = net.node();
+        let b = net.node();
+        let src = net.voltage_source(a, Netlist::GROUND, Volts::new(10.0)).unwrap();
+        net.resistor(a, b, Ohms::from_kilo(6.0)).unwrap();
+        net.resistor(b, Netlist::GROUND, Ohms::from_kilo(4.0)).unwrap();
+        let sol = net.solve().unwrap();
+        // 10 V / 10 kΩ = 1 mA; MNA reports the current into the + terminal
+        // as negative when the source delivers power.
+        let i = sol.source_current(src).unwrap();
+        assert!((i.value().abs() - 1e-3).abs() < 1e-12);
+        assert!((sol.voltage(b).unwrap().value() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wheatstone_bridge_balance() {
+        let mut net = Netlist::new();
+        let top = net.node();
+        let left = net.node();
+        let right = net.node();
+        net.voltage_source(top, Netlist::GROUND, Volts::new(5.0)).unwrap();
+        net.resistor(top, left, Ohms::from_kilo(1.0)).unwrap();
+        net.resistor(left, Netlist::GROUND, Ohms::from_kilo(2.0)).unwrap();
+        net.resistor(top, right, Ohms::from_kilo(2.0)).unwrap();
+        net.resistor(right, Netlist::GROUND, Ohms::from_kilo(4.0)).unwrap();
+        // Balanced bridge: both taps at the same potential.
+        net.resistor(left, right, Ohms::from_kilo(10.0)).unwrap();
+        let sol = net.solve().unwrap();
+        let dv = sol.voltage(left).unwrap() - sol.voltage(right).unwrap();
+        assert!(dv.value().abs() < 1e-9, "bridge unbalanced: {dv}");
+    }
+
+    #[test]
+    fn floating_node_is_singular() {
+        let mut net = Netlist::new();
+        let a = net.node();
+        let _floating = net.node();
+        net.voltage_source(a, Netlist::GROUND, Volts::new(1.0)).unwrap();
+        assert_eq!(net.solve().unwrap_err(), AnalogError::SingularNetwork);
+    }
+
+    #[test]
+    fn invalid_elements_rejected() {
+        let mut net = Netlist::new();
+        let a = net.node();
+        assert!(net.resistor(a, 99, Ohms::new(1.0)).is_err());
+        assert!(net.resistor(a, Netlist::GROUND, Ohms::ZERO).is_err());
+        assert!(net.resistor(a, Netlist::GROUND, Ohms::new(-5.0)).is_err());
+        assert!(net
+            .voltage_source(a, Netlist::GROUND, Volts::new(f64::NAN))
+            .is_err());
+        assert!(net
+            .current_source(a, Netlist::GROUND, Amps::new(f64::INFINITY))
+            .is_err());
+    }
+
+    #[test]
+    fn empty_netlist_solves_trivially() {
+        let net = Netlist::new();
+        let sol = net.solve().unwrap();
+        assert_eq!(sol.voltage(Netlist::GROUND).unwrap(), Volts::ZERO);
+    }
+
+    #[test]
+    fn two_voltage_sources_stack() {
+        let mut net = Netlist::new();
+        let mid = net.node();
+        let top = net.node();
+        net.voltage_source(mid, Netlist::GROUND, Volts::new(1.5)).unwrap();
+        net.voltage_source(top, mid, Volts::new(1.5)).unwrap();
+        net.resistor(top, Netlist::GROUND, Ohms::from_kilo(1.0)).unwrap();
+        let sol = net.solve().unwrap();
+        assert!((sol.voltage(top).unwrap().value() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn superposition_holds() {
+        // V source and I source together = sum of each alone.
+        let build = |with_v: bool, with_i: bool| {
+            let mut net = Netlist::new();
+            let a = net.node();
+            let b = net.node();
+            net.resistor(a, b, Ohms::from_kilo(1.0)).unwrap();
+            net.resistor(b, Netlist::GROUND, Ohms::from_kilo(1.0)).unwrap();
+            net.voltage_source(a, Netlist::GROUND, Volts::new(if with_v { 2.0 } else { 0.0 }))
+                .unwrap();
+            if with_i {
+                net.current_source(Netlist::GROUND, b, Amps::from_milli(1.0)).unwrap();
+            }
+            net.solve().unwrap().voltage(b).unwrap().value()
+        };
+        let both = build(true, true);
+        let only_v = build(true, false);
+        let only_i = build(false, true);
+        assert!((both - (only_v + only_i)).abs() < 1e-9);
+    }
+}

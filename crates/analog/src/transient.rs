@@ -1,0 +1,462 @@
+//! General linear transient simulation: the [`netlist`](crate::netlist)
+//! MNA solver extended with capacitors via backward-Euler companion
+//! models.
+//!
+//! The dedicated blocks ([`astable`](crate::astable),
+//! [`sample_hold`](crate::sample_hold)) use closed-form exponential
+//! updates because their topologies are fixed and first-order. This
+//! module is the general tool for everything else: arbitrary RC networks
+//! assembled at runtime, stepped with unconditionally stable backward
+//! Euler, with every node probeable into a [`Trace`].
+//! It also serves as an independent oracle for the closed-form blocks —
+//! the test suite cross-validates both against each other.
+//!
+//! # Example: an RC low-pass step response
+//!
+//! ```
+//! use eh_analog::transient::DynamicCircuit;
+//! use eh_units::{Farads, Ohms, Seconds, Volts};
+//!
+//! let mut ckt = DynamicCircuit::new();
+//! let vin = ckt.node();
+//! let vout = ckt.node();
+//! let src = ckt.voltage_source(vin, DynamicCircuit::GROUND, Volts::new(3.3))?;
+//! ckt.resistor(vin, vout, Ohms::from_kilo(10.0))?;
+//! ckt.capacitor(vout, DynamicCircuit::GROUND, Farads::from_micro(1.0), Volts::ZERO)?;
+//! // τ = 10 ms; after 30 ms the output is ~95 % of the rail.
+//! for _ in 0..300 {
+//!     ckt.step(Seconds::from_milli(0.1))?;
+//! }
+//! let v = ckt.voltage(vout)?;
+//! assert!((v.value() - 3.3 * 0.95).abs() < 0.02);
+//! # ckt.set_source(src, Volts::ZERO)?;
+//! # Ok::<(), eh_analog::AnalogError>(())
+//! ```
+
+use eh_units::{Farads, Ohms, Seconds, Volts};
+
+use crate::error::AnalogError;
+use crate::netlist::Netlist;
+use crate::trace::Trace;
+
+/// A node handle (shared convention with [`Netlist`]).
+pub type Node = usize;
+
+/// Handle to a settable voltage source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceId(usize);
+
+#[derive(Debug, Clone)]
+struct CapacitorState {
+    a: Node,
+    b: Node,
+    capacitance: Farads,
+    voltage: f64,
+}
+
+#[derive(Debug, Clone)]
+struct SourceState {
+    pos: Node,
+    neg: Node,
+    volts: f64,
+}
+
+/// A runtime-assembled linear circuit with resistors, capacitors and
+/// settable ideal voltage sources, stepped by backward Euler.
+#[derive(Debug, Clone, Default)]
+pub struct DynamicCircuit {
+    node_count: usize,
+    resistors: Vec<(Node, Node, f64)>,
+    capacitors: Vec<CapacitorState>,
+    sources: Vec<SourceState>,
+    last_voltages: Vec<f64>,
+    time: f64,
+}
+
+impl DynamicCircuit {
+    /// The ground reference node.
+    pub const GROUND: Node = 0;
+
+    /// Creates a circuit containing only ground.
+    pub fn new() -> Self {
+        Self {
+            node_count: 1,
+            resistors: Vec::new(),
+            capacitors: Vec::new(),
+            sources: Vec::new(),
+            last_voltages: vec![0.0],
+            time: 0.0,
+        }
+    }
+
+    /// Allocates a node.
+    pub fn node(&mut self) -> Node {
+        let n = self.node_count;
+        self.node_count += 1;
+        self.last_voltages.push(0.0);
+        n
+    }
+
+    /// Simulated time.
+    pub fn time(&self) -> Seconds {
+        Seconds::new(self.time)
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown nodes and non-positive resistance.
+    pub fn resistor(&mut self, a: Node, b: Node, r: Ohms) -> Result<(), AnalogError> {
+        self.check(a)?;
+        self.check(b)?;
+        if !(r.value().is_finite() && r.value() > 0.0) {
+            return Err(AnalogError::InvalidParameter {
+                name: "resistance",
+                value: r.value(),
+            });
+        }
+        self.resistors.push((a, b, r.value()));
+        Ok(())
+    }
+
+    /// Adds a capacitor with an initial voltage `v(a) − v(b)`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown nodes and non-positive capacitance.
+    pub fn capacitor(
+        &mut self,
+        a: Node,
+        b: Node,
+        c: Farads,
+        initial: Volts,
+    ) -> Result<(), AnalogError> {
+        self.check(a)?;
+        self.check(b)?;
+        if !(c.value().is_finite() && c.value() > 0.0) {
+            return Err(AnalogError::InvalidParameter {
+                name: "capacitance",
+                value: c.value(),
+            });
+        }
+        self.capacitors.push(CapacitorState {
+            a,
+            b,
+            capacitance: c,
+            voltage: initial.value(),
+        });
+        Ok(())
+    }
+
+    /// Adds a settable ideal voltage source and returns its handle.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown nodes and non-finite voltage.
+    pub fn voltage_source(
+        &mut self,
+        pos: Node,
+        neg: Node,
+        v: Volts,
+    ) -> Result<SourceId, AnalogError> {
+        self.check(pos)?;
+        self.check(neg)?;
+        if !v.is_finite() {
+            return Err(AnalogError::InvalidParameter {
+                name: "voltage",
+                value: v.value(),
+            });
+        }
+        self.sources.push(SourceState {
+            pos,
+            neg,
+            volts: v.value(),
+        });
+        Ok(SourceId(self.sources.len() - 1))
+    }
+
+    /// Changes a source's value (e.g. a stimulus step between steps).
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown source handles and non-finite voltage.
+    pub fn set_source(&mut self, id: SourceId, v: Volts) -> Result<(), AnalogError> {
+        if !v.is_finite() {
+            return Err(AnalogError::InvalidParameter {
+                name: "voltage",
+                value: v.value(),
+            });
+        }
+        self.sources
+            .get_mut(id.0)
+            .ok_or(AnalogError::UnknownNode { index: id.0 })?
+            .volts = v.value();
+        Ok(())
+    }
+
+    /// The most recently solved voltage of a node (zero before the first
+    /// step).
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown nodes.
+    pub fn voltage(&self, node: Node) -> Result<Volts, AnalogError> {
+        self.last_voltages
+            .get(node)
+            .map(|&v| Volts::new(v))
+            .ok_or(AnalogError::UnknownNode { index: node })
+    }
+
+    /// The stored voltage of the `idx`-th capacitor (in insertion order).
+    pub fn capacitor_voltage(&self, idx: usize) -> Option<Volts> {
+        self.capacitors.get(idx).map(|c| Volts::new(c.voltage))
+    }
+
+    /// Advances the circuit by one backward-Euler step of length `dt`.
+    ///
+    /// Each capacitor is replaced by its companion model (a conductance
+    /// `C/dt` in parallel with a history current source `C/dt·v_prev`);
+    /// the resulting resistive network is solved exactly by the MNA
+    /// solver, then the capacitor states are updated from the solution.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive `dt`; propagates singular-network errors.
+    pub fn step(&mut self, dt: Seconds) -> Result<(), AnalogError> {
+        if !(dt.value().is_finite() && dt.value() > 0.0) {
+            return Err(AnalogError::InvalidParameter {
+                name: "dt",
+                value: dt.value(),
+            });
+        }
+        let mut net = Netlist::new();
+        // Mirror node allocation (ground already exists).
+        for _ in 1..self.node_count {
+            net.node();
+        }
+        for &(a, b, r) in &self.resistors {
+            net.resistor(a, b, Ohms::new(r))?;
+        }
+        for src in &self.sources {
+            net.voltage_source(src.pos, src.neg, Volts::new(src.volts))?;
+        }
+        for cap in &self.capacitors {
+            let g = cap.capacitance.value() / dt.value();
+            net.resistor(cap.a, cap.b, Ohms::new(1.0 / g))?;
+            // History source injects G·v_prev into the + node.
+            net.current_source(cap.b, cap.a, eh_units::Amps::new(g * cap.voltage))?;
+        }
+        let sol = net.solve()?;
+        for node in 0..self.node_count {
+            self.last_voltages[node] = sol.voltage(node)?.value();
+        }
+        for cap in &mut self.capacitors {
+            cap.voltage = self.last_voltages[cap.a] - self.last_voltages[cap.b];
+        }
+        self.time += dt.value();
+        Ok(())
+    }
+
+    /// Runs for `duration` with fixed step `dt`, recording `node` into a
+    /// named trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates step errors.
+    pub fn run_probe(
+        &mut self,
+        node: Node,
+        name: &str,
+        duration: Seconds,
+        dt: Seconds,
+    ) -> Result<Trace, AnalogError> {
+        self.check(node)?;
+        let mut trace = Trace::new(name);
+        let steps = (duration.value() / dt.value()).ceil() as usize;
+        for _ in 0..steps {
+            self.step(dt)?;
+            trace.record(self.time(), self.last_voltages[node]);
+        }
+        Ok(trace)
+    }
+
+    fn check(&self, n: Node) -> Result<(), AnalogError> {
+        if n < self.node_count {
+            Ok(())
+        } else {
+            Err(AnalogError::UnknownNode { index: n })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rc;
+
+    /// RC low-pass charging: backward Euler converges to the analytic
+    /// exponential as dt shrinks.
+    #[test]
+    fn rc_step_response_matches_analytic() {
+        let run = |dt_ms: f64| -> f64 {
+            let mut ckt = DynamicCircuit::new();
+            let vin = ckt.node();
+            let vout = ckt.node();
+            ckt.voltage_source(vin, DynamicCircuit::GROUND, Volts::new(1.0))
+                .unwrap();
+            ckt.resistor(vin, vout, Ohms::from_kilo(1.0)).unwrap();
+            ckt.capacitor(vout, DynamicCircuit::GROUND, Farads::from_micro(1.0), Volts::ZERO)
+                .unwrap();
+            // Simulate exactly one time constant (1 ms).
+            let steps = (1.0 / dt_ms).round() as usize;
+            for _ in 0..steps {
+                ckt.step(Seconds::from_milli(dt_ms)).unwrap();
+            }
+            ckt.voltage(vout).unwrap().value()
+        };
+        let analytic = rc::relax(
+            Volts::ZERO,
+            Volts::new(1.0),
+            Seconds::from_milli(1.0),
+            Seconds::from_milli(1.0),
+        )
+        .value();
+        let coarse = (run(0.1) - analytic).abs();
+        let fine = (run(0.01) - analytic).abs();
+        assert!(fine < 0.002, "fine-step error {fine}");
+        assert!(fine < coarse, "backward Euler must converge: {coarse} → {fine}");
+    }
+
+    #[test]
+    fn capacitive_divider_splits_a_step() {
+        // Two equal caps in series across a suddenly applied source split
+        // it evenly (charge conservation).
+        let mut ckt = DynamicCircuit::new();
+        let top = ckt.node();
+        let mid = ckt.node();
+        let src = ckt
+            .voltage_source(top, DynamicCircuit::GROUND, Volts::ZERO)
+            .unwrap();
+        ckt.capacitor(top, mid, Farads::from_nano(100.0), Volts::ZERO)
+            .unwrap();
+        ckt.capacitor(mid, DynamicCircuit::GROUND, Farads::from_nano(100.0), Volts::ZERO)
+            .unwrap();
+        // A large bleed keeps the middle node defined.
+        ckt.resistor(mid, DynamicCircuit::GROUND, Ohms::new(1e12)).unwrap();
+        ckt.set_source(src, Volts::new(2.0)).unwrap();
+        ckt.step(Seconds::from_nano(100.0)).unwrap();
+        let mid_v = ckt.voltage(mid).unwrap().value();
+        assert!((mid_v - 1.0).abs() < 1e-3, "mid = {mid_v}");
+    }
+
+    #[test]
+    fn source_step_mid_run() {
+        let mut ckt = DynamicCircuit::new();
+        let vin = ckt.node();
+        let vout = ckt.node();
+        let src = ckt
+            .voltage_source(vin, DynamicCircuit::GROUND, Volts::new(3.3))
+            .unwrap();
+        ckt.resistor(vin, vout, Ohms::from_kilo(10.0)).unwrap();
+        ckt.capacitor(vout, DynamicCircuit::GROUND, Farads::from_micro(1.0), Volts::ZERO)
+            .unwrap();
+        for _ in 0..1000 {
+            ckt.step(Seconds::from_milli(0.1)).unwrap();
+        }
+        assert!((ckt.voltage(vout).unwrap().value() - 3.3).abs() < 0.01);
+        // Drop the source: discharge follows.
+        ckt.set_source(src, Volts::ZERO).unwrap();
+        for _ in 0..100 {
+            ckt.step(Seconds::from_milli(0.1)).unwrap();
+        }
+        let v = ckt.voltage(vout).unwrap().value();
+        let expect = 3.3 * (-1.0f64).exp();
+        assert!((v - expect).abs() < 0.05, "v = {v} vs {expect}");
+    }
+
+    #[test]
+    fn two_pole_filter_is_slower_than_one_pole() {
+        let one_pole = {
+            let mut ckt = DynamicCircuit::new();
+            let vin = ckt.node();
+            let vout = ckt.node();
+            ckt.voltage_source(vin, DynamicCircuit::GROUND, Volts::new(1.0)).unwrap();
+            ckt.resistor(vin, vout, Ohms::from_kilo(10.0)).unwrap();
+            ckt.capacitor(vout, DynamicCircuit::GROUND, Farads::from_nano(100.0), Volts::ZERO)
+                .unwrap();
+            let trace = ckt
+                .run_probe(vout, "one", Seconds::from_milli(1.0), Seconds::from_micro(10.0))
+                .unwrap();
+            trace.value_at(Seconds::from_milli(1.0)).unwrap()
+        };
+        let two_pole = {
+            let mut ckt = DynamicCircuit::new();
+            let vin = ckt.node();
+            let mid = ckt.node();
+            let vout = ckt.node();
+            ckt.voltage_source(vin, DynamicCircuit::GROUND, Volts::new(1.0)).unwrap();
+            ckt.resistor(vin, mid, Ohms::from_kilo(10.0)).unwrap();
+            ckt.capacitor(mid, DynamicCircuit::GROUND, Farads::from_nano(100.0), Volts::ZERO)
+                .unwrap();
+            ckt.resistor(mid, vout, Ohms::from_kilo(10.0)).unwrap();
+            ckt.capacitor(vout, DynamicCircuit::GROUND, Farads::from_nano(100.0), Volts::ZERO)
+                .unwrap();
+            let trace = ckt
+                .run_probe(vout, "two", Seconds::from_milli(1.0), Seconds::from_micro(10.0))
+                .unwrap();
+            trace.value_at(Seconds::from_milli(1.0)).unwrap()
+        };
+        assert!(two_pole < one_pole, "two-pole {two_pole} vs one-pole {one_pole}");
+        assert!(two_pole > 0.1, "but it does move");
+    }
+
+    /// Cross-validation: the sample-and-hold settle transient built from
+    /// primitive R/C elements agrees with the behavioural block's
+    /// closed-form result.
+    #[test]
+    fn cross_validates_sample_hold_settling() {
+        use crate::sample_hold::{SampleHold, SampleHoldConfig};
+
+        // Behavioural block: one 10 ms sampling step of a 5.44 V input.
+        let mut sh = SampleHold::new(SampleHoldConfig::paper_configuration(0.298).unwrap())
+            .unwrap();
+        sh.step(Volts::new(5.44), true, Seconds::from_milli(10.0));
+        let behavioural = sh.hold_voltage().value();
+
+        // Primitive circuit: buffered divider output (ideal source at the
+        // tap value) through U2 output resistance + switch Ron into the
+        // hold capacitor.
+        let mut ckt = DynamicCircuit::new();
+        let drive = ckt.node();
+        let hold = ckt.node();
+        ckt.voltage_source(drive, DynamicCircuit::GROUND, Volts::new(5.44 * 0.298))
+            .unwrap();
+        ckt.resistor(drive, hold, Ohms::from_kilo(3.0)).unwrap(); // 2k buffer + 1k switch
+        ckt.capacitor(hold, DynamicCircuit::GROUND, Farads::from_micro(1.0), Volts::ZERO)
+            .unwrap();
+        for _ in 0..1000 {
+            ckt.step(Seconds::from_micro(10.0)).unwrap();
+        }
+        let primitive = ckt.voltage(hold).unwrap().value();
+        assert!(
+            (behavioural - primitive).abs() < 0.01,
+            "behavioural {behavioural} vs primitive {primitive}"
+        );
+    }
+
+    #[test]
+    fn validation_and_probes() {
+        let mut ckt = DynamicCircuit::new();
+        let n = ckt.node();
+        assert!(ckt.resistor(n, 99, Ohms::new(1.0)).is_err());
+        assert!(ckt.resistor(n, DynamicCircuit::GROUND, Ohms::ZERO).is_err());
+        assert!(ckt
+            .capacitor(n, DynamicCircuit::GROUND, Farads::ZERO, Volts::ZERO)
+            .is_err());
+        assert!(ckt.step(Seconds::ZERO).is_err());
+        assert!(ckt.voltage(99).is_err());
+        assert!(ckt.set_source(SourceId(5), Volts::ZERO).is_err());
+        assert_eq!(ckt.capacitor_voltage(0), None);
+    }
+}

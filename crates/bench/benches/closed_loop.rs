@@ -1,0 +1,49 @@
+//! Criterion benches for the closed-loop engines: the full circuit-level
+//! system (Table I / Fig. 4 workhorse) and the behavioural day-scale
+//! node simulation (comparison workhorse).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use eh_core::baselines::FocvSampleHold;
+use eh_core::{FocvMpptSystem, SystemConfig};
+use eh_env::profiles;
+use eh_node::{NodeSimulation, SimConfig};
+use eh_pv::presets;
+use eh_units::{Lux, Seconds, Volts};
+
+fn bench_full_system_minute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core/full_system");
+    group.sample_size(20);
+    group.bench_function("60s_at_20ms_steps", |b| {
+        b.iter(|| {
+            let mut cfg = SystemConfig::paper_prototype().expect("valid config");
+            cfg.cold_start.set_rail_voltage(Volts::new(3.3));
+            let mut sys = FocvMpptSystem::new(cfg).expect("valid system");
+            sys.run_constant(
+                black_box(Lux::new(1000.0)),
+                Seconds::new(60.0),
+                Seconds::from_milli(20.0),
+            )
+            .expect("run succeeds")
+        })
+    });
+    group.finish();
+}
+
+fn bench_node_hour(c: &mut Criterion) {
+    let trace = profiles::constant(Lux::new(1000.0), Seconds::from_hours(1.0));
+    let mut group = c.benchmark_group("node/closed_loop");
+    group.sample_size(20);
+    group.bench_function("1h_focv_1s_steps", |b| {
+        b.iter(|| {
+            let mut sim = NodeSimulation::new(SimConfig::default_for(presets::sanyo_am1815()))
+                .expect("valid config");
+            let mut tracker = FocvSampleHold::paper_prototype().expect("valid tracker");
+            sim.run(&mut tracker, black_box(&trace), Seconds::new(1.0))
+                .expect("run succeeds")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_system_minute, bench_node_hour);
+criterion_main!(benches);

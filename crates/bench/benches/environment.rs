@@ -1,0 +1,38 @@
+//! Criterion benches for environment generation and the Eq. (2) analyzer.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use eh_env::{profiles, sampling_error};
+use eh_units::Seconds;
+
+fn bench_profile_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("env/profiles_24h_1hz");
+    group.sample_size(10);
+    group.bench_function("office_desk_mixed", |b| {
+        b.iter(|| black_box(profiles::office_desk_mixed(black_box(7))))
+    });
+    group.bench_function("semi_mobile_friday", |b| {
+        b.iter(|| black_box(profiles::semi_mobile_friday(black_box(7))))
+    });
+    group.finish();
+}
+
+fn bench_eq2_analyzer(c: &mut Criterion) {
+    let trace = profiles::office_desk_mixed(7);
+    let mut group = c.benchmark_group("env/eq2_worst_case_mean_error");
+    group.sample_size(20);
+    for period in [60.0, 600.0] {
+        group.bench_function(format!("{period}s_window_86401pts"), |b| {
+            b.iter(|| {
+                sampling_error::worst_case_mean_error(
+                    black_box(&trace),
+                    Seconds::new(period),
+                )
+                .expect("valid analysis")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_profile_generation, bench_eq2_analyzer);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benches for the PV solvers — the inner loop of every
+//! experiment (each system step solves at least one implicit I(V)).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use eh_pv::presets;
+use eh_units::{Lux, Volts};
+
+fn bench_current_solve(c: &mut Criterion) {
+    let cell = presets::sanyo_am1815();
+    let mut group = c.benchmark_group("pv/current_at");
+    for lux in [200.0, 1000.0, 50_000.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(lux as u64), &lux, |b, &lux| {
+            b.iter(|| {
+                cell.current_at(black_box(Volts::new(3.0)), black_box(Lux::new(lux)))
+                    .expect("solver converges")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_voc_solve(c: &mut Criterion) {
+    let cell = presets::sanyo_am1815();
+    c.bench_function("pv/open_circuit_voltage@1klx", |b| {
+        b.iter(|| {
+            cell.open_circuit_voltage(black_box(Lux::new(1000.0)))
+                .expect("solver converges")
+        })
+    });
+}
+
+fn bench_mpp_solve(c: &mut Criterion) {
+    let cell = presets::sanyo_am1815();
+    let mut group = c.benchmark_group("pv/mpp");
+    for lux in [200.0, 1000.0, 50_000.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(lux as u64), &lux, |b, &lux| {
+            b.iter(|| cell.mpp(black_box(Lux::new(lux))).expect("solver converges"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_iv_curve(c: &mut Criterion) {
+    let cell = presets::schott_asi_1116929();
+    c.bench_function("pv/iv_curve_100pts@1klx", |b| {
+        b.iter(|| {
+            cell.iv_curve(black_box(Lux::new(1000.0)), 100)
+                .expect("solver converges")
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_current_solve,
+    bench_voc_solve,
+    bench_mpp_solve,
+    bench_iv_curve
+);
+criterion_main!(benches);

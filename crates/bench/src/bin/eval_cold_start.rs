@@ -1,0 +1,69 @@
+//! Experiment E7 — §IV-B evaluation: cold start has been observed down to
+//! 200 lux with the SANYO AM-1815 cell; after cold start the system
+//! quickly generates the first PULSE; and the 8 µA sample-and-hold draw
+//! is less than 20 % of what the cell produces at 200 lux.
+//!
+//! Run with `cargo run -p eh-bench --bin eval_cold_start`.
+
+use eh_bench::{banner, fmt, render_table};
+use eh_core::{FocvMpptSystem, SystemConfig};
+use eh_units::{Lux, Seconds};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("§IV-B — cold start across light levels (dead system, 10 min budget)");
+
+    let mut rows = Vec::new();
+    for lux in [1.0, 2.0, 5.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 5000.0] {
+        let mut sys = FocvMpptSystem::new(SystemConfig::paper_prototype()?)?;
+        let report =
+            sys.run_constant(Lux::new(lux), Seconds::from_minutes(10.0), Seconds::new(0.1))?;
+        let sustained = report.stored_energy.value() > 1e-6;
+        rows.push(vec![
+            fmt(lux, 0),
+            match report.cold_start_time {
+                Some(t) => format!("{}", t),
+                None => "never".into(),
+            },
+            match report.first_pulse_time {
+                Some(t) => format!("{}", t),
+                None => "—".into(),
+            },
+            format!("{}", report.pulses),
+            if sustained { "yes".into() } else { "no".into() },
+            format!("{}", report.stored_energy),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "lux",
+                "rail up after",
+                "first PULSE",
+                "pulses",
+                "sustained?",
+                "stored energy"
+            ],
+            &rows
+        )
+    );
+    println!("Expected shape: no start in darkness; somewhere below ~200 lux the rail");
+    println!("may trip but cannot sustain the metrology; at 200 lux and above the");
+    println!("system starts, samples immediately and harvests — matching the paper's");
+    println!("\"cold-start observed down to 200 lux\".");
+
+    banner("§IV-B — metrology overhead fraction at 200 lux");
+    let mut sys = FocvMpptSystem::new(SystemConfig::paper_prototype()?)?;
+    let report = sys.run_constant(Lux::new(200.0), Seconds::from_minutes(10.0), Seconds::new(0.05))?;
+    let avg = report.average_metrology_current;
+    let metrology_power = avg.value() * 3.3;
+    let cell = sys.config().cell.clone();
+    let mpp = cell.mpp(Lux::new(200.0))?;
+    println!("metrology draw     : {} ({} µW at 3.3 V)", avg, fmt(metrology_power * 1e6, 1));
+    println!("cell MPP at 200 lx : {}", mpp.power);
+    println!(
+        "fraction           : {} % (paper: < 20 %)",
+        fmt(100.0 * metrology_power / mpp.power.value(), 1)
+    );
+    Ok(())
+}

@@ -1,0 +1,101 @@
+//! Experiment E8 — the paper's comparison against the state of the art
+//! (§I and §IV-B, in prose): run every tracker over the same scenarios
+//! and compare *net* harvested energy. Outdoors all trackers are
+//! comparable; indoors only trackers with ultra-low overhead stay
+//! net-positive, and only the proposed technique combines that with
+//! adaptation to changing light.
+//!
+//! Run with `cargo run -p eh-bench --bin eval_comparison`.
+
+use eh_bench::{banner, fmt, render_table};
+use eh_core::baselines::{
+    FixedVoltage, FocvSampleHold, FractionalIsc, IncrementalConductance, PerturbObserve,
+    Photodetector, PilotCell,
+};
+use eh_core::MpptController;
+use eh_env::{profiles, TimeSeries};
+use eh_node::compare_trackers;
+use eh_pv::presets;
+use eh_units::{Lux, Seconds};
+
+fn run_scenario(
+    title: &str,
+    trace: &TimeSeries,
+    dt: Seconds,
+) -> Result<(), Box<dyn std::error::Error>> {
+    banner(title);
+    let cell = presets::sanyo_am1815();
+    let mut focv = FocvSampleHold::paper_prototype()?;
+    let mut po = PerturbObserve::literature_default()?;
+    let mut fixed = FixedVoltage::indoor_tuned()?;
+    let mut pilot = PilotCell::literature_default(presets::sanyo_am1815())?;
+    let mut photo = Photodetector::literature_default()?;
+    let mut inc = IncrementalConductance::literature_default()?;
+    let mut fscc = FractionalIsc::literature_default()?;
+    let mut trackers: Vec<&mut dyn MpptController> = vec![
+        &mut focv, &mut po, &mut inc, &mut fscc, &mut fixed, &mut pilot, &mut photo,
+    ];
+
+    let rows_data = compare_trackers(&cell, trace, dt, &mut trackers)?;
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{}", r.summary.gross_energy),
+                format!("{}", r.summary.overhead_energy),
+                format!("{}", r.summary.net_energy),
+                fmt(r.summary.efficiency_vs_oracle().as_percent(), 1),
+                if r.summary.is_net_positive() { "yes".into() } else { "NO".into() },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["tracker", "gross", "overhead", "net", "vs oracle %", "net-positive?"],
+            &rows
+        )
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const SEED: u64 = 2011;
+    let dt = Seconds::new(5.0);
+
+    run_scenario(
+        "Scenario A — indoor office day (mixed natural + artificial light)",
+        &profiles::office_desk_mixed(SEED).decimate(5)?,
+        dt,
+    )?;
+
+    run_scenario(
+        "Scenario B — semi-mobile day (office + outdoor lunch + evening)",
+        &profiles::semi_mobile_friday(SEED).decimate(5)?,
+        dt,
+    )?;
+
+    run_scenario(
+        "Scenario C — bright outdoor bench (50 klux, 2 h)",
+        &profiles::constant(Lux::new(50_000.0), Seconds::from_hours(2.0)),
+        dt,
+    )?;
+
+    run_scenario(
+        "Scenario D — dim indoor bench (200 lux, 2 h)",
+        &profiles::constant(Lux::new(200.0), Seconds::from_hours(2.0)),
+        dt,
+    )?;
+
+    banner("Expected shape (the paper's argument)");
+    println!("* Outdoors (C): every technique is net-positive; overheads are noise.");
+    println!("* Indoors (A, D): the hill climber (2 mW) and photodetector (1.65 mW)");
+    println!("  are net-NEGATIVE — \"the tracking circuitry itself consumed all of the");
+    println!("  power generated indoors\". The pilot cell (~300 µW) is marginal.");
+    println!("* Fixed voltage survives indoors (it was tuned for it) but gives up");
+    println!("  harvest outdoors and whenever lighting deviates from its tuning.");
+    println!("* The proposed FOCV sample-and-hold is net-positive everywhere and");
+    println!("  close to the oracle — without pilot cell or photodiode.");
+    Ok(())
+}

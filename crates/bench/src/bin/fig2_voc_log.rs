@@ -1,0 +1,87 @@
+//! Experiment E2 — Fig. 2 of the paper: 24-hour log of the PV module's
+//! open-circuit voltage on an office desk under mixed natural and
+//! artificial light. Sunrise and the end-of-day lights-off edge must be
+//! identifiable. The §II-B companion logs (weekend blinds-closed desk and
+//! the semi-mobile Friday) are produced too, since Eq. (2) is evaluated
+//! on them.
+//!
+//! Run with `cargo run -p eh-bench --bin fig2_voc_log`.
+
+use eh_bench::{banner, fmt, render_table, sparkline};
+use eh_env::{profiles, TimeSeries};
+use eh_pv::{presets, PvCell};
+use eh_units::{Lux, Seconds};
+
+fn voc_trace(cell: &PvCell, lux_trace: &TimeSeries) -> TimeSeries {
+    lux_trace.map(|lux| {
+        cell.open_circuit_voltage(Lux::new(lux.max(0.0)))
+            .map(|v| v.value())
+            .unwrap_or(0.0)
+    })
+}
+
+fn hourly_rows(voc: &TimeSeries) -> Vec<Vec<String>> {
+    (0..24)
+        .map(|h| {
+            let v = voc
+                .value_at(Seconds::from_hours(h as f64 + 0.5))
+                .unwrap_or(0.0);
+            vec![format!("{h:02}:30"), fmt(v, 3)]
+        })
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cell = presets::schott_asi_1116929();
+    const SEED: u64 = 2011;
+
+    banner("Fig. 2 — 24 h open-circuit voltage, office desk (mixed light)");
+    let office_lux = profiles::office_desk_mixed(SEED).decimate(60)?; // 1-min grid
+    let office_voc = voc_trace(&cell, &office_lux);
+    println!(
+        "Voc over the day: {}",
+        sparkline(&office_voc.values().iter().step_by(10).copied().collect::<Vec<_>>())
+    );
+    println!("{}", render_table(&["time", "Voc (V)"], &hourly_rows(&office_voc)));
+
+    // The features the paper points at:
+    let night = office_voc.value_at(Seconds::from_hours(3.0)).unwrap_or(0.0);
+    let morning = office_voc.value_at(Seconds::from_hours(9.0)).unwrap_or(0.0);
+    let before_off = office_voc.value_at(Seconds::from_hours(18.4)).unwrap_or(0.0);
+    let after_off = office_voc.value_at(Seconds::from_hours(18.6)).unwrap_or(0.0);
+    println!("sunrise step  : {} V → {} V (03:00 → 09:00)", fmt(night, 2), fmt(morning, 2));
+    println!(
+        "lights-off    : {} V → {} V (18:24 → 18:36) — the sharp evening edge of Fig. 2",
+        fmt(before_off, 2),
+        fmt(after_off, 2)
+    );
+
+    banner("§II-B companion log — weekend desk, blinds closed");
+    let weekend_lux = profiles::desk_weekend_blinds_closed(SEED).decimate(60)?;
+    let weekend_voc = voc_trace(&cell, &weekend_lux);
+    println!(
+        "Voc over the day: {}",
+        sparkline(&weekend_voc.values().iter().step_by(10).copied().collect::<Vec<_>>())
+    );
+    println!(
+        "span: {} V … {} V (only the daylight leak moves it)",
+        fmt(weekend_voc.min(), 2),
+        fmt(weekend_voc.max(), 2)
+    );
+
+    banner("§II-B companion log — semi-mobile Friday (outdoor lunch)");
+    let mobile_lux = profiles::semi_mobile_friday(SEED).decimate(60)?;
+    let mobile_voc = voc_trace(&cell, &mobile_lux);
+    println!(
+        "Voc over the day: {}",
+        sparkline(&mobile_voc.values().iter().step_by(10).copied().collect::<Vec<_>>())
+    );
+    let lunch = mobile_voc.value_at(Seconds::from_hours(12.5)).unwrap_or(0.0);
+    let desk = mobile_voc.value_at(Seconds::from_hours(10.0)).unwrap_or(0.0);
+    println!(
+        "outdoor lunch pushes Voc from {} V (desk) to {} V — the log-law in action",
+        fmt(desk, 2),
+        fmt(lunch, 2)
+    );
+    Ok(())
+}

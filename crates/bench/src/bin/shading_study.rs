@@ -1,0 +1,62 @@
+//! Extension experiment — partial shading on a series string. The
+//! paper's target applications (body-worn, mobile) routinely shade part
+//! of the collector; FOCV holds a single `k·Voc` point, which under a
+//! multi-hump shaded power curve can sit far from the *global* maximum.
+//! This study quantifies the capture ratio as shading deepens.
+//!
+//! Run with `cargo run -p eh-bench --bin shading_study`.
+
+use eh_bench::{banner, fmt, render_table};
+use eh_pv::array::{SeriesString, StringElement};
+use eh_pv::presets;
+use eh_units::{Kelvin, Lux, Volts};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lux = Lux::new(1000.0);
+    banner("FOCV capture on a 3-module series string, one module shaded");
+
+    let mut rows = Vec::new();
+    for shade in [1.0, 0.8, 0.6, 0.4, 0.25, 0.15, 0.08] {
+        let string = SeriesString::new(
+            vec![
+                StringElement::new(presets::sanyo_am1815(), 1.0)?,
+                StringElement::new(presets::sanyo_am1815(), 1.0)?,
+                StringElement::new(presets::sanyo_am1815(), shade)?,
+            ],
+            Volts::from_milli(350.0),
+        )?;
+        let gmpp = string.global_mpp(lux, Kelvin::STC)?;
+        let focv = string.power_at_focv(0.596, lux)?;
+        let capture = focv.value() / gmpp.power.value().max(1e-15);
+        rows.push(vec![
+            fmt(100.0 * (1.0 - shade), 0),
+            format!("{}", string.open_circuit_voltage(lux)?),
+            format!("{}", gmpp.power),
+            format!("{}", gmpp.voltage),
+            format!("{}", focv),
+            fmt(100.0 * capture, 1),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "shading of module 3 (%)",
+                "string Voc",
+                "global MPP power",
+                "global MPP voltage",
+                "FOCV power @ k·Voc",
+                "capture %"
+            ],
+            &rows
+        )
+    );
+
+    println!("Reading: with no or mild shading FOCV captures nearly all of the");
+    println!("global maximum. Deep shading (≥75 %) splits the power curve into");
+    println!("humps separated by the bypass diodes; a fixed k·Voc point can then");
+    println!("land between them. For the paper's single-module prototype this");
+    println!("cannot happen — one module has one hump — which quantifies why the");
+    println!("technique suits small single-module sensor nodes in particular.");
+    Ok(())
+}

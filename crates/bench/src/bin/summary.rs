@@ -1,0 +1,136 @@
+//! One-page paper-vs-measured digest: re-runs the headline measurement
+//! of every experiment live and prints them side by side with the
+//! paper's numbers — the quick way to confirm the reproduction holds on
+//! your machine.
+//!
+//! Run with `cargo run -p eh-bench --bin summary`.
+
+use eh_analog::astable::AstableMultivibrator;
+use eh_bench::{banner, fmt, render_table};
+use eh_core::{tracking_accuracy_table, FocvMpptSystem, SystemConfig};
+use eh_env::{profiles, sampling_error, TimeSeries};
+use eh_pv::{presets, PvCell};
+use eh_units::{Lux, Seconds, Volts};
+
+fn voc_trace(cell: &PvCell, lux_trace: &TimeSeries) -> TimeSeries {
+    lux_trace.map(|lux| {
+        cell.open_circuit_voltage(Lux::new(lux.max(0.0)))
+            .map(|v| v.value())
+            .unwrap_or(0.0)
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("pv-mppt-repro — paper-vs-measured digest (all numbers live)");
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    // Astable timing (§IV-A).
+    let astable = AstableMultivibrator::paper_configuration()?;
+    let (t_on, t_off) = astable.analytic_periods();
+    rows.push(vec![
+        "astable ON period (§IV-A)".into(),
+        "39 ms".into(),
+        format!("{t_on}"),
+    ]);
+    rows.push(vec![
+        "astable OFF period (§IV-A)".into(),
+        "69 s".into(),
+        format!("{t_off}"),
+    ]);
+
+    // Metrology current (§IV-A) from a powered system run.
+    let mut cfg = SystemConfig::paper_prototype()?;
+    cfg.cold_start.set_rail_voltage(Volts::new(3.3));
+    let mut sys = FocvMpptSystem::new(cfg)?;
+    let report = sys.run_constant(Lux::new(1000.0), Seconds::new(210.0), Seconds::new(0.05))?;
+    rows.push(vec![
+        "astable + S&H draw (§IV-A)".into(),
+        "7.6 µA".into(),
+        format!("{}", report.average_metrology_current),
+    ]);
+
+    // Table I anchors (E4).
+    let base = SystemConfig::paper_prototype()?;
+    let table = tracking_accuracy_table(
+        &base,
+        &[Lux::new(200.0), Lux::new(1000.0), Lux::new(5000.0)],
+        1,
+    )?;
+    rows.push(vec![
+        "Table I: Voc / k at 200 lux".into(),
+        "4.978 V / 59.6 %".into(),
+        format!(
+            "{} / {} %",
+            table[0].open_circuit_voltage,
+            fmt(table[0].k.as_percent(), 1)
+        ),
+    ]);
+    rows.push(vec![
+        "Table I: Voc / k at 1000 lux".into(),
+        "5.44 V / 59.7 %".into(),
+        format!(
+            "{} / {} %",
+            table[1].open_circuit_voltage,
+            fmt(table[1].k.as_percent(), 1)
+        ),
+    ]);
+    rows.push(vec![
+        "Table I: Voc / k at 5000 lux".into(),
+        "5.91 V / 60.1 %".into(),
+        format!(
+            "{} / {} %",
+            table[2].open_circuit_voltage,
+            fmt(table[2].k.as_percent(), 1)
+        ),
+    ]);
+
+    // Eq. (2) headline (E5).
+    let schott = presets::schott_asi_1116929();
+    let desk = voc_trace(&schott, &profiles::desk_weekend_blinds_closed(2011));
+    let mobile = voc_trace(&schott, &profiles::semi_mobile_friday(2011));
+    let e_desk = sampling_error::worst_case_mean_error(&desk, Seconds::new(60.0))?;
+    let e_mobile = sampling_error::worst_case_mean_error(&mobile, Seconds::new(60.0))?;
+    rows.push(vec![
+        "Eq.(2) Ē desk @60 s (§II-B)".into(),
+        "12.7 mV".into(),
+        format!("{} mV", fmt(e_desk * 1e3, 1)),
+    ]);
+    rows.push(vec![
+        "Eq.(2) Ē semi-mobile @60 s (§II-B)".into(),
+        "24.1 mV".into(),
+        format!("{} mV", fmt(e_mobile * 1e3, 1)),
+    ]);
+
+    // Cold start (§IV-B).
+    let mut dead = FocvMpptSystem::new(SystemConfig::paper_prototype()?)?;
+    let cs = dead.run_constant(Lux::new(200.0), Seconds::new(30.0), Seconds::new(0.05))?;
+    rows.push(vec![
+        "cold start at 200 lux (§IV-B)".into(),
+        "observed".into(),
+        match cs.cold_start_time {
+            Some(t) => format!("rail up after {t}"),
+            None => "FAILED".into(),
+        },
+    ]);
+
+    // Overhead fraction (§IV-B).
+    let mpp200 = presets::sanyo_am1815().mpp(Lux::new(200.0))?;
+    let overhead = report.average_metrology_current.value() * 3.3;
+    rows.push(vec![
+        "S&H draw vs 200 lux cell (§IV-B)".into(),
+        "< 20 %".into(),
+        format!("{} %", fmt(100.0 * overhead / mpp200.power.value(), 1)),
+    ]);
+
+    // Series MOSFET (§IV-B).
+    let frac = sys.series_switch_loss().value() / report.pv_energy.value().max(1e-18);
+    rows.push(vec![
+        "series MOSFET loss (§IV-B)".into(),
+        "negligible".into(),
+        format!("{} % of harvest", fmt(100.0 * frac, 4)),
+    ]);
+
+    println!("{}", render_table(&["quantity", "paper", "measured"], &rows));
+    println!("Full details: EXPERIMENTS.md; per-experiment binaries in crates/bench/src/bin/.");
+    Ok(())
+}

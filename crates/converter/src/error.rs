@@ -1,0 +1,43 @@
+//! Error type for the converter crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by converter constructors.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConverterError {
+    /// A parameter was non-physical.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ConverterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConverterError::InvalidParameter { name, value } => {
+                write!(f, "invalid converter parameter {name} = {value}")
+            }
+        }
+    }
+}
+
+impl Error for ConverterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = ConverterError::InvalidParameter {
+            name: "peak_efficiency",
+            value: 1.4,
+        };
+        assert_eq!(e.to_string(), "invalid converter parameter peak_efficiency = 1.4");
+    }
+}

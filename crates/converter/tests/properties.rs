@@ -1,0 +1,105 @@
+//! Property-based tests on the converter and cold-start invariants.
+
+use eh_converter::{ColdStart, ColdStartState, EfficiencyModel, InputRegulatedConverter};
+use eh_units::{Amps, Farads, Seconds, Volts, Watts};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Output power never exceeds input power, and the loss split is
+    /// exact.
+    #[test]
+    fn harvest_energy_balance(v in 0.8..6.0f64, i in 1e-7..1e-2f64, dt in 0.001..1000.0f64) {
+        let c = InputRegulatedConverter::paper_prototype().expect("valid prototype");
+        let r = c.harvest(Volts::new(v), Amps::new(i), Seconds::new(dt));
+        prop_assert!(r.output_power <= r.input_power);
+        prop_assert!(r.output_power.value() >= 0.0);
+        prop_assert!((r.input_power.value() - r.output_power.value() - r.losses.value()).abs()
+            < 1e-12 * r.input_power.value().max(1.0));
+        prop_assert!((r.output_energy.value() - r.output_power.value() * dt).abs()
+            < 1e-12 * r.output_energy.value().max(1.0));
+    }
+
+    /// Efficiency is always in [0, 1) and increases with input power in
+    /// the quiescent-dominated region (the peak of the model sits near
+    /// 1 mW, so doubling from ≤200 µW is always still on the rising
+    /// flank).
+    #[test]
+    fn efficiency_bounded_and_rising_low_end(p in 2e-6..2e-4f64) {
+        let m = EfficiencyModel::micropower_buck_boost().expect("valid model");
+        let e1 = m.efficiency(Watts::new(p)).value();
+        let e2 = m.efficiency(Watts::new(p * 2.0)).value();
+        prop_assert!((0.0..1.0).contains(&e1));
+        prop_assert!(e2 >= e1 - 1e-12, "η must rise below the knee: {e1} → {e2}");
+    }
+
+    /// The converter refuses inputs below its dropout regardless of
+    /// current.
+    #[test]
+    fn dropout_is_respected(v in 0.0..0.79f64, i in 0.0..1.0f64) {
+        let c = InputRegulatedConverter::paper_prototype().expect("valid prototype");
+        let r = c.harvest(Volts::new(v), Amps::new(i), Seconds::new(1.0));
+        prop_assert_eq!(r.output_power, Watts::ZERO);
+    }
+
+    /// Cold start charge bookkeeping: the rail voltage moves by exactly
+    /// net-charge/C (clamped), and hysteresis state transitions are
+    /// monotone with voltage.
+    #[test]
+    fn coldstart_charge_bookkeeping(i_charge in 0.0..1e-4f64, dt in 0.01..10.0f64) {
+        let mut cs = ColdStart::paper_prototype().expect("valid circuit")
+            .with_supervisor_current(Amps::ZERO);
+        let v0 = cs.rail_voltage();
+        cs.step(Amps::new(i_charge), Amps::ZERO, Seconds::new(dt));
+        let expect = (v0.value() + i_charge * dt / 47e-6).clamp(0.0, 3.3);
+        prop_assert!((cs.rail_voltage().value() - expect).abs() < 1e-9);
+    }
+
+    /// Whatever the charging history, the state machine agrees with the
+    /// thresholds: Running implies the rail exceeded 2.2 V at some point
+    /// and has not dropped to 1.8 V since.
+    #[test]
+    fn coldstart_state_consistent(pattern in proptest::collection::vec(-5e-5..8e-5f64, 1..40)) {
+        let mut cs = ColdStart::paper_prototype().expect("valid circuit")
+            .with_supervisor_current(Amps::ZERO);
+        for i in pattern {
+            cs.step(Amps::new(i), Amps::ZERO, Seconds::new(1.0));
+            match cs.state() {
+                ColdStartState::Running => {
+                    prop_assert!(cs.rail_voltage().value() > 1.8 - 1e-12);
+                }
+                ColdStartState::Charging => {
+                    prop_assert!(cs.rail_voltage().value() < 2.2 + 1e-12);
+                }
+            }
+        }
+    }
+
+    /// Custom cold-start circuits respect their capacitance scaling:
+    /// a bigger C1 takes proportionally longer to start.
+    #[test]
+    fn coldstart_time_scales_with_capacitance(scale in 2.0..10.0f64) {
+        let time_to_start = |c_uf: f64| -> f64 {
+            let mut cs = ColdStart::new(
+                Farads::from_micro(c_uf),
+                Volts::new(2.2),
+                Volts::new(1.8),
+                Volts::new(3.3),
+                Volts::new(0.3),
+            )
+            .expect("valid circuit")
+            .with_supervisor_current(Amps::ZERO);
+            let mut t = 0.0;
+            while cs.state() == ColdStartState::Charging && t < 1e5 {
+                cs.step(Amps::from_micro(40.0), Amps::ZERO, Seconds::new(0.05));
+                t += 0.05;
+            }
+            t
+        };
+        let t1 = time_to_start(47.0);
+        let t2 = time_to_start(47.0 * scale);
+        let ratio = t2 / t1;
+        prop_assert!((ratio - scale).abs() < 0.1 * scale, "ratio {ratio} vs {scale}");
+    }
+}

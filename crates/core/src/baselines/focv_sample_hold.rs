@@ -1,0 +1,235 @@
+//! The paper's technique at behavioural level.
+
+use eh_units::{Seconds, Volts, Watts};
+
+use crate::controller::{MpptController, Observation, TrackerCommand};
+use crate::error::CoreError;
+
+/// The proposed FOCV sample-and-hold tracker: every `sample_period` the
+/// module is disconnected for `pulse_width` to measure `Voc`; in between
+/// the converter holds the module at `k · Voc_held`.
+///
+/// The default parameters are the prototype's measurements: 39 ms pulses
+/// every 69 s, `k = 0.596`, and the 8 µA × 3.3 V metrology overhead the
+/// paper reports in §IV-B.
+///
+/// ```
+/// use eh_core::baselines::FocvSampleHold;
+/// use eh_core::MpptController;
+///
+/// let tracker = FocvSampleHold::paper_prototype()?;
+/// assert!(tracker.can_cold_start());
+/// assert!(tracker.overhead_power().as_micro() < 30.0);
+/// # Ok::<(), eh_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FocvSampleHold {
+    k: f64,
+    sample_period: Seconds,
+    pulse_width: Seconds,
+    overhead: Watts,
+    held_voc: Option<Volts>,
+    since_sample: Seconds,
+    measuring: bool,
+}
+
+impl FocvSampleHold {
+    /// Creates a tracker with explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `k` outside `(0, 1)`, non-positive periods, or a pulse
+    /// width that is not shorter than the sample period.
+    pub fn new(
+        k: f64,
+        sample_period: Seconds,
+        pulse_width: Seconds,
+        overhead: Watts,
+    ) -> Result<Self, CoreError> {
+        if !(k.is_finite() && k > 0.0 && k < 1.0) {
+            return Err(CoreError::InvalidParameter { name: "k", value: k });
+        }
+        if !(sample_period.value() > 0.0 && pulse_width.value() > 0.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "periods",
+                value: sample_period.value().min(pulse_width.value()),
+            });
+        }
+        if pulse_width.value() >= sample_period.value() {
+            return Err(CoreError::InvalidParameter {
+                name: "pulse_width",
+                value: pulse_width.value(),
+            });
+        }
+        if !(overhead.value().is_finite() && overhead.value() >= 0.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "overhead",
+                value: overhead.value(),
+            });
+        }
+        Ok(Self {
+            k,
+            sample_period,
+            pulse_width,
+            overhead,
+            held_voc: None,
+            // Fire the first measurement immediately (the power-up PULSE).
+            since_sample: sample_period,
+            measuring: false,
+        })
+    }
+
+    /// The prototype parameters: k = 0.596, 69 s period, 39 ms pulse,
+    /// 8 µA at 3.3 V.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for these constants; the `Result` mirrors
+    /// [`FocvSampleHold::new`].
+    pub fn paper_prototype() -> Result<Self, CoreError> {
+        Self::new(
+            0.596,
+            Seconds::new(69.0),
+            Seconds::from_milli(39.0),
+            Volts::new(3.3) * eh_units::Amps::from_micro(8.0),
+        )
+    }
+
+    /// The trimmed FOCV factor.
+    pub fn k(&self) -> f64 {
+        self.k
+    }
+
+    /// The hold (sampling) period.
+    pub fn sample_period(&self) -> Seconds {
+        self.sample_period
+    }
+
+    /// The measurement pulse width (how long the module is disconnected
+    /// per sample).
+    pub fn pulse_width(&self) -> Seconds {
+        self.pulse_width
+    }
+
+    /// The currently held open-circuit voltage, if a sample exists.
+    pub fn held_voc(&self) -> Option<Volts> {
+        self.held_voc
+    }
+}
+
+impl MpptController for FocvSampleHold {
+    fn name(&self) -> &str {
+        "FOCV sample-and-hold (this paper)"
+    }
+
+    fn step(&mut self, obs: &Observation, dt: Seconds) -> TrackerCommand {
+        // Capture the measurement made during a disconnect step.
+        if self.measuring {
+            if let Some(voc) = obs.voc_measurement {
+                self.held_voc = Some(voc);
+            }
+            self.measuring = false;
+            self.since_sample = Seconds::ZERO;
+        } else {
+            self.since_sample += dt;
+        }
+
+        if self.since_sample >= self.sample_period {
+            self.measuring = true;
+            return TrackerCommand::measure();
+        }
+
+        match self.held_voc {
+            Some(voc) => TrackerCommand::connect_at(voc * self.k),
+            // No valid sample yet (ACTIVE low): converter stays off.
+            None => TrackerCommand::measure(),
+        }
+    }
+
+    fn overhead_power(&self) -> Watts {
+        self.overhead
+    }
+
+    fn can_cold_start(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eh_units::Lux;
+
+    fn obs(voc: Option<f64>) -> Observation {
+        Observation {
+            pv_voltage: Volts::new(3.0),
+            pv_power: Watts::from_micro(100.0),
+            voc_measurement: voc.map(Volts::new),
+            ambient_lux: Some(Lux::new(1000.0)),
+            ..Observation::at(Seconds::ZERO)
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(FocvSampleHold::new(
+            1.2,
+            Seconds::new(69.0),
+            Seconds::from_milli(39.0),
+            Watts::ZERO
+        )
+        .is_err());
+        assert!(FocvSampleHold::new(
+            0.6,
+            Seconds::new(1.0),
+            Seconds::new(2.0),
+            Watts::ZERO
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn first_step_measures_then_tracks() {
+        let mut t = FocvSampleHold::paper_prototype().unwrap();
+        let c1 = t.step(&obs(None), Seconds::new(1.0));
+        assert!(!c1.is_connect(), "must measure first");
+        // Engine measured Voc = 5.44 V during the disconnect.
+        let c2 = t.step(&obs(Some(5.44)), Seconds::new(1.0));
+        assert!(c2.is_connect());
+        assert!((c2.target_voltage().expect("connected").value() - 5.44 * 0.596).abs() < 1e-9);
+        assert_eq!(t.held_voc(), Some(Volts::new(5.44)));
+    }
+
+    #[test]
+    fn resamples_every_period() {
+        let mut t = FocvSampleHold::paper_prototype().unwrap();
+        t.step(&obs(None), Seconds::new(1.0));
+        t.step(&obs(Some(5.0)), Seconds::new(1.0));
+        let mut measured = 0;
+        // Walk 140 s in 1 s steps: expect ~2 more measurement commands.
+        for _ in 0..140 {
+            let c = t.step(&obs(Some(5.0)), Seconds::new(1.0));
+            if !c.is_connect() {
+                measured += 1;
+            }
+        }
+        assert_eq!(measured, 2, "one resample per 69 s");
+    }
+
+    #[test]
+    fn holds_value_between_samples() {
+        let mut t = FocvSampleHold::paper_prototype().unwrap();
+        t.step(&obs(None), Seconds::new(1.0));
+        t.step(&obs(Some(5.0)), Seconds::new(1.0));
+        // Light changed but no resample yet: target unchanged.
+        let c = t.step(&obs(None), Seconds::new(10.0));
+        assert!((c.target_voltage().expect("connected").value() - 5.0 * 0.596).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_is_ultra_low_power() {
+        let t = FocvSampleHold::paper_prototype().unwrap();
+        assert!((t.overhead_power().as_micro() - 26.4).abs() < 0.1);
+        assert!(!t.requires_light_sensor());
+    }
+}

@@ -1,0 +1,31 @@
+//! Implementations of the proposed technique and the state of the art
+//! the paper compares against.
+//!
+//! | Tracker | Paper reference | Quiescent overhead |
+//! |---|---|---|
+//! | [`FocvSampleHold`] | this paper | 8 µA at 3.3 V ≈ 26 µW |
+//! | [`PerturbObserve`] | hill-climbing, \[2\]; Simjee & Chou \[4\] | ~2 mW |
+//! | [`IncrementalConductance`] | survey \[2\] | ~2 mW |
+//! | [`FractionalIsc`] | survey \[2\] | ~1 mW |
+//! | [`FixedVoltage`] | Weddell'08 \[8\] | reference IC, ~40 µW |
+//! | [`PilotCell`] | Brunelli'08 \[5\] | ~300 µW "off" consumption |
+//! | [`Photodetector`] | AmbiMax \[6\] | ~500 µA ≈ 1.65 mW |
+//! | [`Oracle`] | ideal upper bound | zero |
+
+mod fixed_voltage;
+mod focv_sample_hold;
+mod fractional_isc;
+mod incremental_conductance;
+mod oracle;
+mod perturb_observe;
+mod photodetector;
+mod pilot_cell;
+
+pub use fixed_voltage::FixedVoltage;
+pub use focv_sample_hold::FocvSampleHold;
+pub use fractional_isc::FractionalIsc;
+pub use incremental_conductance::IncrementalConductance;
+pub use oracle::Oracle;
+pub use perturb_observe::PerturbObserve;
+pub use photodetector::Photodetector;
+pub use pilot_cell::PilotCell;

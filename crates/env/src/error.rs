@@ -1,0 +1,55 @@
+//! Error type for the environment crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by environment constructors and analyses.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EnvError {
+    /// A parameter was non-physical or inconsistent.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A series was too short for the requested analysis.
+    SeriesTooShort {
+        /// Samples available.
+        have: usize,
+        /// Samples required.
+        need: usize,
+    },
+}
+
+impl fmt::Display for EnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnvError::InvalidParameter { name, value } => {
+                write!(f, "invalid environment parameter {name} = {value}")
+            }
+            EnvError::SeriesTooShort { have, need } => {
+                write!(f, "series too short: have {have} samples, need {need}")
+            }
+        }
+    }
+}
+
+impl Error for EnvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = EnvError::SeriesTooShort { have: 3, need: 10 };
+        assert_eq!(e.to_string(), "series too short: have 3 samples, need 10");
+        let e = EnvError::InvalidParameter {
+            name: "dt",
+            value: 0.0,
+        };
+        assert!(e.to_string().contains("dt"));
+    }
+}

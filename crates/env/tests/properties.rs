@@ -1,0 +1,128 @@
+//! Property-based tests on environment invariants, especially the
+//! Eq. (2) analyzer (the paper's core §II-B instrument).
+
+use eh_env::{profiles, sampling_error, solar::SolarDay, TimeSeries};
+use eh_units::{Lux, Seconds};
+use proptest::prelude::*;
+
+fn series(values: Vec<f64>) -> TimeSeries {
+    TimeSeries::new(Seconds::ZERO, Seconds::new(1.0), values).expect("valid series")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Ē is non-negative and bounded by the global peak-to-peak range.
+    #[test]
+    fn eq2_bounded(values in proptest::collection::vec(-10.0..10.0f64, 10..300),
+                   window in 2usize..9) {
+        let s = series(values.clone());
+        let e = sampling_error::worst_case_mean_error(&s, Seconds::new(window as f64))
+            .expect("analysis succeeds");
+        let global = values.iter().cloned().fold(f64::MIN, f64::max)
+            - values.iter().cloned().fold(f64::MAX, f64::min);
+        prop_assert!(e >= 0.0);
+        prop_assert!(e <= global + 1e-12, "Ē {e} exceeds global range {global}");
+    }
+
+    /// Ē is invariant under a constant offset of the signal.
+    #[test]
+    fn eq2_shift_invariant(values in proptest::collection::vec(0.0..5.0f64, 20..200),
+                           offset in -100.0..100.0f64) {
+        let base = series(values.clone());
+        let shifted = series(values.iter().map(|v| v + offset).collect());
+        let e1 = sampling_error::worst_case_mean_error(&base, Seconds::new(5.0)).expect("ok");
+        let e2 = sampling_error::worst_case_mean_error(&shifted, Seconds::new(5.0)).expect("ok");
+        prop_assert!((e1 - e2).abs() < 1e-9);
+    }
+
+    /// Ē scales linearly with the signal's amplitude.
+    #[test]
+    fn eq2_scale_linear(values in proptest::collection::vec(-3.0..3.0f64, 20..200),
+                        gain in 0.1..10.0f64) {
+        let base = series(values.clone());
+        let scaled = series(values.iter().map(|v| v * gain).collect());
+        let e1 = sampling_error::worst_case_mean_error(&base, Seconds::new(4.0)).expect("ok");
+        let e2 = sampling_error::worst_case_mean_error(&scaled, Seconds::new(4.0)).expect("ok");
+        prop_assert!((e2 - e1 * gain).abs() < 1e-9 * (1.0 + e2.abs()));
+    }
+
+    /// Ē never decreases when the window widens (more excursion fits in).
+    #[test]
+    fn eq2_monotone_in_window(values in proptest::collection::vec(-5.0..5.0f64, 40..200)) {
+        let s = series(values);
+        let mut prev = 0.0;
+        for w in [2.0, 4.0, 8.0, 16.0] {
+            let e = sampling_error::worst_case_mean_error(&s, Seconds::new(w)).expect("ok");
+            prop_assert!(e >= prev - 1e-12, "Ē({w}) = {e} < {prev}");
+            prev = e;
+        }
+    }
+
+    /// Decimation preserves sample values at the kept indices.
+    #[test]
+    fn decimate_keeps_values(values in proptest::collection::vec(-1e3..1e3f64, 10..100),
+                             factor in 1usize..6) {
+        let s = series(values.clone());
+        let d = s.decimate(factor).expect("valid factor");
+        for (i, v) in d.values().iter().enumerate() {
+            prop_assert_eq!(*v, values[i * factor]);
+        }
+    }
+
+    /// concat's length is the sum and slicing it back recovers the parts.
+    #[test]
+    fn concat_slice_round_trip(a in proptest::collection::vec(0.0..10.0f64, 2..50),
+                               b in proptest::collection::vec(0.0..10.0f64, 2..50)) {
+        let sa = series(a.clone());
+        let sb = series(b.clone());
+        let joined = sa.concat(&sb).expect("same dt");
+        prop_assert_eq!(joined.len(), a.len() + b.len());
+        let back = joined.slice_samples(a.len(), a.len() + b.len()).expect("in range");
+        prop_assert_eq!(back.values(), &b[..]);
+    }
+
+    /// value_at at exact sample instants returns the sample.
+    #[test]
+    fn value_at_hits_samples(values in proptest::collection::vec(-1e2..1e2f64, 2..100)) {
+        let s = series(values.clone());
+        for (i, v) in values.iter().enumerate() {
+            let got = s.value_at(Seconds::new(i as f64)).expect("in range");
+            prop_assert!((got - v).abs() < 1e-12);
+        }
+    }
+
+    /// Solar illuminance is non-negative, bounded by the peak, and zero
+    /// outside the daylight window.
+    #[test]
+    fn solar_bounds(hour in 0.0..24.0f64) {
+        let day = SolarDay::uk_summer().expect("valid constants");
+        let lux = day.illuminance(Seconds::from_hours(hour));
+        prop_assert!(lux.value() >= 0.0);
+        prop_assert!(lux.value() <= 90_000.0 + 1e-9);
+        if !(5.0..=21.0).contains(&hour) {
+            prop_assert_eq!(lux.value(), 0.0);
+        }
+    }
+
+    /// Every profile stays non-negative and below physical full daylight,
+    /// whatever the seed.
+    #[test]
+    fn profiles_physical(seed in 0u64..1000) {
+        let office = profiles::office_desk_mixed(seed);
+        prop_assert!(office.min() >= 0.0);
+        prop_assert!(office.max() < 10_000.0);
+        let mobile = profiles::semi_mobile_friday(seed);
+        prop_assert!(mobile.min() >= 0.0);
+        prop_assert!(mobile.max() < 100_000.0);
+    }
+
+    /// Constant traces have zero Eq. (2) error at any period.
+    #[test]
+    fn eq2_constant_is_zero(level in -50.0..50.0f64, window in 2usize..20) {
+        let s = profiles::constant(Lux::new(level.abs()), Seconds::new(100.0));
+        let e = sampling_error::worst_case_mean_error(&s, Seconds::new(window as f64))
+            .expect("ok");
+        prop_assert_eq!(e, 0.0);
+    }
+}

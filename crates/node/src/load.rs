@@ -1,0 +1,229 @@
+//! Duty-cycled node loads.
+
+use eh_units::{Joules, Seconds, Watts};
+
+use crate::error::NodeError;
+
+/// One phase of a node's duty cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadPhase {
+    /// Phase name (for reports).
+    pub name: String,
+    /// Power drawn during the phase.
+    pub power: Watts,
+    /// Phase duration.
+    pub duration: Seconds,
+}
+
+impl LoadPhase {
+    /// Creates a phase.
+    ///
+    /// # Errors
+    ///
+    /// Rejects negative power or non-positive duration.
+    pub fn new(
+        name: impl Into<String>,
+        power: Watts,
+        duration: Seconds,
+    ) -> Result<Self, NodeError> {
+        if !(power.value().is_finite() && power.value() >= 0.0) {
+            return Err(NodeError::InvalidParameter {
+                name: "power",
+                value: power.value(),
+            });
+        }
+        if !(duration.value().is_finite() && duration.value() > 0.0) {
+            return Err(NodeError::InvalidParameter {
+                name: "duration",
+                value: duration.value(),
+            });
+        }
+        Ok(Self {
+            name: name.into(),
+            power,
+            duration,
+        })
+    }
+}
+
+/// A cyclic load: the node repeats its phase sequence forever
+/// (sleep → sense → transmit → sleep → ...).
+///
+/// ```
+/// use eh_node::DutyCycledLoad;
+/// use eh_units::{Seconds, Watts};
+///
+/// let load = DutyCycledLoad::typical_sensor_node()?;
+/// // Average power is micro-watt scale — harvestable indoors.
+/// assert!(load.average_power().as_micro() < 100.0);
+/// # Ok::<(), eh_node::NodeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DutyCycledLoad {
+    phases: Vec<LoadPhase>,
+    period: Seconds,
+}
+
+impl DutyCycledLoad {
+    /// Creates a load from a non-empty phase sequence.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty sequence.
+    pub fn new(phases: Vec<LoadPhase>) -> Result<Self, NodeError> {
+        if phases.is_empty() {
+            return Err(NodeError::InvalidParameter {
+                name: "phases",
+                value: 0.0,
+            });
+        }
+        let period = Seconds::new(phases.iter().map(|p| p.duration.value()).sum());
+        Ok(Self { phases, period })
+    }
+
+    /// A typical low-duty sensor node: 5 µW sleep for 30 s, 3 mW sensing
+    /// for 50 ms, 60 mW radio burst for 5 ms.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for these constants.
+    pub fn typical_sensor_node() -> Result<Self, NodeError> {
+        Self::new(vec![
+            LoadPhase::new("sleep", Watts::from_micro(5.0), Seconds::new(30.0))?,
+            LoadPhase::new("sense", Watts::from_milli(3.0), Seconds::from_milli(50.0))?,
+            LoadPhase::new("transmit", Watts::from_milli(60.0), Seconds::from_milli(5.0))?,
+        ])
+    }
+
+    /// The full cycle period.
+    pub fn period(&self) -> Seconds {
+        self.period
+    }
+
+    /// The phases.
+    pub fn phases(&self) -> &[LoadPhase] {
+        &self.phases
+    }
+
+    /// Instantaneous power at absolute time `t` (cycle-folded).
+    pub fn power_at(&self, t: Seconds) -> Watts {
+        let mut rem = t.value().rem_euclid(self.period.value());
+        for p in &self.phases {
+            if rem < p.duration.value() {
+                return p.power;
+            }
+            rem -= p.duration.value();
+        }
+        self.phases.last().map(|p| p.power).unwrap_or(Watts::ZERO)
+    }
+
+    /// Time-averaged power over a full cycle.
+    pub fn average_power(&self) -> Watts {
+        let energy: f64 = self
+            .phases
+            .iter()
+            .map(|p| p.power.value() * p.duration.value())
+            .sum();
+        Watts::new(energy / self.period.value())
+    }
+
+    /// Energy demanded over the interval `[t, t+dt)` (exact phase-folded
+    /// integration).
+    pub fn energy_demand(&self, t: Seconds, dt: Seconds) -> Joules {
+        if dt.value() <= 0.0 {
+            return Joules::ZERO;
+        }
+        // Whole cycles plus a partial walk.
+        let cycles = (dt.value() / self.period.value()).floor();
+        let mut energy = cycles * self.average_power().value() * self.period.value();
+        let mut rem = dt.value() - cycles * self.period.value();
+        let mut pos = t.value().rem_euclid(self.period.value());
+        while rem > 1e-15 {
+            // Find the phase containing `pos`.
+            let mut acc = 0.0;
+            let mut advanced = false;
+            for p in &self.phases {
+                if pos < acc + p.duration.value() {
+                    let span = (acc + p.duration.value() - pos).min(rem);
+                    energy += p.power.value() * span;
+                    pos = (pos + span) % self.period.value();
+                    rem -= span;
+                    advanced = true;
+                    break;
+                }
+                acc += p.duration.value();
+            }
+            if !advanced {
+                pos = 0.0;
+            }
+        }
+        Joules::new(energy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load() -> DutyCycledLoad {
+        DutyCycledLoad::typical_sensor_node().unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(DutyCycledLoad::new(vec![]).is_err());
+        assert!(LoadPhase::new("x", Watts::new(-1.0), Seconds::new(1.0)).is_err());
+        assert!(LoadPhase::new("x", Watts::new(1.0), Seconds::ZERO).is_err());
+    }
+
+    #[test]
+    fn period_is_sum_of_phases() {
+        let l = load();
+        assert!((l.period().value() - 30.055).abs() < 1e-9);
+        assert_eq!(l.phases().len(), 3);
+    }
+
+    #[test]
+    fn power_at_phase_boundaries() {
+        let l = load();
+        assert_eq!(l.power_at(Seconds::new(1.0)), Watts::from_micro(5.0));
+        assert_eq!(l.power_at(Seconds::new(30.01)), Watts::from_milli(3.0));
+        assert_eq!(l.power_at(Seconds::new(30.052)), Watts::from_milli(60.0));
+        // Next cycle folds back to sleep.
+        assert_eq!(l.power_at(Seconds::new(30.06)), Watts::from_micro(5.0));
+    }
+
+    #[test]
+    fn average_power() {
+        let l = load();
+        let expect = (5e-6 * 30.0 + 3e-3 * 0.05 + 60e-3 * 0.005) / 30.055;
+        assert!((l.average_power().value() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_demand_full_cycles() {
+        let l = load();
+        let one_cycle = l.energy_demand(Seconds::ZERO, l.period());
+        let expect = l.average_power().value() * l.period().value();
+        assert!((one_cycle.value() - expect).abs() < 1e-9);
+        let ten = l.energy_demand(Seconds::ZERO, l.period() * 10.0);
+        assert!((ten.value() - 10.0 * expect).abs() < 1e-8);
+    }
+
+    #[test]
+    fn energy_demand_partial_phase() {
+        let l = load();
+        // 10 s of sleep only.
+        let e = l.energy_demand(Seconds::new(5.0), Seconds::new(10.0));
+        assert!((e.value() - 5e-6 * 10.0).abs() < 1e-12);
+        // Window crossing sense + tx.
+        let e = l.energy_demand(Seconds::new(29.9), Seconds::new(0.2));
+        let expect = 5e-6 * 0.1 + 3e-3 * 0.05 + 60e-3 * 0.005 + 5e-6 * 0.045;
+        assert!((e.value() - expect).abs() < 1e-9, "e = {}", e.value());
+    }
+
+    #[test]
+    fn zero_dt_demand() {
+        assert_eq!(load().energy_demand(Seconds::new(3.0), Seconds::ZERO), Joules::ZERO);
+    }
+}

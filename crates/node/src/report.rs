@@ -1,0 +1,78 @@
+//! Run reports.
+
+use eh_units::{Joules, Ratio, Seconds};
+
+/// Result of a closed-loop node run with one tracker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeReport {
+    /// Tracker name.
+    pub tracker: String,
+    /// Simulated duration.
+    pub duration: Seconds,
+    /// Energy delivered by the converter to the store (before tracker
+    /// overhead).
+    pub gross_energy: Joules,
+    /// Energy the tracker's own electronics consumed.
+    pub overhead_energy: Joules,
+    /// Energy demanded by the node load.
+    pub load_demand: Joules,
+    /// Load energy actually served from the store.
+    pub load_served: Joules,
+    /// Energy left in the store at the end.
+    pub final_store_energy: Joules,
+    /// Number of open-circuit measurement interruptions.
+    pub measurements: u64,
+}
+
+impl NodeReport {
+    /// `gross − overhead`: the tracker's net contribution.
+    pub fn net_energy(&self) -> Joules {
+        Joules::new(self.gross_energy.value() - self.overhead_energy.value())
+    }
+
+    /// Fraction of the load demand that was served.
+    pub fn uptime(&self) -> Ratio {
+        if self.load_demand.value() <= 0.0 {
+            return Ratio::ONE;
+        }
+        Ratio::new((self.load_served.value() / self.load_demand.value()).clamp(0.0, 1.0))
+    }
+
+    /// Whether the tracker produced more than it consumed.
+    pub fn is_net_positive(&self) -> bool {
+        self.net_energy().value() > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(gross: f64, overhead: f64, demand: f64, served: f64) -> NodeReport {
+        NodeReport {
+            tracker: "t".into(),
+            duration: Seconds::from_hours(24.0),
+            gross_energy: Joules::new(gross),
+            overhead_energy: Joules::new(overhead),
+            load_demand: Joules::new(demand),
+            load_served: Joules::new(served),
+            final_store_energy: Joules::ZERO,
+            measurements: 0,
+        }
+    }
+
+    #[test]
+    fn net_and_uptime() {
+        let r = report(10.0, 2.0, 4.0, 3.0);
+        assert_eq!(r.net_energy(), Joules::new(8.0));
+        assert!((r.uptime().value() - 0.75).abs() < 1e-12);
+        assert!(r.is_net_positive());
+    }
+
+    #[test]
+    fn net_negative_tracker() {
+        let r = report(1.0, 5.0, 0.0, 0.0);
+        assert!(!r.is_net_positive());
+        assert_eq!(r.uptime(), Ratio::ONE);
+    }
+}

@@ -1,0 +1,432 @@
+//! Energy stores: supercapacitor and an idealised accumulator.
+
+use eh_units::{Amps, Farads, Joules, Ratio, Seconds, Volts};
+
+use crate::error::NodeError;
+
+/// Something that can absorb and supply harvested energy.
+pub trait EnergyStore {
+    /// Deposits energy; returns the amount actually absorbed (a full
+    /// store absorbs less).
+    fn deposit(&mut self, energy: Joules) -> Joules;
+
+    /// Withdraws up to `energy`; returns the amount actually supplied.
+    fn withdraw(&mut self, energy: Joules) -> Joules;
+
+    /// Applies self-discharge over `dt`.
+    fn leak(&mut self, dt: Seconds);
+
+    /// Usable energy currently stored.
+    fn stored_energy(&self) -> Joules;
+
+    /// Fill level in `[0, 1]` where meaningful.
+    fn state_of_charge(&self) -> Ratio;
+}
+
+/// A supercapacitor store: energy lives in `½CV²` between a minimum
+/// usable voltage and a maximum rated voltage, with a constant leakage
+/// current (the dominant supercap loss at these scales).
+///
+/// ```
+/// use eh_node::{EnergyStore, Supercapacitor};
+/// use eh_units::{Farads, Joules, Volts};
+///
+/// let mut sc = Supercapacitor::new(Farads::new(0.1), Volts::new(5.0), Volts::new(1.8))?;
+/// let absorbed = sc.deposit(Joules::new(0.5));
+/// assert!(absorbed.value() > 0.0);
+/// # Ok::<(), eh_node::NodeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Supercapacitor {
+    capacitance: Farads,
+    v_max: Volts,
+    v_min: Volts,
+    leakage: Amps,
+    voltage: Volts,
+}
+
+impl Supercapacitor {
+    /// Creates a supercapacitor, initially at its minimum usable voltage.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive capacitance or `v_min` not in `(0, v_max)`.
+    pub fn new(capacitance: Farads, v_max: Volts, v_min: Volts) -> Result<Self, NodeError> {
+        if !(capacitance.value().is_finite() && capacitance.value() > 0.0) {
+            return Err(NodeError::InvalidParameter {
+                name: "capacitance",
+                value: capacitance.value(),
+            });
+        }
+        if !(v_min.value() > 0.0 && v_max > v_min) {
+            return Err(NodeError::InvalidParameter {
+                name: "voltage_window",
+                value: v_min.value(),
+            });
+        }
+        Ok(Self {
+            capacitance,
+            v_max,
+            v_min,
+            leakage: Amps::from_micro(2.0),
+            voltage: v_min,
+        })
+    }
+
+    /// Overrides the leakage current (default 2 µA).
+    #[must_use]
+    pub fn with_leakage(mut self, leakage: Amps) -> Self {
+        self.leakage = leakage.max(Amps::ZERO);
+        self
+    }
+
+    /// Starts the capacitor at a given terminal voltage (clamped into the
+    /// usable window) — e.g. a node deployed with a charged store.
+    #[must_use]
+    pub fn with_initial_voltage(mut self, v: Volts) -> Self {
+        self.voltage = v.clamp(self.v_min, self.v_max);
+        self
+    }
+
+    /// The terminal voltage.
+    pub fn voltage(&self) -> Volts {
+        self.voltage
+    }
+
+    /// Usable capacity: `½C(v_max² − v_min²)`.
+    pub fn usable_capacity(&self) -> Joules {
+        Joules::new(
+            0.5 * self.capacitance.value()
+                * (self.v_max.value().powi(2) - self.v_min.value().powi(2)),
+        )
+    }
+
+    fn energy_at(&self, v: Volts) -> f64 {
+        0.5 * self.capacitance.value() * v.value().powi(2)
+    }
+
+    fn voltage_for_energy(&self, e: f64) -> Volts {
+        Volts::new((2.0 * e / self.capacitance.value()).max(0.0).sqrt())
+    }
+}
+
+impl EnergyStore for Supercapacitor {
+    fn deposit(&mut self, energy: Joules) -> Joules {
+        if energy.value() <= 0.0 {
+            return Joules::ZERO;
+        }
+        let now = self.energy_at(self.voltage);
+        let cap = self.energy_at(self.v_max);
+        let absorbed = energy.value().min(cap - now);
+        self.voltage = self.voltage_for_energy(now + absorbed);
+        Joules::new(absorbed)
+    }
+
+    fn withdraw(&mut self, energy: Joules) -> Joules {
+        if energy.value() <= 0.0 {
+            return Joules::ZERO;
+        }
+        let now = self.energy_at(self.voltage);
+        let floor = self.energy_at(self.v_min);
+        let supplied = energy.value().min((now - floor).max(0.0));
+        self.voltage = self.voltage_for_energy(now - supplied);
+        Joules::new(supplied)
+    }
+
+    fn leak(&mut self, dt: Seconds) {
+        if dt.value() <= 0.0 {
+            return;
+        }
+        let dv = (self.leakage * dt) / self.capacitance;
+        self.voltage = (self.voltage - dv).max(Volts::ZERO);
+    }
+
+    fn stored_energy(&self) -> Joules {
+        Joules::new((self.energy_at(self.voltage) - self.energy_at(self.v_min)).max(0.0))
+    }
+
+    fn state_of_charge(&self) -> Ratio {
+        let usable = self.usable_capacity().value();
+        if usable <= 0.0 {
+            return Ratio::ZERO;
+        }
+        Ratio::new((self.stored_energy().value() / usable).clamp(0.0, 1.0))
+    }
+}
+
+/// A small rechargeable battery (LIR-coin-cell / thin-film class):
+/// fixed usable capacity, coulombic charge inefficiency and a slow
+/// relative self-discharge.
+///
+/// ```
+/// use eh_node::{Battery, EnergyStore};
+/// use eh_units::Joules;
+///
+/// let mut b = Battery::new(Joules::new(100.0), 0.9, 0.05)?;
+/// let absorbed = b.deposit(Joules::new(10.0));
+/// assert!((absorbed.value() - 9.0).abs() < 1e-12); // 90 % coulombic
+/// # Ok::<(), eh_node::NodeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Battery {
+    capacity: Joules,
+    charge_efficiency: f64,
+    /// Fraction of the stored energy lost per month to self-discharge.
+    self_discharge_per_month: f64,
+    level: f64,
+}
+
+impl Battery {
+    /// Creates an empty battery.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive capacity, charge efficiency outside `(0, 1]`
+    /// or self-discharge outside `[0, 1)`.
+    pub fn new(
+        capacity: Joules,
+        charge_efficiency: f64,
+        self_discharge_per_month: f64,
+    ) -> Result<Self, NodeError> {
+        if !(capacity.value().is_finite() && capacity.value() > 0.0) {
+            return Err(NodeError::InvalidParameter {
+                name: "capacity",
+                value: capacity.value(),
+            });
+        }
+        if !(charge_efficiency > 0.0 && charge_efficiency <= 1.0) {
+            return Err(NodeError::InvalidParameter {
+                name: "charge_efficiency",
+                value: charge_efficiency,
+            });
+        }
+        if !(0.0..1.0).contains(&self_discharge_per_month) {
+            return Err(NodeError::InvalidParameter {
+                name: "self_discharge_per_month",
+                value: self_discharge_per_month,
+            });
+        }
+        Ok(Self {
+            capacity,
+            charge_efficiency,
+            self_discharge_per_month,
+            level: 0.0,
+        })
+    }
+
+    /// Starts the battery at a given state of charge in `[0, 1]`.
+    #[must_use]
+    pub fn with_state_of_charge(mut self, soc: f64) -> Self {
+        self.level = self.capacity.value() * soc.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The rated capacity.
+    pub fn capacity(&self) -> Joules {
+        self.capacity
+    }
+}
+
+impl EnergyStore for Battery {
+    fn deposit(&mut self, energy: Joules) -> Joules {
+        if energy.value() <= 0.0 {
+            return Joules::ZERO;
+        }
+        let absorbed = (energy.value() * self.charge_efficiency)
+            .min(self.capacity.value() - self.level);
+        self.level += absorbed;
+        Joules::new(absorbed)
+    }
+
+    fn withdraw(&mut self, energy: Joules) -> Joules {
+        if energy.value() <= 0.0 {
+            return Joules::ZERO;
+        }
+        let supplied = energy.value().min(self.level);
+        self.level -= supplied;
+        Joules::new(supplied)
+    }
+
+    fn leak(&mut self, dt: Seconds) {
+        if dt.value() <= 0.0 || self.self_discharge_per_month <= 0.0 {
+            return;
+        }
+        const MONTH: f64 = 30.0 * 86_400.0;
+        let keep = (1.0 - self.self_discharge_per_month).powf(dt.value() / MONTH);
+        self.level *= keep;
+    }
+
+    fn stored_energy(&self) -> Joules {
+        Joules::new(self.level)
+    }
+
+    fn state_of_charge(&self) -> Ratio {
+        Ratio::new((self.level / self.capacity.value()).clamp(0.0, 1.0))
+    }
+}
+
+/// An idealised store: infinite capacity, no leakage, never empty-limited
+/// below zero. Used for pure tracker comparisons where storage artefacts
+/// would muddy the metric.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IdealStore {
+    energy: f64,
+}
+
+impl IdealStore {
+    /// Creates an empty ideal store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl EnergyStore for IdealStore {
+    fn deposit(&mut self, energy: Joules) -> Joules {
+        if energy.value() <= 0.0 {
+            return Joules::ZERO;
+        }
+        self.energy += energy.value();
+        energy
+    }
+
+    fn withdraw(&mut self, energy: Joules) -> Joules {
+        if energy.value() <= 0.0 {
+            return Joules::ZERO;
+        }
+        let supplied = energy.value().min(self.energy.max(0.0));
+        self.energy -= supplied;
+        Joules::new(supplied)
+    }
+
+    fn leak(&mut self, _dt: Seconds) {}
+
+    fn stored_energy(&self) -> Joules {
+        Joules::new(self.energy.max(0.0))
+    }
+
+    fn state_of_charge(&self) -> Ratio {
+        Ratio::ONE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sc() -> Supercapacitor {
+        Supercapacitor::new(Farads::new(0.1), Volts::new(5.0), Volts::new(1.8)).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Supercapacitor::new(Farads::ZERO, Volts::new(5.0), Volts::new(1.8)).is_err());
+        assert!(Supercapacitor::new(Farads::new(0.1), Volts::new(1.0), Volts::new(1.8)).is_err());
+        assert!(Supercapacitor::new(Farads::new(0.1), Volts::new(5.0), Volts::ZERO).is_err());
+    }
+
+    #[test]
+    fn deposit_withdraw_round_trip() {
+        let mut s = sc();
+        assert_eq!(s.stored_energy(), Joules::ZERO);
+        let put = s.deposit(Joules::new(0.4));
+        assert_eq!(put, Joules::new(0.4));
+        let got = s.withdraw(Joules::new(0.4));
+        assert!((got.value() - 0.4).abs() < 1e-12);
+        assert!(s.stored_energy().value() < 1e-12);
+    }
+
+    #[test]
+    fn clamps_at_full_and_empty() {
+        let mut s = sc();
+        let cap = s.usable_capacity();
+        let absorbed = s.deposit(Joules::new(100.0));
+        assert!((absorbed.value() - cap.value()).abs() < 1e-9);
+        assert!((s.voltage().value() - 5.0).abs() < 1e-9);
+        assert_eq!(s.state_of_charge(), Ratio::ONE);
+        // Can't pull below v_min.
+        let got = s.withdraw(Joules::new(1000.0));
+        assert!((got.value() - cap.value()).abs() < 1e-9);
+        assert!((s.voltage().value() - 1.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leakage_drains() {
+        let mut s = sc();
+        s.deposit(Joules::new(0.5));
+        let before = s.voltage();
+        s.leak(Seconds::from_hours(1.0));
+        // 2 µA for 1 h on 0.1 F: ΔV = 72 mV.
+        assert!((before - s.voltage()).value() - 0.072 < 1e-6);
+    }
+
+    #[test]
+    fn usable_capacity_formula() {
+        let s = sc();
+        let expect = 0.5 * 0.1 * (25.0 - 3.24);
+        assert!((s.usable_capacity().value() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ideal_store_semantics() {
+        let mut s = IdealStore::new();
+        s.deposit(Joules::new(2.0));
+        assert_eq!(s.stored_energy(), Joules::new(2.0));
+        let got = s.withdraw(Joules::new(5.0));
+        assert_eq!(got, Joules::new(2.0));
+        assert_eq!(s.stored_energy(), Joules::ZERO);
+        s.leak(Seconds::from_hours(10.0));
+        assert_eq!(s.state_of_charge(), Ratio::ONE);
+    }
+
+    #[test]
+    fn negative_amounts_ignored() {
+        let mut s = sc();
+        assert_eq!(s.deposit(Joules::new(-1.0)), Joules::ZERO);
+        assert_eq!(s.withdraw(Joules::new(-1.0)), Joules::ZERO);
+    }
+
+    #[test]
+    fn battery_validation() {
+        assert!(Battery::new(Joules::ZERO, 0.9, 0.05).is_err());
+        assert!(Battery::new(Joules::new(10.0), 0.0, 0.05).is_err());
+        assert!(Battery::new(Joules::new(10.0), 1.2, 0.05).is_err());
+        assert!(Battery::new(Joules::new(10.0), 0.9, 1.0).is_err());
+    }
+
+    #[test]
+    fn battery_coulombic_loss_and_capacity_clamp() {
+        let mut b = Battery::new(Joules::new(10.0), 0.8, 0.0).unwrap();
+        let absorbed = b.deposit(Joules::new(5.0));
+        assert!((absorbed.value() - 4.0).abs() < 1e-12);
+        // Fill it up; only the remaining 6 J of headroom can be absorbed.
+        let absorbed = b.deposit(Joules::new(100.0));
+        assert!((absorbed.value() - 6.0).abs() < 1e-12);
+        assert_eq!(b.state_of_charge(), Ratio::ONE);
+        // Discharge has no extra loss.
+        assert_eq!(b.withdraw(Joules::new(4.0)), Joules::new(4.0));
+    }
+
+    #[test]
+    fn battery_self_discharge_monthly() {
+        let mut b = Battery::new(Joules::new(100.0), 1.0, 0.10)
+            .unwrap()
+            .with_state_of_charge(1.0);
+        b.leak(Seconds::new(30.0 * 86_400.0));
+        assert!((b.stored_energy().value() - 90.0).abs() < 1e-6);
+        // Half a month loses about half the monthly fraction (compounded).
+        let mut c = Battery::new(Joules::new(100.0), 1.0, 0.10)
+            .unwrap()
+            .with_state_of_charge(1.0);
+        c.leak(Seconds::new(15.0 * 86_400.0));
+        assert!(c.stored_energy().value() > 94.0 && c.stored_energy().value() < 96.0);
+    }
+
+    #[test]
+    fn battery_initial_soc_clamped() {
+        let b = Battery::new(Joules::new(50.0), 1.0, 0.0)
+            .unwrap()
+            .with_state_of_charge(1.7);
+        assert_eq!(b.stored_energy(), Joules::new(50.0));
+        assert_eq!(b.capacity(), Joules::new(50.0));
+    }
+}

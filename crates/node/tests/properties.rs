@@ -1,0 +1,98 @@
+//! Property-based tests on the closed-loop node engine.
+
+use eh_core::baselines::{FocvSampleHold, Oracle};
+use eh_env::profiles;
+use eh_node::{EnergyStore, IdealStore, NodeSimulation, SimConfig, Supercapacitor};
+use eh_pv::presets;
+use eh_units::{Farads, Joules, Lux, Seconds, Volts};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Gross energy and overhead are non-negative; uptime is a valid
+    /// fraction; with no load the demand is zero.
+    #[test]
+    fn report_sanity(lux in 0.0..20_000.0f64, minutes in 2.0..30.0f64) {
+        let trace = profiles::constant(Lux::new(lux), Seconds::from_minutes(minutes));
+        let mut sim = NodeSimulation::new(SimConfig::default_for(presets::sanyo_am1815()))
+            .expect("valid config");
+        let mut tracker = FocvSampleHold::paper_prototype().expect("valid tracker");
+        let report = sim.run(&mut tracker, &trace, Seconds::new(1.0)).expect("run succeeds");
+        prop_assert!(report.gross_energy.value() >= 0.0);
+        prop_assert!(report.overhead_energy.value() > 0.0);
+        prop_assert_eq!(report.load_demand, Joules::ZERO);
+        let u = report.uptime().value();
+        prop_assert!((0.0..=1.0).contains(&u));
+    }
+
+    /// The oracle's gross harvest dominates the FOCV tracker's on the
+    /// same scenario (it is the upper bound by construction).
+    #[test]
+    fn oracle_dominates(lux in 100.0..10_000.0f64) {
+        let trace = profiles::constant(Lux::new(lux), Seconds::from_minutes(10.0));
+        let run = |tracker: &mut dyn eh_core::MpptController| {
+            NodeSimulation::new(SimConfig::default_for(presets::sanyo_am1815()))
+                .expect("valid config")
+                .run(tracker, &trace, Seconds::new(1.0))
+                .expect("run succeeds")
+        };
+        let focv = run(&mut FocvSampleHold::paper_prototype().expect("valid tracker"));
+        let oracle = run(&mut Oracle::new(presets::sanyo_am1815()));
+        prop_assert!(oracle.gross_energy.value() >= focv.gross_energy.value() - 1e-12);
+    }
+
+    /// Harvest scales (sub-)linearly with illuminance: more light never
+    /// yields less gross energy.
+    #[test]
+    fn gross_monotone_in_light(lux in 100.0..5_000.0f64, factor in 1.2..4.0f64) {
+        let run = |l: f64| {
+            let trace = profiles::constant(Lux::new(l), Seconds::from_minutes(10.0));
+            NodeSimulation::new(SimConfig::default_for(presets::sanyo_am1815()))
+                .expect("valid config")
+                .run(
+                    &mut FocvSampleHold::paper_prototype().expect("valid tracker"),
+                    &trace,
+                    Seconds::new(1.0),
+                )
+                .expect("run succeeds")
+                .gross_energy
+        };
+        prop_assert!(run(lux * factor).value() >= run(lux).value());
+    }
+
+    /// A supercapacitor store conserves energy: what went in minus what
+    /// came out (and leaked) equals what remains, within tolerance.
+    #[test]
+    fn supercap_conservation(deposits in proptest::collection::vec(0.0..0.2f64, 1..20)) {
+        let mut sc = Supercapacitor::new(Farads::new(0.1), Volts::new(5.0), Volts::new(1.8))
+            .expect("valid supercap")
+            .with_leakage(eh_units::Amps::ZERO);
+        let mut in_total = 0.0;
+        let mut out_total = 0.0;
+        for (n, d) in deposits.iter().enumerate() {
+            if n % 3 == 2 {
+                out_total += sc.withdraw(Joules::new(*d)).value();
+            } else {
+                in_total += sc.deposit(Joules::new(*d)).value();
+            }
+        }
+        let remaining = sc.stored_energy().value();
+        prop_assert!((in_total - out_total - remaining).abs() < 1e-9,
+            "in {in_total} out {out_total} left {remaining}");
+    }
+
+    /// IdealStore round-trips exactly.
+    #[test]
+    fn ideal_store_round_trip(amounts in proptest::collection::vec(0.0..10.0f64, 1..20)) {
+        let mut store = IdealStore::new();
+        let mut balance = 0.0;
+        for a in amounts {
+            store.deposit(Joules::new(a));
+            balance += a;
+        }
+        let got = store.withdraw(Joules::new(balance * 2.0));
+        prop_assert!((got.value() - balance).abs() < 1e-9);
+        prop_assert_eq!(store.stored_energy(), Joules::ZERO);
+    }
+}

@@ -1,0 +1,185 @@
+//! A PV cell bound to an operating temperature.
+
+use eh_units::{Amps, Kelvin, Lux, Volts, Watts};
+
+use crate::curve::IvCurve;
+use crate::error::PvError;
+use crate::model::SingleDiodeModel;
+use crate::mpp::{solve_mpp, MppPoint};
+
+/// A photovoltaic cell: a [`SingleDiodeModel`] at a specific operating
+/// temperature, exposing the quantities the MPPT system interacts with.
+///
+/// ```
+/// use eh_pv::presets;
+/// use eh_units::{Celsius, Lux, Volts};
+///
+/// let cell = presets::sanyo_am1815().with_temperature(Celsius::new(21.0));
+/// let i = cell.current_at(Volts::new(3.0), Lux::new(200.0))?;
+/// assert!(i.as_micro() > 30.0);
+/// # Ok::<(), eh_pv::PvError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PvCell {
+    model: SingleDiodeModel,
+    temperature: Kelvin,
+}
+
+impl PvCell {
+    /// Creates a cell at the standard 25 °C reference temperature.
+    pub fn new(model: SingleDiodeModel) -> Self {
+        Self {
+            model,
+            temperature: Kelvin::STC,
+        }
+    }
+
+    /// Returns a copy of this cell at a different operating temperature.
+    #[must_use]
+    pub fn with_temperature(mut self, t: impl Into<Kelvin>) -> Self {
+        self.temperature = t.into();
+        self
+    }
+
+    /// The underlying electrical model.
+    pub fn model(&self) -> &SingleDiodeModel {
+        &self.model
+    }
+
+    /// The cell's display name.
+    pub fn name(&self) -> &str {
+        self.model.name()
+    }
+
+    /// The operating temperature.
+    pub fn temperature(&self) -> Kelvin {
+        self.temperature
+    }
+
+    /// Terminal current at terminal voltage `v` under `lux` illuminance.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for negative `v` or `lux`, or if the implicit
+    /// solve fails.
+    pub fn current_at(&self, v: Volts, lux: Lux) -> Result<Amps, PvError> {
+        self.model.current_at(v, lux, self.temperature)
+    }
+
+    /// Output power at terminal voltage `v`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`PvCell::current_at`].
+    pub fn power_at(&self, v: Volts, lux: Lux) -> Result<Watts, PvError> {
+        Ok(v * self.current_at(v, lux)?)
+    }
+
+    /// Terminal voltage at which the cell carries current `i` (inverse
+    /// of [`PvCell::current_at`]; negative result means the cell cannot
+    /// support the current).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn voltage_at_current(&self, i: Amps, lux: Lux) -> Result<Volts, PvError> {
+        self.model.voltage_at_current(i, lux, self.temperature)
+    }
+
+    /// Open-circuit voltage (the quantity the paper's PULSE samples).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for negative illuminance.
+    pub fn open_circuit_voltage(&self, lux: Lux) -> Result<Volts, PvError> {
+        self.model.open_circuit_voltage(lux, self.temperature)
+    }
+
+    /// Short-circuit current.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn short_circuit_current(&self, lux: Lux) -> Result<Amps, PvError> {
+        self.model.short_circuit_current(lux, self.temperature)
+    }
+
+    /// Solves the maximum power point at the given illuminance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn mpp(&self, lux: Lux) -> Result<MppPoint, PvError> {
+        solve_mpp(&self.model, lux, self.temperature)
+    }
+
+    /// Samples the I-V curve with `points` equally spaced voltage steps
+    /// from 0 to `Voc` (this is what Fig. 1 of the paper plots).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PvError::InvalidParameter`] if `points < 2`, otherwise
+    /// propagates solver errors.
+    pub fn iv_curve(&self, lux: Lux, points: usize) -> Result<IvCurve, PvError> {
+        IvCurve::sample(self, lux, points)
+    }
+}
+
+impl From<SingleDiodeModel> for PvCell {
+    fn from(model: SingleDiodeModel) -> Self {
+        Self::new(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eh_units::Celsius;
+    use crate::presets;
+
+    #[test]
+    fn temperature_is_configurable() {
+        let cell = presets::sanyo_am1815();
+        assert_eq!(cell.temperature(), Kelvin::STC);
+        let warm = cell.clone().with_temperature(Celsius::new(40.0));
+        assert!((warm.temperature().value() - 313.15).abs() < 1e-9);
+        // Warmer cell, lower Voc.
+        let voc_cold = cell.open_circuit_voltage(Lux::new(1000.0)).unwrap();
+        let voc_warm = warm.open_circuit_voltage(Lux::new(1000.0)).unwrap();
+        assert!(voc_warm < voc_cold);
+    }
+
+    #[test]
+    fn power_is_v_times_i() {
+        let cell = presets::sanyo_am1815();
+        let v = Volts::new(2.5);
+        let lux = Lux::new(700.0);
+        let p = cell.power_at(v, lux).unwrap();
+        let i = cell.current_at(v, lux).unwrap();
+        assert!((p.value() - v.value() * i.value()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn from_model_conversion() {
+        let cell: PvCell = presets::sanyo_am1815().model().clone().into();
+        assert_eq!(cell.name(), "SANYO Amorton AM-1815");
+    }
+
+    #[test]
+    fn paper_mpp_operating_point_at_200_lux() {
+        // §IV-A: "the AM-1815 cell's MPP current and voltage of 42 µA and
+        // 3.0 V" (under 200 lux).
+        let cell = presets::sanyo_am1815();
+        let mpp = cell.mpp(Lux::new(200.0)).unwrap();
+        assert!(
+            (mpp.current.as_micro() - 42.0).abs() < 2.0,
+            "Impp = {}",
+            mpp.current
+        );
+        assert!(
+            (mpp.voltage.value() - 3.0).abs() < 0.2,
+            "Vmpp = {}",
+            mpp.voltage
+        );
+    }
+}

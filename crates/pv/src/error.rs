@@ -1,0 +1,75 @@
+//! Error type for PV model evaluation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by PV model solvers and constructors.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PvError {
+    /// A model parameter was non-physical (negative, zero where a positive
+    /// value is required, or NaN). The payload names the parameter.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// An implicit-equation solve failed to bracket or converge on a root.
+    SolveFailed {
+        /// Which solve failed (e.g. `"current"`, `"voc"`).
+        what: &'static str,
+    },
+    /// The requested operating point is outside the model's valid range.
+    OutOfRange {
+        /// Description of the violated bound.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for PvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PvError::InvalidParameter { name, value } => {
+                write!(f, "invalid PV model parameter {name} = {value}")
+            }
+            PvError::SolveFailed { what } => {
+                write!(f, "PV {what} solve failed to converge")
+            }
+            PvError::OutOfRange { what, value } => {
+                write!(f, "operating point out of range: {what} = {value}")
+            }
+        }
+    }
+}
+
+impl Error for PvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = PvError::InvalidParameter {
+            name: "series_resistance",
+            value: -1.0,
+        };
+        assert_eq!(e.to_string(), "invalid PV model parameter series_resistance = -1");
+        let e = PvError::SolveFailed { what: "voc" };
+        assert_eq!(e.to_string(), "PV voc solve failed to converge");
+        let e = PvError::OutOfRange {
+            what: "illuminance",
+            value: -5.0,
+        };
+        assert!(e.to_string().contains("illuminance"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<PvError>();
+    }
+}

@@ -1,0 +1,162 @@
+//! Spectral mismatch between cell technologies and light sources.
+//!
+//! A lux meter weighs radiation by the human photopic curve; a PV cell
+//! weighs it by its own spectral response. The two disagree, and they
+//! disagree *differently per source*: amorphous silicon responds in the
+//! visible band (well matched to fluorescent light and the eye), while
+//! crystalline silicon draws most of its current from near-infrared that
+//! the lux meter never sees. This is the quantitative core of the
+//! paper's mixed-lighting scenario — a cell calibrated in lux under one
+//! source produces a different photocurrent per lux under another, which
+//! is precisely what breaks lux-proxy trackers (AmbiMax-style
+//! photodetectors) and fixed-voltage tuning, and what the paper's
+//! direct-Voc sampling is immune to.
+//!
+//! Factors are normalised to fluorescent light (the indoor calibration
+//! standard the paper's Table I lamps approximate): `factor = 1.0` means
+//! "same photocurrent per lux as under fluorescent light".
+
+use eh_units::{Lux, Ratio};
+
+use crate::irradiance::LightSource;
+
+/// PV cell technology, as far as spectral response is concerned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum CellTechnology {
+    /// Amorphous silicon: visible-band response, well matched to the eye
+    /// (the paper's cells).
+    #[default]
+    AmorphousSilicon,
+    /// Crystalline silicon: response extends deep into the near-infrared.
+    CrystallineSilicon,
+}
+
+/// Photocurrent-per-lux factor of a technology under a source, relative
+/// to fluorescent light.
+///
+/// The values are representative of published spectral-response data:
+/// a-Si sees slightly more usable photons per lux from broadband
+/// daylight, slightly more from phosphor LEDs, and substantially fewer
+/// from incandescent light (whose lux is produced by the thin visible
+/// tail of a deep-red spectrum a-Si only partially covers). c-Si gains
+/// enormously wherever near-infrared is present — daylight and
+/// especially incandescent light.
+///
+/// ```
+/// use eh_pv::spectrum::{spectral_factor, CellTechnology};
+/// use eh_pv::LightSource;
+///
+/// let asi_inc = spectral_factor(CellTechnology::AmorphousSilicon, LightSource::Incandescent);
+/// let csi_inc = spectral_factor(CellTechnology::CrystallineSilicon, LightSource::Incandescent);
+/// assert!(asi_inc.value() < 1.0);
+/// assert!(csi_inc.value() > 1.5);
+/// ```
+pub fn spectral_factor(tech: CellTechnology, source: LightSource) -> Ratio {
+    let f = match (tech, source) {
+        (CellTechnology::AmorphousSilicon, LightSource::Fluorescent) => 1.0,
+        (CellTechnology::AmorphousSilicon, LightSource::Daylight) => 1.1,
+        (CellTechnology::AmorphousSilicon, LightSource::Led) => 1.05,
+        (CellTechnology::AmorphousSilicon, LightSource::Incandescent) => 0.65,
+        (CellTechnology::CrystallineSilicon, LightSource::Fluorescent) => 1.0,
+        (CellTechnology::CrystallineSilicon, LightSource::Daylight) => 1.6,
+        (CellTechnology::CrystallineSilicon, LightSource::Led) => 1.1,
+        (CellTechnology::CrystallineSilicon, LightSource::Incandescent) => 2.6,
+    };
+    Ratio::new(f)
+}
+
+/// The illuminance that produces the same photocurrent under the
+/// calibration (fluorescent) source — feed this to a lux-calibrated
+/// [`crate::PvCell`] to evaluate it under a different source.
+///
+/// ```
+/// use eh_pv::spectrum::{effective_illuminance, CellTechnology};
+/// use eh_pv::LightSource;
+/// use eh_units::Lux;
+///
+/// // 500 lux of incandescent light drives an a-Si cell like ~325 lux
+/// // of the fluorescent light it was calibrated under.
+/// let eff = effective_illuminance(
+///     Lux::new(500.0),
+///     CellTechnology::AmorphousSilicon,
+///     LightSource::Incandescent,
+/// );
+/// assert!((eff.value() - 325.0).abs() < 1.0);
+/// ```
+pub fn effective_illuminance(lux: Lux, tech: CellTechnology, source: LightSource) -> Lux {
+    lux * spectral_factor(tech, source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn fluorescent_is_the_reference() {
+        for tech in [
+            CellTechnology::AmorphousSilicon,
+            CellTechnology::CrystallineSilicon,
+        ] {
+            assert_eq!(
+                spectral_factor(tech, LightSource::Fluorescent),
+                Ratio::new(1.0)
+            );
+        }
+    }
+
+    #[test]
+    fn asi_dislikes_incandescent_csi_loves_it() {
+        let asi = spectral_factor(CellTechnology::AmorphousSilicon, LightSource::Incandescent);
+        let csi = spectral_factor(
+            CellTechnology::CrystallineSilicon,
+            LightSource::Incandescent,
+        );
+        assert!(asi.value() < 0.8);
+        assert!(csi.value() > 2.0);
+    }
+
+    #[test]
+    fn default_technology_is_amorphous() {
+        assert_eq!(CellTechnology::default(), CellTechnology::AmorphousSilicon);
+    }
+
+    #[test]
+    fn effective_illuminance_scales() {
+        let e = effective_illuminance(
+            Lux::new(1000.0),
+            CellTechnology::AmorphousSilicon,
+            LightSource::Daylight,
+        );
+        assert!((e.value() - 1100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn source_change_shifts_the_operating_point() {
+        // The same metered 500 lux from different sources puts the
+        // AM-1815's MPP at visibly different voltages — the reason a
+        // lux-proxy tracker mis-aims when the lighting type changes.
+        let cell = presets::sanyo_am1815();
+        let metered = Lux::new(500.0);
+        let mpp_fluo = cell
+            .mpp(effective_illuminance(
+                metered,
+                CellTechnology::AmorphousSilicon,
+                LightSource::Fluorescent,
+            ))
+            .unwrap();
+        let mpp_inc = cell
+            .mpp(effective_illuminance(
+                metered,
+                CellTechnology::AmorphousSilicon,
+                LightSource::Incandescent,
+            ))
+            .unwrap();
+        assert!(
+            mpp_inc.power < mpp_fluo.power,
+            "incandescent lux is worth less to a-Si"
+        );
+        assert!(mpp_inc.open_circuit_voltage < mpp_fluo.open_circuit_voltage);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests on the PV model invariants.
+
+use eh_pv::presets;
+use eh_units::{Celsius, Lux, Volts};
+use proptest::prelude::*;
+
+fn lux_range() -> impl Strategy<Value = f64> {
+    10.0..100_000.0f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// I(V) is strictly decreasing in V for any illuminance.
+    #[test]
+    fn current_monotone_in_voltage(lux in lux_range(), v in 0.0..5.0f64, dv in 0.01..1.0f64) {
+        let cell = presets::sanyo_am1815();
+        let lux = Lux::new(lux);
+        let i1 = cell.current_at(Volts::new(v), lux).unwrap().value();
+        let i2 = cell.current_at(Volts::new(v + dv), lux).unwrap().value();
+        prop_assert!(i2 < i1, "I({}) = {i2} !< I({v}) = {i1}", v + dv);
+    }
+
+    /// More light, more short-circuit current.
+    #[test]
+    fn isc_monotone_in_lux(lux in 10.0..50_000.0f64, factor in 1.1..5.0f64) {
+        let cell = presets::sanyo_am1815();
+        let i1 = cell.short_circuit_current(Lux::new(lux)).unwrap();
+        let i2 = cell.short_circuit_current(Lux::new(lux * factor)).unwrap();
+        prop_assert!(i2 > i1);
+    }
+
+    /// More light, higher open-circuit voltage.
+    #[test]
+    fn voc_monotone_in_lux(lux in 10.0..50_000.0f64, factor in 1.1..5.0f64) {
+        let cell = presets::sanyo_am1815();
+        let v1 = cell.open_circuit_voltage(Lux::new(lux)).unwrap();
+        let v2 = cell.open_circuit_voltage(Lux::new(lux * factor)).unwrap();
+        prop_assert!(v2 > v1);
+    }
+
+    /// The MPP is interior and its power bounds the power at any other
+    /// sampled voltage.
+    #[test]
+    fn mpp_is_global_max(lux in lux_range(), frac in 0.0..1.0f64) {
+        let cell = presets::sanyo_am1815();
+        let lux = Lux::new(lux);
+        let mpp = cell.mpp(lux).unwrap();
+        let v = mpp.open_circuit_voltage * frac;
+        let p = cell.power_at(v, lux).unwrap();
+        prop_assert!(p.value() <= mpp.power.value() * (1.0 + 1e-9));
+    }
+
+    /// The FOCV factor stays inside a physically sensible band across the
+    /// full operating envelope (intensity and temperature).
+    #[test]
+    fn focv_factor_banded(lux in 50.0..50_000.0f64, temp_c in 0.0..50.0f64) {
+        let cell = presets::sanyo_am1815().with_temperature(Celsius::new(temp_c));
+        let k = cell.mpp(Lux::new(lux)).unwrap().focv_factor().value();
+        prop_assert!((0.4..0.9).contains(&k), "k = {k}");
+    }
+
+    /// Power at Voc and at 0 V is (near) zero; power inside is positive.
+    #[test]
+    fn power_endpoints(lux in lux_range()) {
+        let cell = presets::sanyo_am1815();
+        let lux = Lux::new(lux);
+        let voc = cell.open_circuit_voltage(lux).unwrap();
+        let p_voc = cell.power_at(voc, lux).unwrap();
+        prop_assert!(p_voc.value().abs() < 1e-7);
+        let p_mid = cell.power_at(voc * 0.5, lux).unwrap();
+        prop_assert!(p_mid.value() > 0.0);
+    }
+
+    /// Solved Voc is consistent with the zero crossing of I(V).
+    #[test]
+    fn voc_consistency(lux in lux_range()) {
+        let cell = presets::sanyo_am1815();
+        let lux = Lux::new(lux);
+        let voc = cell.open_circuit_voltage(lux).unwrap();
+        let i = cell.current_at(voc, lux).unwrap();
+        prop_assert!(i.value().abs() < 1e-8, "I(Voc) = {}", i.value());
+    }
+}

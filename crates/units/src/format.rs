@@ -1,0 +1,114 @@
+//! SI-prefixed formatting of raw values.
+
+/// Formats `value` with an SI prefix and the given unit symbol.
+///
+/// The mantissa is printed with up to four significant digits and
+/// trailing zeros trimmed, matching the precision the paper reports
+/// (e.g. `4.978 V`, `7.6 µA`, `39 ms`).
+///
+/// # Examples
+///
+/// ```
+/// use eh_units::format_si;
+/// assert_eq!(format_si(7.6e-6, "A"), "7.6 µA");
+/// assert_eq!(format_si(0.039, "s"), "39 ms");
+/// assert_eq!(format_si(0.0, "V"), "0 V");
+/// assert_eq!(format_si(-2.5e6, "Ω"), "-2.5 MΩ");
+/// ```
+pub fn format_si(value: f64, symbol: &str) -> String {
+    if value == 0.0 {
+        return format!("0 {symbol}");
+    }
+    if !value.is_finite() {
+        return format!("{value} {symbol}");
+    }
+    const PREFIXES: [(f64, &str); 9] = [
+        (1e12, "T"),
+        (1e9, "G"),
+        (1e6, "M"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "µ"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+    ];
+    let mag = value.abs();
+    let (scale, prefix) = PREFIXES
+        .iter()
+        .find(|(s, _)| mag >= *s * 0.9995)
+        .copied()
+        .unwrap_or((1e-12, "p"));
+    let scaled = value / scale;
+    let mut s = format!("{scaled:.4}");
+    // Trim to at most 4 significant digits, then trailing zeros.
+    if let Some(dot) = s.find('.') {
+        let int_part = s[..dot].trim_start_matches('-');
+        // A bare leading zero is not a significant digit.
+        let int_digits = if int_part == "0" { 0 } else { int_part.len() };
+        let keep = 4usize.saturating_sub(int_digits);
+        let end = dot + if keep == 0 { 0 } else { keep + 1 };
+        if end < s.len() {
+            s.truncate(end);
+        }
+        if s.contains('.') {
+            while s.ends_with('0') {
+                s.pop();
+            }
+            if s.ends_with('.') {
+                s.pop();
+            }
+        }
+    }
+    format!("{s} {prefix}{symbol}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_units() {
+        assert_eq!(format_si(3.3, "V"), "3.3 V");
+        assert_eq!(format_si(1.0, "V"), "1 V");
+        assert_eq!(format_si(4.978, "V"), "4.978 V");
+    }
+
+    #[test]
+    fn small_values() {
+        assert_eq!(format_si(42e-6, "A"), "42 µA");
+        assert_eq!(format_si(1.58e-12, "A"), "1.58 pA");
+        assert_eq!(format_si(100e-9, "F"), "100 nF");
+        assert_eq!(format_si(12.7e-3, "V"), "12.7 mV");
+    }
+
+    #[test]
+    fn large_values() {
+        assert_eq!(format_si(10e6, "Ω"), "10 MΩ");
+        assert_eq!(format_si(4.7e3, "Ω"), "4.7 kΩ");
+        assert_eq!(format_si(2.5e9, "Hz"), "2.5 GHz");
+    }
+
+    #[test]
+    fn negatives_and_zero() {
+        assert_eq!(format_si(0.0, "W"), "0 W");
+        assert_eq!(format_si(-39e-3, "s"), "-39 ms");
+    }
+
+    #[test]
+    fn sub_pico_clamps_to_pico() {
+        assert_eq!(format_si(5e-15, "A"), "0.005 pA");
+    }
+
+    #[test]
+    fn rounding_boundary() {
+        // 0.9996 m rounds up into the base band rather than printing 999.6 m.
+        assert_eq!(format_si(0.9996, "V"), "0.9996 V");
+        assert_eq!(format_si(999.4, "V"), "999.4 V");
+    }
+
+    #[test]
+    fn non_finite() {
+        assert_eq!(format_si(f64::INFINITY, "V"), "inf V");
+    }
+}

@@ -1,0 +1,201 @@
+//! Cross-unit arithmetic: the physically meaningful products and quotients.
+
+use std::ops::{Div, Mul};
+
+use crate::quantity::{Amps, Coulombs, Farads, Hertz, Joules, Lux, Ohms, Ratio, Seconds, Volts, Watts};
+
+/// Defines `Lhs * Rhs = Out` together with the commuted form.
+macro_rules! product {
+    ($lhs:ty, $rhs:ty, $out:ty) => {
+        impl Mul<$rhs> for $lhs {
+            type Output = $out;
+            #[inline]
+            fn mul(self, rhs: $rhs) -> $out {
+                <$out>::new(self.value() * rhs.value())
+            }
+        }
+
+        impl Mul<$lhs> for $rhs {
+            type Output = $out;
+            #[inline]
+            fn mul(self, rhs: $lhs) -> $out {
+                <$out>::new(self.value() * rhs.value())
+            }
+        }
+    };
+}
+
+/// Defines `Num / Den = Out`.
+macro_rules! quotient {
+    ($num:ty, $den:ty, $out:ty) => {
+        impl Div<$den> for $num {
+            type Output = $out;
+            #[inline]
+            fn div(self, rhs: $den) -> $out {
+                <$out>::new(self.value() / rhs.value())
+            }
+        }
+    };
+}
+
+// Power and energy.
+product!(Volts, Amps, Watts); // P = V·I
+product!(Watts, Seconds, Joules); // E = P·t
+quotient!(Joules, Seconds, Watts); // P = E/t
+quotient!(Joules, Watts, Seconds); // t = E/P
+quotient!(Watts, Volts, Amps); // I = P/V
+quotient!(Watts, Amps, Volts); // V = P/I
+
+// Ohm's law.
+quotient!(Volts, Ohms, Amps); // I = V/R
+quotient!(Volts, Amps, Ohms); // R = V/I
+product!(Amps, Ohms, Volts); // V = I·R
+
+// Charge.
+product!(Amps, Seconds, Coulombs); // Q = I·t
+quotient!(Coulombs, Seconds, Amps); // I = Q/t
+quotient!(Coulombs, Amps, Seconds); // t = Q/I
+quotient!(Coulombs, Volts, Farads); // C = Q/V
+quotient!(Coulombs, Farads, Volts); // V = Q/C
+product!(Farads, Volts, Coulombs); // Q = C·V
+
+// RC time constant.
+product!(Ohms, Farads, Seconds); // τ = R·C
+
+// Energy stored on a capacitor uses E = ½·C·V², via `Farads * Volts * Volts`.
+impl Mul<Volts> for Coulombs {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Volts) -> Joules {
+        Joules::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<Coulombs> for Volts {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Coulombs) -> Joules {
+        Joules::new(self.value() * rhs.value())
+    }
+}
+
+// Frequency / period duality.
+impl Hertz {
+    /// Returns the period `1/f`.
+    ///
+    /// ```
+    /// use eh_units::{Hertz, Seconds};
+    /// assert_eq!(Hertz::new(50.0).period(), Seconds::new(0.02));
+    /// ```
+    #[inline]
+    pub fn period(self) -> Seconds {
+        Seconds::new(1.0 / self.value())
+    }
+}
+
+impl Seconds {
+    /// Returns the frequency `1/t` of a period.
+    ///
+    /// ```
+    /// use eh_units::{Hertz, Seconds};
+    /// assert_eq!(Seconds::new(0.02).frequency(), Hertz::new(50.0));
+    /// ```
+    #[inline]
+    pub fn frequency(self) -> Hertz {
+        Hertz::new(1.0 / self.value())
+    }
+}
+
+// Ratio scales any quantity.
+macro_rules! ratio_scales {
+    ($($q:ty),*) => {
+        $(
+            impl Mul<Ratio> for $q {
+                type Output = $q;
+                #[inline]
+                fn mul(self, rhs: Ratio) -> $q {
+                    <$q>::new(self.value() * rhs.value())
+                }
+            }
+
+            impl Mul<$q> for Ratio {
+                type Output = $q;
+                #[inline]
+                fn mul(self, rhs: $q) -> $q {
+                    <$q>::new(self.value() * rhs.value())
+                }
+            }
+        )*
+    };
+}
+
+ratio_scales!(Volts, Amps, Watts, Joules, Seconds, Coulombs, Lux);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lux;
+
+    #[test]
+    fn ohms_law_triangle() {
+        let v = Volts::new(3.3);
+        let r = Ohms::from_kilo(10.0);
+        let i: Amps = v / r;
+        assert!((i.as_micro() - 330.0).abs() < 1e-9);
+        assert!(((i * r) - v).abs() < Volts::new(1e-12));
+        assert!(((v / i).value() - r.value()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn power_energy_chain() {
+        let p: Watts = Volts::new(3.3) * Amps::from_micro(7.6);
+        let e: Joules = p * Seconds::from_hours(24.0);
+        // 25.08 µW over a day ≈ 2.167 J
+        assert!((e.value() - 2.1669e0).abs() < 1e-3, "e = {e}");
+        let back: Watts = e / Seconds::from_hours(24.0);
+        assert!((back.value() - p.value()).abs() < 1e-18);
+        let t: Seconds = e / p;
+        assert!((t.as_hours() - 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn charge_and_capacitance() {
+        let q: Coulombs = Amps::from_micro(42.0) * Seconds::new(10.0);
+        assert!((q.as_micro() - 420.0).abs() < 1e-9);
+        let c: Farads = q / Volts::new(3.0);
+        assert!((c.as_micro() - 140.0).abs() < 1e-9);
+        let v: Volts = q / c;
+        assert!((v.value() - 3.0).abs() < 1e-12);
+        let q2: Coulombs = c * Volts::new(3.0);
+        assert!((q2.value() - q.value()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rc_time_constant() {
+        let tau: Seconds = Ohms::from_mega(10.0) * Farads::from_micro(1.0);
+        assert!((tau.value() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frequency_period_duality() {
+        let f = Hertz::new(1.0 / 69.0);
+        assert!((f.period().value() - 69.0).abs() < 1e-9);
+        assert!((Seconds::new(69.0).frequency().value() - f.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_scaling() {
+        let voc = Volts::new(5.44);
+        let held = voc * Ratio::new(0.596) * Ratio::new(0.5);
+        assert!((held.value() - 1.621).abs() < 1e-3);
+        let p = Ratio::from_percent(85.0) * Watts::from_micro(100.0);
+        assert!((p.as_micro() - 85.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_examples() {
+        let i: Amps = Volts::new(5.0) / Ohms::from_mega(5.0);
+        assert_eq!(format!("{i}"), "1 µA");
+        assert_eq!(format!("{}", Lux::new(200.0)), "200 lx");
+    }
+}

@@ -1,0 +1,516 @@
+//! Scalar quantity newtypes and their intrinsic operations.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::format::format_si;
+
+/// Defines a scalar physical quantity newtype with the full set of
+/// intra-unit arithmetic, scalar scaling, ordering helpers and SI-prefixed
+/// `Display`.
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $symbol:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero value of this quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Creates a quantity from a raw value in base units.
+            #[inline]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Creates a quantity from a value expressed in milli-units.
+            #[inline]
+            pub fn from_milli(value: f64) -> Self {
+                Self(value * 1e-3)
+            }
+
+            /// Creates a quantity from a value expressed in micro-units.
+            #[inline]
+            pub fn from_micro(value: f64) -> Self {
+                Self(value * 1e-6)
+            }
+
+            /// Creates a quantity from a value expressed in nano-units.
+            #[inline]
+            pub fn from_nano(value: f64) -> Self {
+                Self(value * 1e-9)
+            }
+
+            /// Creates a quantity from a value expressed in pico-units.
+            #[inline]
+            pub fn from_pico(value: f64) -> Self {
+                Self(value * 1e-12)
+            }
+
+            /// Creates a quantity from a value expressed in kilo-units.
+            #[inline]
+            pub fn from_kilo(value: f64) -> Self {
+                Self(value * 1e3)
+            }
+
+            /// Creates a quantity from a value expressed in mega-units.
+            #[inline]
+            pub fn from_mega(value: f64) -> Self {
+                Self(value * 1e6)
+            }
+
+            /// Returns the raw value in base units.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the value expressed in milli-units.
+            #[inline]
+            pub fn as_milli(self) -> f64 {
+                self.0 * 1e3
+            }
+
+            /// Returns the value expressed in micro-units.
+            #[inline]
+            pub fn as_micro(self) -> f64 {
+                self.0 * 1e6
+            }
+
+            /// Returns the value expressed in nano-units.
+            #[inline]
+            pub fn as_nano(self) -> f64 {
+                self.0 * 1e9
+            }
+
+            /// Returns the absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Clamps `self` into `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi` (delegates to [`f64::clamp`]).
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Returns `true` if the value is finite (not NaN or infinite).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Returns `true` if the value is NaN.
+            #[inline]
+            pub fn is_nan(self) -> bool {
+                self.0.is_nan()
+            }
+
+            /// The unit symbol, e.g. `"V"`.
+            pub const SYMBOL: &'static str = $symbol;
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&format_si(self.0, $symbol))
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl MulAssign<f64> for $name {
+            #[inline]
+            fn mul_assign(&mut self, rhs: f64) {
+                self.0 *= rhs;
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl DivAssign<f64> for $name {
+            #[inline]
+            fn div_assign(&mut self, rhs: f64) {
+                self.0 /= rhs;
+            }
+        }
+
+        /// Dividing two like quantities yields a dimensionless ratio.
+        impl Div for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Electric potential in volts.
+    ///
+    /// ```
+    /// use eh_units::Volts;
+    /// let voc = Volts::new(4.978);
+    /// assert_eq!(format!("{voc}"), "4.978 V");
+    /// ```
+    Volts,
+    "V"
+);
+
+quantity!(
+    /// Electric current in amperes.
+    ///
+    /// ```
+    /// use eh_units::Amps;
+    /// let quiescent = Amps::from_micro(8.0);
+    /// assert_eq!(format!("{quiescent}"), "8 µA");
+    /// ```
+    Amps,
+    "A"
+);
+
+quantity!(
+    /// Power in watts.
+    ///
+    /// ```
+    /// use eh_units::Watts;
+    /// let p = Watts::from_micro(126.3);
+    /// assert_eq!(format!("{p}"), "126.3 µW");
+    /// ```
+    Watts,
+    "W"
+);
+
+quantity!(
+    /// Electrical resistance in ohms.
+    ///
+    /// ```
+    /// use eh_units::Ohms;
+    /// let r2 = Ohms::from_mega(10.0);
+    /// assert_eq!(format!("{r2}"), "10 MΩ");
+    /// ```
+    Ohms,
+    "Ω"
+);
+
+quantity!(
+    /// Capacitance in farads.
+    ///
+    /// ```
+    /// use eh_units::Farads;
+    /// let hold = Farads::from_nano(100.0);
+    /// assert_eq!(format!("{hold}"), "100 nF");
+    /// ```
+    Farads,
+    "F"
+);
+
+quantity!(
+    /// Illuminance in lux.
+    ///
+    /// ```
+    /// use eh_units::Lux;
+    /// let office = Lux::new(500.0);
+    /// assert_eq!(format!("{office}"), "500 lx");
+    /// ```
+    Lux,
+    "lx"
+);
+
+quantity!(
+    /// Time in seconds.
+    ///
+    /// ```
+    /// use eh_units::Seconds;
+    /// let hold_period = Seconds::new(69.0);
+    /// assert_eq!(format!("{hold_period}"), "69 s");
+    /// ```
+    Seconds,
+    "s"
+);
+
+quantity!(
+    /// Frequency in hertz.
+    ///
+    /// ```
+    /// use eh_units::Hertz;
+    /// let f = Hertz::new(50.0);
+    /// assert_eq!(format!("{f}"), "50 Hz");
+    /// ```
+    Hertz,
+    "Hz"
+);
+
+quantity!(
+    /// Energy in joules.
+    ///
+    /// ```
+    /// use eh_units::Joules;
+    /// let day = Joules::new(4.3);
+    /// assert_eq!(format!("{day}"), "4.3 J");
+    /// ```
+    Joules,
+    "J"
+);
+
+quantity!(
+    /// Electric charge in coulombs.
+    ///
+    /// ```
+    /// use eh_units::Coulombs;
+    /// let q = Coulombs::from_micro(520.0);
+    /// assert_eq!(format!("{q}"), "520 µC");
+    /// ```
+    Coulombs,
+    "C"
+);
+
+impl Seconds {
+    /// Creates a duration from minutes.
+    #[inline]
+    pub fn from_minutes(minutes: f64) -> Self {
+        Self::new(minutes * 60.0)
+    }
+
+    /// Creates a duration from hours.
+    #[inline]
+    pub fn from_hours(hours: f64) -> Self {
+        Self::new(hours * 3600.0)
+    }
+
+    /// Returns the value expressed in minutes.
+    #[inline]
+    pub fn as_minutes(self) -> f64 {
+        self.value() / 60.0
+    }
+
+    /// Returns the value expressed in hours.
+    #[inline]
+    pub fn as_hours(self) -> f64 {
+        self.value() / 3600.0
+    }
+}
+
+/// A dimensionless ratio, e.g. an efficiency or the FOCV factor `k`.
+///
+/// ```
+/// use eh_units::Ratio;
+/// let k = Ratio::new(0.596);
+/// assert!((k.as_percent() - 59.6).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Ratio(f64);
+
+impl Ratio {
+    /// The zero ratio.
+    pub const ZERO: Self = Self(0.0);
+    /// The unit ratio (100 %).
+    pub const ONE: Self = Self(1.0);
+
+    /// Creates a ratio from a raw fraction (1.0 == 100 %).
+    #[inline]
+    pub const fn new(value: f64) -> Self {
+        Self(value)
+    }
+
+    /// Creates a ratio from a percentage value.
+    #[inline]
+    pub fn from_percent(pct: f64) -> Self {
+        Self(pct / 100.0)
+    }
+
+    /// Returns the raw fraction.
+    #[inline]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the percentage representation.
+    #[inline]
+    pub fn as_percent(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// Clamps into `[0, 1]`.
+    #[inline]
+    pub fn clamp_unit(self) -> Self {
+        Self(self.0.clamp(0.0, 1.0))
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}%", self.as_percent())
+    }
+}
+
+impl Mul<f64> for Ratio {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: f64) -> Self {
+        Self(self.0 * rhs)
+    }
+}
+
+impl Mul for Ratio {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self(self.0 * rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors_round_trip() {
+        assert_eq!(Volts::from_milli(1500.0), Volts::new(1.5));
+        assert_eq!(Amps::from_micro(42.0).as_micro(), 42.0);
+        assert!((Ohms::from_mega(2.2).value() - 2.2e6).abs() < 1e-6);
+        assert!((Farads::from_pico(47.0).value() - 47e-12).abs() < 1e-24);
+        assert_eq!(Seconds::from_minutes(1.0), Seconds::new(60.0));
+        assert_eq!(Seconds::from_hours(24.0).as_hours(), 24.0);
+    }
+
+    #[test]
+    fn arithmetic_within_unit() {
+        let a = Volts::new(3.0);
+        let b = Volts::new(1.5);
+        assert_eq!(a + b, Volts::new(4.5));
+        assert_eq!(a - b, Volts::new(1.5));
+        assert_eq!(-a, Volts::new(-3.0));
+        assert_eq!(a * 2.0, Volts::new(6.0));
+        assert_eq!(2.0 * a, Volts::new(6.0));
+        assert_eq!(a / 2.0, Volts::new(1.5));
+        assert_eq!(a / b, 2.0);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut v = Volts::new(1.0);
+        v += Volts::new(0.5);
+        v -= Volts::new(0.25);
+        v *= 4.0;
+        v /= 2.0;
+        assert!((v.value() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_of_quantities() {
+        let total: Joules = (0..10).map(|i| Joules::new(i as f64)).sum();
+        assert_eq!(total, Joules::new(45.0));
+    }
+
+    #[test]
+    fn comparisons_and_clamp() {
+        let a = Lux::new(200.0);
+        let b = Lux::new(5000.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.min(a), a);
+        assert_eq!(Lux::new(9999.0).clamp(a, b), b);
+        assert_eq!((-a).abs(), a);
+    }
+
+    #[test]
+    fn ratio_percent() {
+        let k = Ratio::from_percent(59.6);
+        assert!((k.value() - 0.596).abs() < 1e-12);
+        assert_eq!(format!("{k}"), "59.60%");
+        assert_eq!(Ratio::new(1.7).clamp_unit(), Ratio::ONE);
+        assert_eq!(Ratio::new(-0.2).clamp_unit(), Ratio::ZERO);
+        assert_eq!((Ratio::new(0.5) * Ratio::new(0.5)).value(), 0.25);
+    }
+
+    #[test]
+    fn nan_and_finite_checks() {
+        assert!(Volts::new(f64::NAN).is_nan());
+        assert!(!Volts::new(f64::INFINITY).is_finite());
+        assert!(Volts::new(1.0).is_finite());
+    }
+}

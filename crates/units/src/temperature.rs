@@ -1,0 +1,156 @@
+//! Temperature quantities with explicit scale conversions.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Absolute temperature in kelvin.
+///
+/// The PV diode model works in kelvin; user-facing configuration usually
+/// uses [`Celsius`].
+///
+/// ```
+/// use eh_units::{Celsius, Kelvin};
+/// let t = Celsius::new(25.0).to_kelvin();
+/// assert!((t.value() - 298.15).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Kelvin(f64);
+
+impl Kelvin {
+    /// Standard reference temperature for PV models (25 °C).
+    pub const STC: Self = Self(298.15);
+
+    /// Creates an absolute temperature.
+    #[inline]
+    pub const fn new(value: f64) -> Self {
+        Self(value)
+    }
+
+    /// Returns the raw kelvin value.
+    #[inline]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to the Celsius scale.
+    #[inline]
+    pub fn to_celsius(self) -> Celsius {
+        Celsius(self.0 - 273.15)
+    }
+}
+
+impl Default for Kelvin {
+    fn default() -> Self {
+        Self::STC
+    }
+}
+
+impl fmt::Display for Kelvin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} K", self.0)
+    }
+}
+
+impl Add<f64> for Kelvin {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: f64) -> Self {
+        Self(self.0 + rhs)
+    }
+}
+
+impl Sub<f64> for Kelvin {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: f64) -> Self {
+        Self(self.0 - rhs)
+    }
+}
+
+/// Temperature on the Celsius scale.
+///
+/// ```
+/// use eh_units::Celsius;
+/// let ambient = Celsius::new(21.0);
+/// assert_eq!(format!("{ambient}"), "21.00 °C");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Celsius(f64);
+
+impl Celsius {
+    /// Creates a Celsius temperature.
+    #[inline]
+    pub const fn new(value: f64) -> Self {
+        Self(value)
+    }
+
+    /// Returns the raw Celsius value.
+    #[inline]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to the kelvin scale.
+    #[inline]
+    pub fn to_kelvin(self) -> Kelvin {
+        Kelvin(self.0 + 273.15)
+    }
+}
+
+impl fmt::Display for Celsius {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} °C", self.0)
+    }
+}
+
+impl From<Celsius> for Kelvin {
+    fn from(c: Celsius) -> Self {
+        c.to_kelvin()
+    }
+}
+
+impl From<Kelvin> for Celsius {
+    fn from(k: Kelvin) -> Self {
+        k.to_celsius()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_conversion() {
+        let c = Celsius::new(21.5);
+        let back = c.to_kelvin().to_celsius();
+        assert!((back.value() - 21.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stc_is_25c() {
+        assert!((Kelvin::STC.to_celsius().value() - 25.0).abs() < 1e-12);
+        assert_eq!(Kelvin::default(), Kelvin::STC);
+    }
+
+    #[test]
+    fn from_impls() {
+        let k: Kelvin = Celsius::new(0.0).into();
+        assert!((k.value() - 273.15).abs() < 1e-12);
+        let c: Celsius = Kelvin::new(373.15).into();
+        assert!((c.value() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offset_arithmetic() {
+        let k = Kelvin::STC + 10.0;
+        assert!((k.value() - 308.15).abs() < 1e-12);
+        let k2 = k - 10.0;
+        assert_eq!(k2, Kelvin::STC);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Kelvin::new(300.0)), "300.00 K");
+        assert_eq!(format!("{}", Celsius::new(-5.25)), "-5.25 °C");
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for unit arithmetic invariants.
+
+use eh_units::{format_si, Amps, Coulombs, Farads, Joules, Ohms, Ratio, Seconds, Volts, Watts};
+use proptest::prelude::*;
+
+fn finite() -> impl Strategy<Value = f64> {
+    -1e9..1e9f64
+}
+
+fn positive() -> impl Strategy<Value = f64> {
+    1e-9..1e9f64
+}
+
+proptest! {
+    #[test]
+    fn addition_commutes(a in finite(), b in finite()) {
+        prop_assert_eq!(Volts::new(a) + Volts::new(b), Volts::new(b) + Volts::new(a));
+    }
+
+    #[test]
+    fn subtraction_inverts_addition(a in finite(), b in finite()) {
+        let s = Volts::new(a) + Volts::new(b) - Volts::new(b);
+        prop_assert!((s.value() - a).abs() <= 1e-6 * (1.0 + a.abs() + b.abs()));
+    }
+
+    #[test]
+    fn power_product_commutes(v in finite(), i in finite()) {
+        let p1: Watts = Volts::new(v) * Amps::new(i);
+        let p2: Watts = Amps::new(i) * Volts::new(v);
+        prop_assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn ohms_law_round_trip(v in positive(), r in positive()) {
+        let i: Amps = Volts::new(v) / Ohms::new(r);
+        let back: Volts = i * Ohms::new(r);
+        prop_assert!((back.value() - v).abs() <= 1e-9 * v.abs().max(1.0));
+    }
+
+    #[test]
+    fn energy_round_trip(p in positive(), t in positive()) {
+        let e: Joules = Watts::new(p) * Seconds::new(t);
+        let back: Watts = e / Seconds::new(t);
+        prop_assert!((back.value() - p).abs() <= 1e-9 * p.abs().max(1.0));
+    }
+
+    #[test]
+    fn charge_round_trip(c in positive(), v in positive()) {
+        let q: Coulombs = Farads::new(c) * Volts::new(v);
+        let back: Volts = q / Farads::new(c);
+        prop_assert!((back.value() - v).abs() <= 1e-9 * v.abs().max(1.0));
+    }
+
+    #[test]
+    fn self_division_is_one(v in positive()) {
+        prop_assert!((Volts::new(v) / Volts::new(v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_scaling_bounded(v in positive(), k in 0.0..1.0f64) {
+        let scaled = Volts::new(v) * Ratio::new(k);
+        prop_assert!(scaled.value() <= v);
+        prop_assert!(scaled.value() >= 0.0);
+    }
+
+    #[test]
+    fn milli_micro_consistency(x in positive()) {
+        let a = Amps::from_milli(x);
+        let b = Amps::from_micro(x * 1000.0);
+        prop_assert!((a.value() - b.value()).abs() <= 1e-12 * a.value().abs().max(1e-12));
+    }
+
+    #[test]
+    fn format_never_panics_and_mentions_symbol(x in -1e15..1e15f64) {
+        let s = format_si(x, "V");
+        prop_assert!(s.ends_with('V'));
+    }
+
+    #[test]
+    fn ordering_consistent_with_values(a in finite(), b in finite()) {
+        prop_assert_eq!(Seconds::new(a) < Seconds::new(b), a < b);
+    }
+
+    #[test]
+    fn min_max_partition(a in finite(), b in finite()) {
+        let lo = Volts::new(a).min(Volts::new(b));
+        let hi = Volts::new(a).max(Volts::new(b));
+        prop_assert!(lo <= hi);
+        prop_assert!((lo.value() + hi.value() - a - b).abs() < 1e-6 * (1.0 + a.abs() + b.abs()));
+    }
+}

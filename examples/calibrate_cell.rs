@@ -1,0 +1,65 @@
+//! Calibrating your own PV cell model from bench measurements — the
+//! exact procedure that produced this repository's AM-1815 preset,
+//! applied to the paper's Table I data.
+//!
+//! Bring a light meter and a source-measure unit: log `Voc` at a handful
+//! of intensities plus one MPP, feed them in, and get a simulation-ready
+//! [`SingleDiodeModel`] back.
+//!
+//! Run with `cargo run --example calibrate_cell`.
+
+use pv_mppt_repro::pv::fit::{fit_cell, FitOptions, MppPointMeasurement, VocPoint};
+use pv_mppt_repro::pv::PvCell;
+use pv_mppt_repro::units::{Lux, Volts};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Bench data: Table I of the paper plus the AM-1815 datasheet MPP.
+    let voc_points: Vec<VocPoint> = [
+        (200.0, 4.978),
+        (500.0, 5.242),
+        (1000.0, 5.44),
+        (2000.0, 5.64),
+        (5000.0, 5.91),
+    ]
+    .iter()
+    .map(|&(lux, v)| VocPoint {
+        illuminance: Lux::new(lux),
+        open_circuit_voltage: Volts::new(v),
+    })
+    .collect();
+    let mpp = MppPointMeasurement {
+        illuminance: Lux::new(200.0),
+        voltage: Volts::new(3.0),
+        current_amps: 42.1e-6,
+    };
+
+    println!("fitting a single-diode photo-shunt model to 5 Voc points + 1 MPP ...");
+    let result = fit_cell(&voc_points, mpp, &FitOptions::default())?;
+    println!(
+        "done: cost = {:.3e}, worst Voc error = {:.2} %",
+        result.cost,
+        100.0 * result.worst_voc_error
+    );
+
+    let cell = PvCell::new(result.model);
+    println!("\nfitted model vs bench data:");
+    println!("{:>8} {:>12} {:>12}", "lux", "Voc bench", "Voc fitted");
+    for p in &voc_points {
+        let voc = cell.open_circuit_voltage(p.illuminance)?;
+        println!(
+            "{:>8.0} {:>12} {:>12}",
+            p.illuminance.value(),
+            p.open_circuit_voltage,
+            voc
+        );
+    }
+    let m = cell.mpp(Lux::new(200.0))?;
+    println!(
+        "\nMPP at 200 lux: {} at {} (bench: 42.1 µA at 3.0 V)",
+        m.current, m.voltage
+    );
+    println!("FOCV factor k at 1 klux: {}", cell.mpp(Lux::new(1000.0))?.focv_factor());
+    println!("\nDrop the printed parameters into SingleDiodeModel::builder() to make");
+    println!("a preset for your own cell.");
+    Ok(())
+}

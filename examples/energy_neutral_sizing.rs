@@ -1,0 +1,57 @@
+//! Sizing a node for indefinite operation — the design arithmetic behind
+//! the paper's opening claim that harvested nodes can "operate
+//! indefinitely". How big must the cell and the store be, and how much
+//! does the answer depend on the tracker's own power draw?
+//!
+//! Run with `cargo run --example energy_neutral_sizing`.
+
+use pv_mppt_repro::core::baselines::{FocvSampleHold, PerturbObserve, Photodetector};
+use pv_mppt_repro::core::MpptController;
+use pv_mppt_repro::node::{sizing, DutyCycledLoad};
+use pv_mppt_repro::pv::presets;
+use pv_mppt_repro::units::{Joules, Lux};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let load = DutyCycledLoad::typical_sensor_node()?;
+    let cell = presets::sanyo_am1815();
+    println!(
+        "node load: {} average (sleep/sense/TX duty cycle)",
+        load.average_power()
+    );
+    println!("collector: one AM-1815 (25 cm²), office light 500 lux, lit 10 h/day\n");
+
+    let mut focv = FocvSampleHold::paper_prototype()?;
+    let mut po = PerturbObserve::literature_default()?;
+    let mut photo = Photodetector::literature_default()?;
+    let trackers: Vec<&mut dyn MpptController> = vec![&mut focv, &mut po, &mut photo];
+
+    println!(
+        "{:<38} {:>12} {:>16} {:>18}",
+        "tracker", "overhead", "cells needed", "dark survival (2.4 J)"
+    );
+    for tracker in trackers {
+        let scale = sizing::required_cell_scale(
+            &cell,
+            Lux::new(500.0),
+            &load,
+            tracker,
+            10.0 / 24.0,
+            0.95,
+            0.8,
+        )?;
+        let survival = sizing::dark_survival(Joules::new(2.4), &load, tracker)?;
+        println!(
+            "{:<38} {:>12} {:>16} {:>15.1} h",
+            tracker.name(),
+            format!("{}", tracker.overhead_power()),
+            format!("{scale:.2}×"),
+            survival.as_hours(),
+        );
+    }
+
+    println!("\nThe 8 µA tracker keeps the whole system inside one small cell and");
+    println!("rides out a night on a coin-sized supercapacitor; the mW-class");
+    println!("trackers need an order of magnitude more collector and still drain");
+    println!("the store before sunrise — the paper's case, in design numbers.");
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! The paper's motivating scenario: a body-worn / mobile sensor that
+//! sees office light in the morning, full daylight over lunch, and a
+//! living-room lamp in the evening. A tracker tuned for one lighting
+//! type gives up harvest in the others; the FOCV sample-and-hold adapts.
+//!
+//! Run with `cargo run --example mobile_body_worn`.
+
+use pv_mppt_repro::core::baselines::{FixedVoltage, FocvSampleHold, PerturbObserve};
+use pv_mppt_repro::core::MpptController;
+use pv_mppt_repro::env::profiles;
+use pv_mppt_repro::node::compare_trackers;
+use pv_mppt_repro::pv::presets;
+use pv_mppt_repro::units::Seconds;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let day = profiles::semi_mobile_friday(42).decimate(5)?;
+    let cell = presets::sanyo_am1815();
+
+    let mut focv = FocvSampleHold::paper_prototype()?;
+    let mut fixed = FixedVoltage::indoor_tuned()?;
+    let mut po = PerturbObserve::literature_default()?;
+    let mut trackers: Vec<&mut dyn MpptController> = vec![&mut focv, &mut fixed, &mut po];
+
+    let rows = compare_trackers(&cell, &day, Seconds::new(5.0), &mut trackers)?;
+
+    println!("Semi-mobile day: office morning, outdoor lunch, evening lamp\n");
+    println!(
+        "{:<38} {:>12} {:>12} {:>12}",
+        "tracker", "gross", "overhead", "net"
+    );
+    for row in &rows {
+        println!(
+            "{:<38} {:>12} {:>12} {:>12}",
+            row.name,
+            format!("{}", row.summary.gross_energy),
+            format!("{}", row.summary.overhead_energy),
+            format!("{}", row.summary.net_energy),
+        );
+    }
+
+    let focv_row = rows
+        .iter()
+        .find(|r| r.name.contains("sample-and-hold"))
+        .expect("FOCV row present");
+    println!(
+        "\nThe proposed tracker nets {} of the oracle's harvest with no pilot",
+        focv_row.summary.efficiency_vs_oracle()
+    );
+    println!("cell or photodiode — across a ~100× swing in light intensity.");
+    Ok(())
+}

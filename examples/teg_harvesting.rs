@@ -1,0 +1,64 @@
+//! §I of the paper notes the technique "is also applicable to other
+//! forms of energy harvesting (such as thermoelectric generators) which
+//! feature a similar relationship between the open-circuit and MPP
+//! voltage". For an ideal TEG that relationship is exact: `Vmpp = Voc/2`.
+//!
+//! This example applies the FOCV sample-and-hold policy to a TEG on a
+//! fluctuating temperature gradient and compares against the true MPP.
+//!
+//! Run with `cargo run --example teg_harvesting`.
+
+use pv_mppt_repro::pv::teg::Teg;
+use pv_mppt_repro::units::{Ohms, Ratio};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A body-worn TEG: 50 mV/K stack behind 5 Ω.
+    let teg = Teg::new(0.05, Ohms::new(5.0))?;
+    let k = Ratio::new(0.5); // exact for a Thevenin source
+    let hold_period = 69.0;
+
+    println!("FOCV sample-and-hold on a thermoelectric generator (k = 0.5)\n");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>10}",
+        "t (s)", "ΔT (K)", "P tracked", "P ideal", "capture"
+    );
+
+    // The gradient drifts slowly (body vs ambient); we sample Voc at the
+    // paper's hold period and hold k·Voc in between.
+    let gradient = |t: f64| 8.0 + 4.0 * (t / 600.0 * std::f64::consts::TAU).sin();
+    let mut held_voc = teg.open_circuit_voltage(gradient(0.0));
+    let mut tracked_energy = 0.0;
+    let mut ideal_energy = 0.0;
+    let dt = 1.0;
+    let total = 1800.0;
+    let mut t = 0.0f64;
+    while t < total {
+        if (t / hold_period).fract() < dt / hold_period {
+            held_voc = teg.open_circuit_voltage(gradient(t));
+        }
+        let dt_k = gradient(t);
+        let p_tracked = teg.power_at(held_voc * k.value(), dt_k);
+        let p_ideal = teg.mpp(dt_k).power;
+        tracked_energy += p_tracked.value() * dt;
+        ideal_energy += p_ideal.value() * dt;
+        if (t as u64).is_multiple_of(250) {
+            println!(
+                "{:>8.0} {:>10.2} {:>12} {:>12} {:>9.1}%",
+                t,
+                dt_k,
+                p_tracked,
+                p_ideal,
+                100.0 * p_tracked.value() / p_ideal.value().max(1e-12)
+            );
+        }
+        t += dt;
+    }
+    println!(
+        "\nenergy captured: {:.1}% of ideal over {} minutes — the 69 s hold",
+        100.0 * tracked_energy / ideal_energy,
+        (total / 60.0) as u64
+    );
+    println!("period loses almost nothing on thermal time scales, confirming the");
+    println!("paper's claim that the technique generalises beyond photovoltaics.");
+    Ok(())
+}

@@ -1,0 +1,27 @@
+//! Facade crate for the DATE 2011 ultra low-power FOCV MPPT reproduction.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can `use pv_mppt_repro::...`. See the individual
+//! crates for the substance:
+//!
+//! * [`units`] — typed physical quantities.
+//! * [`pv`] — photovoltaic cell models and FOCV analysis.
+//! * [`analog`] — behavioural analog circuit substrate (astable
+//!   multivibrator, sample-and-hold, supply-current ledger).
+//! * [`mod@env`] — indoor/outdoor illuminance environments and the Eq. (2)
+//!   sampling-error analysis.
+//! * [`converter`] — input-regulated buck-boost converter and cold-start.
+//! * [`core`] — the paper's FOCV sample-and-hold MPPT system plus the
+//!   baseline trackers it is compared against.
+//! * [`node`] — closed-loop wireless-sensor-node simulations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use eh_analog as analog;
+pub use eh_converter as converter;
+pub use eh_core as core;
+pub use eh_env as env;
+pub use eh_node as node;
+pub use eh_pv as pv;
+pub use eh_units as units;

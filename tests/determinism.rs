@@ -1,0 +1,69 @@
+//! Reproducibility: every stochastic element is seeded, so identical
+//! configurations must give bit-identical results across the full stack.
+
+use pv_mppt_repro::core::baselines::FocvSampleHold;
+use pv_mppt_repro::core::{FocvMpptSystem, SystemConfig};
+use pv_mppt_repro::env::profiles;
+use pv_mppt_repro::node::{NodeSimulation, SimConfig};
+use pv_mppt_repro::pv::presets;
+use pv_mppt_repro::units::{Lux, Seconds};
+
+#[test]
+fn profiles_are_seed_deterministic() {
+    for seed in [0u64, 1, 42, u64::MAX] {
+        assert_eq!(
+            profiles::office_desk_mixed(seed),
+            profiles::office_desk_mixed(seed)
+        );
+        assert_eq!(
+            profiles::semi_mobile_friday(seed),
+            profiles::semi_mobile_friday(seed)
+        );
+        assert_eq!(
+            profiles::desk_weekend_blinds_closed(seed),
+            profiles::desk_weekend_blinds_closed(seed)
+        );
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    assert_ne!(
+        profiles::office_desk_mixed(1).values(),
+        profiles::office_desk_mixed(2).values()
+    );
+}
+
+#[test]
+fn full_system_runs_identically() {
+    let run = || {
+        let mut sys =
+            FocvMpptSystem::new(SystemConfig::paper_prototype().expect("valid prototype"))
+                .expect("valid system");
+        sys.run_constant(Lux::new(777.0), Seconds::new(100.0), Seconds::new(0.03))
+            .expect("run succeeds")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.pulses, b.pulses);
+    assert_eq!(a.final_held_sample, b.final_held_sample);
+    assert_eq!(a.stored_energy, b.stored_energy);
+    assert_eq!(a.average_metrology_current, b.average_metrology_current);
+}
+
+#[test]
+fn node_simulation_runs_identically() {
+    let trace = profiles::semi_mobile_friday(5).decimate(60).expect("decimate succeeds");
+    let run = || {
+        let mut sim = NodeSimulation::new(SimConfig::default_for(presets::sanyo_am1815()))
+            .expect("valid config");
+        let mut tracker = FocvSampleHold::paper_prototype().expect("valid tracker");
+        sim.run(&mut tracker, &trace, Seconds::new(60.0))
+            .expect("run succeeds")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.gross_energy, b.gross_energy);
+    assert_eq!(a.overhead_energy, b.overhead_energy);
+    assert_eq!(a.measurements, b.measurements);
+}

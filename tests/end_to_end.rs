@@ -1,0 +1,121 @@
+//! Cross-crate integration: data flows cleanly from the environment
+//! through the cell model, the analog metrology, the converter and the
+//! node engine — exercising the facade's re-exports.
+
+use pv_mppt_repro::analog::astable::AstableMultivibrator;
+use pv_mppt_repro::analog::sample_hold::{SampleHold, SampleHoldConfig};
+use pv_mppt_repro::converter::{ColdStart, ColdStartState, InputRegulatedConverter};
+use pv_mppt_repro::core::{FocvMpptSystem, SystemConfig, SystemState};
+use pv_mppt_repro::env::profiles;
+use pv_mppt_repro::pv::presets;
+use pv_mppt_repro::units::{Amps, Lux, Seconds, Volts};
+
+/// The hand-wired signal chain: environment → cell → S&H → converter.
+/// (What `FocvMpptSystem` automates, assembled manually.)
+#[test]
+fn manual_signal_chain() {
+    let trace = profiles::constant(Lux::new(800.0), Seconds::new(100.0));
+    let cell = presets::sanyo_am1815();
+    let mut astable = AstableMultivibrator::paper_configuration().expect("valid astable");
+    let mut sh = SampleHold::new(SampleHoldConfig::paper_configuration(0.298).expect("valid"))
+        .expect("valid S&H");
+    let converter = InputRegulatedConverter::paper_prototype().expect("valid converter");
+
+    let lux = Lux::new(trace.value_at(Seconds::new(1.0)).expect("in range"));
+    let voc = cell.open_circuit_voltage(lux).expect("solver converges");
+
+    // One PULSE: sample the open-circuit voltage.
+    assert!(astable.output_high(), "astable powers up in the PULSE state");
+    let step = sh.step(voc, true, Seconds::from_milli(39.0));
+    assert!(step.active);
+    let held = step.held_sample;
+    assert!((held.value() - voc.value() * 0.298).abs() < 0.01);
+
+    // Hold phase: the converter regulates the cell at held/α.
+    astable.step(Seconds::from_milli(39.0));
+    let v_ref = Volts::new(held.value() / 0.5);
+    let i = cell.current_at(v_ref, lux).expect("solver converges");
+    let harvest = converter.harvest(v_ref, i, Seconds::new(69.0));
+    assert!(harvest.output_energy.value() > 0.0);
+
+    // The regulated point is close to the true MPP.
+    let mpp = cell.mpp(lux).expect("solver converges");
+    let p_ratio = harvest.input_power.value() / mpp.power.value();
+    assert!(p_ratio > 0.9, "harvesting at {p_ratio:.3} of MPP power");
+}
+
+/// Cold start wiring: cell current charges C1 until the rail comes up.
+#[test]
+fn manual_cold_start_chain() {
+    let cell = presets::sanyo_am1815();
+    let mut cs = ColdStart::paper_prototype().expect("valid cold start");
+    let lux = Lux::new(400.0);
+    let mut t = 0.0;
+    while cs.state() == ColdStartState::Charging && t < 30.0 {
+        let knee = cs
+            .charging_knee()
+            .min(cell.open_circuit_voltage(lux).expect("solver converges"));
+        let i = cell.current_at(knee, lux).expect("solver converges");
+        cs.step(i.max(Amps::ZERO), Amps::ZERO, Seconds::new(0.05));
+        t += 0.05;
+    }
+    assert_eq!(cs.state(), ColdStartState::Running, "400 lux must start in 30 s");
+    assert!(t < 5.0, "cold start took {t} s at 400 lux");
+}
+
+/// The automated system walks through all of its states on a light step.
+#[test]
+fn system_state_machine_traversal() {
+    let mut sys = FocvMpptSystem::new(SystemConfig::paper_prototype().expect("valid"))
+        .expect("valid system");
+    let mut seen_cold = false;
+    let mut seen_sampling = false;
+    let mut seen_harvesting = false;
+    for _ in 0..4000 {
+        let step = sys.step(Lux::new(600.0), Seconds::new(0.02)).expect("step succeeds");
+        match step.state {
+            SystemState::ColdStarting => seen_cold = true,
+            SystemState::Sampling => seen_sampling = true,
+            SystemState::Harvesting => seen_harvesting = true,
+            SystemState::Waiting => {}
+        }
+    }
+    assert!(seen_cold, "never saw ColdStarting");
+    assert!(seen_sampling, "never saw Sampling");
+    assert!(seen_harvesting, "never saw Harvesting");
+}
+
+/// Energy conservation across the whole system: stored energy never
+/// exceeds what the PV module delivered.
+#[test]
+fn energy_conservation() {
+    let mut cfg = SystemConfig::paper_prototype().expect("valid prototype");
+    cfg.cold_start.set_rail_voltage(Volts::new(3.3));
+    let mut sys = FocvMpptSystem::new(cfg).expect("valid system");
+    let report = sys
+        .run_constant(Lux::new(2000.0), Seconds::new(250.0), Seconds::new(0.05))
+        .expect("run succeeds");
+    assert!(report.stored_energy.value() > 0.0);
+    assert!(
+        report.stored_energy.value() <= report.pv_energy.value(),
+        "stored {} > extracted {}",
+        report.stored_energy,
+        report.pv_energy
+    );
+    // And the extraction is bounded by MPP power times duration.
+    let mpp = presets::sanyo_am1815().mpp(Lux::new(2000.0)).expect("solver converges");
+    assert!(report.pv_energy.value() <= mpp.power.value() * 250.0 * 1.01);
+}
+
+/// A dynamic light trace drives the full analog system end to end.
+#[test]
+fn full_system_over_dynamic_trace() {
+    let trace = profiles::office_desk_mixed(3)
+        .decimate(600,)
+        .expect("decimate succeeds"); // 10-minute grid for speed
+    let mut sys = FocvMpptSystem::new(SystemConfig::paper_prototype().expect("valid"))
+        .expect("valid system");
+    let report = sys.run_trace(&trace, Seconds::new(2.0)).expect("run succeeds");
+    assert!(report.pulses > 100, "a lit day has many PULSEs, got {}", report.pulses);
+    assert!(report.stored_energy.value() > 0.0);
+}

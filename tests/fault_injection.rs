@@ -1,0 +1,127 @@
+//! Fault injection: the system's self-healing properties. The FOCV
+//! sample-and-hold is open-loop between samples, so any corruption of
+//! the held value persists at most one hold period — the architectural
+//! property that makes the 69 s cadence safe.
+
+use pv_mppt_repro::core::{FocvMpptSystem, SystemConfig};
+use pv_mppt_repro::units::{Lux, Seconds, Volts};
+
+fn charged_system() -> FocvMpptSystem {
+    let mut cfg = SystemConfig::paper_prototype().expect("valid prototype");
+    cfg.cold_start.set_rail_voltage(Volts::new(3.3));
+    FocvMpptSystem::new(cfg).expect("valid system")
+}
+
+/// A corrupted held sample is flushed by the next PULSE.
+#[test]
+fn corrupted_sample_recovers_within_one_period() {
+    let lux = Lux::new(1000.0);
+    let mut sys = charged_system();
+    sys.run_constant(lux, Seconds::new(80.0), Seconds::new(0.05))
+        .expect("run succeeds");
+    let good = sys.report(lux).expect("report").final_held_sample;
+
+    // Glitch: the hold capacitor is disturbed to nonsense.
+    sys.inject_held_sample(Volts::new(0.4));
+    let step = sys.step(lux, Seconds::new(1.0)).expect("step succeeds");
+    assert!((step.held_sample.value() - 0.4).abs() < 0.05, "glitch visible");
+
+    // Within one full hold period the system resamples and recovers.
+    sys.run_constant(lux, Seconds::new(70.0), Seconds::new(0.05))
+        .expect("run succeeds");
+    let recovered = sys.report(lux).expect("report").final_held_sample;
+    assert!(
+        (recovered.value() - good.value()).abs() < 0.01,
+        "recovered {recovered} vs good {good}"
+    );
+}
+
+/// A corrupted sample *below* the ACTIVE threshold also stops the
+/// converter (the U5 sanity check) until the next sample restores it.
+#[test]
+fn undervoltage_glitch_trips_active_then_recovers() {
+    let lux = Lux::new(1000.0);
+    let mut sys = charged_system();
+    sys.run_constant(lux, Seconds::new(80.0), Seconds::new(0.05))
+        .expect("run succeeds");
+    sys.inject_held_sample(Volts::from_milli(100.0)); // below Vdd/4
+    let step = sys.step(lux, Seconds::new(0.1)).expect("step succeeds");
+    assert!(!step.active, "ACTIVE must drop on an invalid held value");
+    sys.run_constant(lux, Seconds::new(70.0), Seconds::new(0.05))
+        .expect("run succeeds");
+    let step = sys.step(lux, Seconds::new(0.1)).expect("step succeeds");
+    assert!(step.active, "ACTIVE must recover after the next PULSE");
+}
+
+/// A rail brown-out forces a clean cold start, after which the system
+/// harvests again.
+#[test]
+fn brownout_cold_starts_again() {
+    let lux = Lux::new(500.0);
+    let mut sys = charged_system();
+    sys.run_constant(lux, Seconds::new(75.0), Seconds::new(0.05))
+        .expect("run succeeds");
+    let pulses_before = sys.pulses();
+    assert!(pulses_before >= 1);
+
+    sys.collapse_rail();
+    let report = sys
+        .run_constant(lux, Seconds::new(75.0), Seconds::new(0.05))
+        .expect("run succeeds");
+    // New pulses happened after the brown-out (astable restarted).
+    assert!(
+        report.pulses > pulses_before,
+        "system must resume sampling after brown-out"
+    );
+    assert!(report.stored_energy.value() > 0.0);
+}
+
+/// A sudden light drop between samples leaves the system harvesting at a
+/// stale (too high) set point; the next PULSE re-aims it. This is the
+/// §II-B trade made concrete.
+#[test]
+fn stale_setpoint_after_light_step_down() {
+    let mut sys = charged_system();
+    sys.run_constant(Lux::new(5000.0), Seconds::new(75.0), Seconds::new(0.05))
+        .expect("run succeeds");
+    let bright_held = sys.report(Lux::new(5000.0)).expect("report").final_held_sample;
+
+    // Light collapses to 200 lux: held sample is stale for < one period.
+    let step = sys.step(Lux::new(200.0), Seconds::new(1.0)).expect("step succeeds");
+    assert!(
+        (step.held_sample.value() - bright_held.value()).abs() < 0.01,
+        "held must be stale immediately after the step"
+    );
+    // The stale set point (k·Voc_bright ≈ 3.46 V) is above the dim cell's
+    // MPP but below its Voc, so harvesting continues (degraded, not dead).
+    assert!(step.pv_voltage.value() > 3.0);
+
+    sys.run_constant(Lux::new(200.0), Seconds::new(70.0), Seconds::new(0.05))
+        .expect("run succeeds");
+    let dim_report = sys.report(Lux::new(200.0)).expect("report");
+    // Re-aimed: k back in the Table I band at the new intensity.
+    let k = dim_report.measured_k.as_percent();
+    assert!((58.0..61.0).contains(&k), "k after re-aim = {k}");
+}
+
+/// Darkness mid-run: the converter idles, the hold droops only
+/// microvolts, and harvesting resumes when light returns.
+#[test]
+fn dark_interval_then_resume() {
+    let lux = Lux::new(1000.0);
+    let mut sys = charged_system();
+    sys.run_constant(lux, Seconds::new(75.0), Seconds::new(0.05))
+        .expect("run succeeds");
+    let stored_before = sys.stored_energy();
+
+    // 30 s of darkness (a shadow passes): nothing harvested.
+    sys.run_constant(Lux::new(0.0), Seconds::new(30.0), Seconds::new(0.05))
+        .expect("run succeeds");
+    let stored_dark = sys.stored_energy();
+    assert!((stored_dark.value() - stored_before.value()).abs() < 1e-6);
+
+    // Light returns; harvest resumes within a hold period.
+    sys.run_constant(lux, Seconds::new(75.0), Seconds::new(0.05))
+        .expect("run succeeds");
+    assert!(sys.stored_energy() > stored_dark);
+}
