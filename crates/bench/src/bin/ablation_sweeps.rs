@@ -6,14 +6,21 @@
 //!    polyester part);
 //! 4. the R3/C3 ripple filter.
 //!
+//! Every parameter sweep fans out on the shared [`SweepRunner`]; the
+//! hold-period sweep is additionally timed at 1 worker and at the
+//! machine's parallelism to log the measured speedup.
+//!
 //! Run with `cargo run -p eh-bench --bin ablation_sweeps`.
+
+use std::time::Instant;
 
 use eh_analog::sample_hold::{SampleHold, SampleHoldConfig};
 use eh_bench::{banner, fmt, render_table};
 use eh_core::baselines::FocvSampleHold;
 use eh_env::{profiles, sampling_error, TimeSeries};
-use eh_node::{NodeSimulation, SimConfig};
+use eh_node::{NodeError, NodeSimulation, SimConfig};
 use eh_pv::{presets, PvCell};
+use eh_sim::{drive, Light, SimError, StepInput, StepOutput, Stepper, SweepRunner};
 use eh_units::{Amps, Farads, Lux, Ohms, Seconds, Volts, Watts};
 
 fn voc_trace(cell: &PvCell, lux_trace: &TimeSeries) -> TimeSeries {
@@ -22,6 +29,32 @@ fn voc_trace(cell: &PvCell, lux_trace: &TimeSeries) -> TimeSeries {
             .map(|v| v.value())
             .unwrap_or(0.0)
     })
+}
+
+/// The R3/C3 ripple experiment as a steppable system: a sample-and-hold
+/// block sampling a 100 Hz-flickering Voc, tracking the held-line ripple
+/// once the sample has settled.
+struct FlickerProbe {
+    sh: SampleHold,
+    min: f64,
+    max: f64,
+}
+
+impl Stepper for FlickerProbe {
+    type Error = SimError;
+
+    fn step(&mut self, t: Seconds, dt: Seconds, _input: &StepInput) -> Result<StepOutput, SimError> {
+        // ±17 mV of 100 Hz ripple on Voc (a few % of lamp flicker
+        // through the cell's logarithmic response).
+        let v = 5.44 + 0.017 * (2.0 * std::f64::consts::PI * 100.0 * t.value()).sin();
+        let s = self.sh.step(Volts::new(v), true, dt);
+        // Judge ripple after the sample has settled (last 20 ms).
+        if t.value() > 19e-3 {
+            self.min = self.min.min(s.held_sample.value());
+            self.max = self.max.max(s.held_sample.value());
+        }
+        Ok(StepOutput::full(dt))
+    }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -34,8 +67,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // switching energy; the knee justifies the paper's 69 s.
     let mobile = profiles::semi_mobile_friday(SEED).decimate(5)?;
     let voc = voc_trace(&cell, &mobile);
-    let mut rows = Vec::new();
-    for period_s in [5.0, 15.0, 39.0, 69.0, 180.0, 600.0, 1800.0] {
+    let periods = vec![5.0, 15.0, 39.0, 69.0, 180.0, 600.0, 1800.0];
+    let hold_job = |_: usize, period_s: f64| -> Result<Vec<String>, NodeError> {
         let err = sampling_error::worst_case_mean_error(&voc, Seconds::new(period_s))?;
         // Net harvest over the day with this hold period.
         let mut tracker = FocvSampleHold::new(
@@ -44,15 +77,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Seconds::from_milli(39.0),
             Volts::new(3.3) * Amps::from_micro(8.0),
         )?;
-        let mut sim = NodeSimulation::new(SimConfig::default_for(cell.clone()))?;
+        let mut sim = NodeSimulation::new(SimConfig::default_for(cell.clone())?)?;
         let report = sim.run(&mut tracker, &mobile, Seconds::new(5.0))?;
-        rows.push(vec![
+        Ok(vec![
             fmt(period_s, 0),
             fmt(err * 1e3, 1),
             format!("{}", report.net_energy()),
             format!("{}", report.measurements),
-        ]);
-    }
+        ])
+    };
+    // Time the same sweep serial and parallel: results must be identical
+    // (the runner collects in input order), wall-clock should not be.
+    let t0 = Instant::now();
+    let rows_serial = SweepRunner::new(1).run(periods.clone(), hold_job);
+    let serial_elapsed = t0.elapsed();
+    let workers = SweepRunner::auto().workers();
+    let t1 = Instant::now();
+    let rows_parallel = SweepRunner::auto().run(periods, hold_job);
+    let parallel_elapsed = t1.elapsed();
+    assert_eq!(rows_serial, rows_parallel, "sweep must be deterministic");
+    let rows = rows_parallel.into_iter().collect::<Result<Vec<_>, _>>()?;
     println!(
         "{}",
         render_table(
@@ -60,28 +104,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &rows
         )
     );
+    println!(
+        "sweep wall-clock: 1 worker {serial_elapsed:?}, {workers} workers {parallel_elapsed:?} \
+         (speedup ×{:.2})",
+        serial_elapsed.as_secs_f64() / parallel_elapsed.as_secs_f64().max(1e-9)
+    );
 
     // ------------------------------------------------------------------
     banner("Ablation 2 — k trim (R2 potentiometer)");
-    let mut rows = Vec::new();
-    for k in [0.45, 0.50, 0.55, 0.596, 0.65, 0.70, 0.80] {
-        let mut tracker = FocvSampleHold::new(
-            k,
-            Seconds::new(69.0),
-            Seconds::from_milli(39.0),
-            Volts::new(3.3) * Amps::from_micro(8.0),
-        )?;
-        let trace = profiles::constant(Lux::new(1000.0), Seconds::from_minutes(30.0));
-        let mut sim = NodeSimulation::new(SimConfig::default_for(cell.clone()))?;
-        let report = sim.run(&mut tracker, &trace, Seconds::new(1.0))?;
-        let mpp = cell.mpp(Lux::new(1000.0))?;
-        let ideal = mpp.power.value() * trace.duration().value();
-        rows.push(vec![
-            fmt(k, 3),
-            format!("{}", report.gross_energy),
-            fmt(100.0 * report.gross_energy.value() / ideal, 1),
-        ]);
-    }
+    let trims = vec![0.45, 0.50, 0.55, 0.596, 0.65, 0.70, 0.80];
+    let rows = SweepRunner::auto()
+        .run(trims, |_, k| -> Result<Vec<String>, NodeError> {
+            let mut tracker = FocvSampleHold::new(
+                k,
+                Seconds::new(69.0),
+                Seconds::from_milli(39.0),
+                Volts::new(3.3) * Amps::from_micro(8.0),
+            )?;
+            let trace = profiles::constant(Lux::new(1000.0), Seconds::from_minutes(30.0));
+            let mut sim = NodeSimulation::new(SimConfig::default_for(cell.clone())?)?;
+            let report = sim.run(&mut tracker, &trace, Seconds::new(1.0))?;
+            let mpp = cell.mpp(Lux::new(1000.0))?;
+            let ideal = mpp.power.value() * trace.duration().value();
+            Ok(vec![
+                fmt(k, 3),
+                format!("{}", report.gross_energy),
+                fmt(100.0 * report.gross_energy.value() / ideal, 1),
+            ])
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
     println!(
         "{}",
         render_table(&["k trim", "gross energy (30 min @1 klux)", "% of ideal MPP"], &rows)
@@ -145,23 +197,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Pre-charge with a clean sample, then resample under flicker.
         sh.step(Volts::new(5.44), true, Seconds::from_milli(39.0));
         sh.step(Volts::new(5.44), false, Seconds::new(69.0));
-        let dt = 0.05e-3;
-        let mut t = 0.0;
-        let mut min = f64::INFINITY;
-        let mut max = f64::NEG_INFINITY;
-        for _ in 0..780 {
-            // ±17 mV of 100 Hz ripple on Voc (a few % of lamp flicker
-            // through the cell's logarithmic response).
-            let v = 5.44 + 0.017 * (2.0 * std::f64::consts::PI * 100.0 * t).sin();
-            let s = sh.step(Volts::new(v), true, Seconds::new(dt));
-            t += dt;
-            // Judge ripple after the sample has settled (last 20 ms).
-            if t > 19e-3 {
-                min = min.min(s.held_sample.value());
-                max = max.max(s.held_sample.value());
-            }
-        }
-        let ripple = (max - min) * 1e3;
+        let mut probe = FlickerProbe {
+            sh,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        };
+        drive(
+            &mut probe,
+            &Light::constant(Lux::ZERO, Seconds::from_milli(39.0)),
+            Seconds::from_milli(0.05),
+        )?;
+        let ripple = (probe.max - probe.min) * 1e3;
         println!(
             "{name:22}: HELD_SAMPLE ripple during sampling = {} mV pp",
             fmt(ripple, 3)
@@ -172,23 +218,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ------------------------------------------------------------------
     banner("Ablation 5 — metrology budget sensitivity");
-    let mut rows = Vec::new();
     let trace = profiles::constant(Lux::new(200.0), Seconds::from_hours(1.0));
-    for overhead_ua in [2.0, 8.0, 42.0, 150.0, 600.0] {
-        let mut tracker = FocvSampleHold::new(
-            0.596,
-            Seconds::new(69.0),
-            Seconds::from_milli(39.0),
-            Watts::new(3.3 * overhead_ua * 1e-6),
-        )?;
-        let mut sim = NodeSimulation::new(SimConfig::default_for(cell.clone()))?;
-        let report = sim.run(&mut tracker, &trace, Seconds::new(1.0))?;
-        rows.push(vec![
-            fmt(overhead_ua, 0),
-            format!("{}", report.net_energy()),
-            if report.is_net_positive() { "yes".into() } else { "NO".into() },
-        ]);
-    }
+    let budgets = vec![2.0, 8.0, 42.0, 150.0, 600.0];
+    let rows = SweepRunner::auto()
+        .run(budgets, |_, overhead_ua| -> Result<Vec<String>, NodeError> {
+            let mut tracker = FocvSampleHold::new(
+                0.596,
+                Seconds::new(69.0),
+                Seconds::from_milli(39.0),
+                Watts::new(3.3 * overhead_ua * 1e-6),
+            )?;
+            let mut sim = NodeSimulation::new(SimConfig::default_for(cell.clone())?)?;
+            let report = sim.run(&mut tracker, &trace, Seconds::new(1.0))?;
+            Ok(vec![
+                fmt(overhead_ua, 0),
+                format!("{}", report.net_energy()),
+                if report.is_net_positive() { "yes".into() } else { "NO".into() },
+            ])
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
     println!(
         "{}",
         render_table(

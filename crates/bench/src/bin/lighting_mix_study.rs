@@ -14,6 +14,7 @@
 use eh_bench::{banner, fmt, render_table};
 use eh_pv::spectrum::{effective_illuminance, CellTechnology};
 use eh_pv::{presets, LightSource};
+use eh_sim::SweepRunner;
 use eh_units::{Lux, Volts};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -29,30 +30,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("incandescent", LightSource::Incandescent),
     ];
 
-    let mut rows = Vec::new();
-    for (name, source) in sources {
-        let eff = effective_illuminance(metered, CellTechnology::AmorphousSilicon, source);
-        let voc = cell.open_circuit_voltage(eff)?;
-        let mpp = cell.mpp(eff)?;
+    let rows = SweepRunner::auto()
+        .run(sources.to_vec(), |_, (name, source)| {
+            let eff = effective_illuminance(metered, CellTechnology::AmorphousSilicon, source);
+            let voc = cell.open_circuit_voltage(eff)?;
+            let mpp = cell.mpp(eff)?;
 
-        // FOCV: measures the actual Voc, holds k·Voc.
-        let p_focv = cell.power_at(voc * k, eff)?;
-        // Fixed voltage: pinned at 3.0 V whatever happens.
-        let p_fixed = cell.power_at(Volts::new(3.0).min(voc), eff)?;
-        // Photodetector: believes the metered lux and aims for the
-        // fluorescent-calibrated Voc estimate at that lux.
-        let voc_est = cell.open_circuit_voltage(metered)?;
-        let p_photo = cell.power_at((voc_est * k).min(voc), eff)?;
+            // FOCV: measures the actual Voc, holds k·Voc.
+            let p_focv = cell.power_at(voc * k, eff)?;
+            // Fixed voltage: pinned at 3.0 V whatever happens.
+            let p_fixed = cell.power_at(Volts::new(3.0).min(voc), eff)?;
+            // Photodetector: believes the metered lux and aims for the
+            // fluorescent-calibrated Voc estimate at that lux.
+            let voc_est = cell.open_circuit_voltage(metered)?;
+            let p_photo = cell.power_at((voc_est * k).min(voc), eff)?;
 
-        rows.push(vec![
-            name.to_owned(),
-            format!("{voc}"),
-            format!("{}", mpp.power),
-            fmt(100.0 * p_focv.value() / mpp.power.value().max(1e-15), 1),
-            fmt(100.0 * p_fixed.value() / mpp.power.value().max(1e-15), 1),
-            fmt(100.0 * p_photo.value() / mpp.power.value().max(1e-15), 1),
-        ]);
-    }
+            Ok(vec![
+                name.to_owned(),
+                format!("{voc}"),
+                format!("{}", mpp.power),
+                fmt(100.0 * p_focv.value() / mpp.power.value().max(1e-15), 1),
+                fmt(100.0 * p_fixed.value() / mpp.power.value().max(1e-15), 1),
+                fmt(100.0 * p_photo.value() / mpp.power.value().max(1e-15), 1),
+            ])
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, eh_pv::PvError>>()?;
     println!(
         "{}",
         render_table(
@@ -70,22 +73,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     banner("The same comparison on a crystalline cell (lux-proxy error grows)");
     let csi = presets::crystalline_outdoor();
-    let mut rows = Vec::new();
-    for (name, source) in sources {
-        let eff = effective_illuminance(metered, CellTechnology::CrystallineSilicon, source);
-        let voc = csi.open_circuit_voltage(eff)?;
-        let mpp = csi.mpp(eff)?;
-        let p_focv = csi.power_at(voc * 0.78, eff)?; // c-Si k ≈ 0.78
-        let voc_est = csi.open_circuit_voltage(metered)?;
-        let p_photo = csi.power_at((voc_est * 0.78).min(voc), eff)?;
-        rows.push(vec![
-            name.to_owned(),
-            format!("{voc}"),
-            format!("{}", mpp.power),
-            fmt(100.0 * p_focv.value() / mpp.power.value().max(1e-15), 1),
-            fmt(100.0 * p_photo.value() / mpp.power.value().max(1e-15), 1),
-        ]);
-    }
+    let rows = SweepRunner::auto()
+        .run(sources.to_vec(), |_, (name, source)| {
+            let eff = effective_illuminance(metered, CellTechnology::CrystallineSilicon, source);
+            let voc = csi.open_circuit_voltage(eff)?;
+            let mpp = csi.mpp(eff)?;
+            let p_focv = csi.power_at(voc * 0.78, eff)?; // c-Si k ≈ 0.78
+            let voc_est = csi.open_circuit_voltage(metered)?;
+            let p_photo = csi.power_at((voc_est * 0.78).min(voc), eff)?;
+            Ok(vec![
+                name.to_owned(),
+                format!("{voc}"),
+                format!("{}", mpp.power),
+                fmt(100.0 * p_focv.value() / mpp.power.value().max(1e-15), 1),
+                fmt(100.0 * p_photo.value() / mpp.power.value().max(1e-15), 1),
+            ])
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, eh_pv::PvError>>()?;
     println!(
         "{}",
         render_table(

@@ -9,24 +9,85 @@ use eh_analog::astable::AstableMultivibrator;
 use eh_analog::sample_hold::{SampleHold, SampleHoldConfig};
 use eh_analog::{CurrentLedger, Trace};
 use eh_bench::{banner, fmt, render_table};
-use eh_units::{Seconds, Volts};
+use eh_sim::{drive, Light, SimError, StepInput, StepOutput, Stepper};
+use eh_units::{Lux, Seconds, Volts};
+
+/// Steps the astable at a fixed rate, recording the PULSE waveform.
+struct PulseRecorder {
+    astable: AstableMultivibrator,
+    trace: Trace,
+}
+
+impl Stepper for PulseRecorder {
+    type Error = SimError;
+    fn step(
+        &mut self,
+        t: Seconds,
+        dt: Seconds,
+        _input: &StepInput,
+    ) -> Result<StepOutput, SimError> {
+        let s = self.astable.step(dt);
+        self.trace
+            .record(t + dt, if s.output_high { 3.3 } else { 0.0 });
+        Ok(StepOutput::full(dt))
+    }
+}
+
+/// Replays the paper's bench current measurement: astable + S&H on a
+/// 3.3 V supply, advancing the clock from transition to transition via
+/// the engine's dwell mechanism.
+struct DrawProbe {
+    astable: AstableMultivibrator,
+    sh: SampleHold,
+    ledger: CurrentLedger,
+}
+
+impl Stepper for DrawProbe {
+    type Error = SimError;
+    fn step(
+        &mut self,
+        _t: Seconds,
+        planned: Seconds,
+        _input: &StepInput,
+    ) -> Result<StepOutput, SimError> {
+        let seg = self
+            .astable
+            .time_to_next_transition()
+            .max(Seconds::from_milli(1.0))
+            .min(planned);
+        let pulse = self.astable.output_high();
+        let a = self.astable.step(seg);
+        let s = self.sh.step(Volts::new(5.44), pulse, seg);
+        self.ledger
+            .accumulate("astable (U1 + network)", a.supply_charge / seg, seg);
+        self.ledger.accumulate(
+            "sample-and-hold (U2/U4/U5 + aux)",
+            s.supply_charge / seg,
+            seg,
+        );
+        self.ledger.advance(seg);
+        Ok(StepOutput::dwell(seg))
+    }
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     banner("§IV-A — astable timing");
-    let mut astable = AstableMultivibrator::paper_configuration()?;
+    let astable = AstableMultivibrator::paper_configuration()?;
     let (t_on, t_off) = astable.analytic_periods();
     println!("analytic ON period  : {}  (paper: 39 ms)", t_on);
     println!("analytic OFF period : {}  (paper: 69 s)", t_off);
 
     // Measure from a simulated waveform too.
-    let mut trace = Trace::new("PULSE");
-    let dt = Seconds::from_milli(2.0);
-    let mut t = Seconds::ZERO;
-    while t.value() < 3.2 * 69.05 {
-        let s = astable.step(dt);
-        t += dt;
-        trace.record(t, if s.output_high { 3.3 } else { 0.0 });
-    }
+    let mut recorder = PulseRecorder {
+        astable,
+        trace: Trace::new("PULSE"),
+    };
+    drive(
+        &mut recorder,
+        &Light::constant(Lux::ZERO, Seconds::new(3.2 * 69.05)),
+        Seconds::from_milli(2.0),
+    )?;
+    let trace = recorder.trace;
     let highs = trace.high_durations(1.65);
     let rises = trace.rising_edges(1.65);
     let mean_on: f64 =
@@ -43,22 +104,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Bench setup: both blocks on a mains supply, a 5.44 V source on the
     // S&H input, sampling gated by the astable — exactly the paper's
     // measurement configuration.
-    let mut astable = AstableMultivibrator::paper_configuration()?;
-    let mut sh = SampleHold::new(SampleHoldConfig::paper_configuration(0.298)?)?;
-    let mut ledger = CurrentLedger::new();
+    let mut probe = DrawProbe {
+        astable: AstableMultivibrator::paper_configuration()?,
+        sh: SampleHold::new(SampleHoldConfig::paper_configuration(0.298)?)?,
+        ledger: CurrentLedger::new(),
+    };
     let total = Seconds::new(5.0 * 69.05);
-    let mut t = Seconds::ZERO;
-    while t < total {
-        let horizon = astable.time_to_next_transition().min(Seconds::new(1.0));
-        let seg = horizon.max(Seconds::from_milli(1.0)).min(total - t);
-        let pulse = astable.output_high();
-        let a = astable.step(seg);
-        let s = sh.step(Volts::new(5.44), pulse, seg);
-        ledger.accumulate("astable (U1 + network)", a.supply_charge / seg, seg);
-        ledger.accumulate("sample-and-hold (U2/U4/U5 + aux)", s.supply_charge / seg, seg);
-        ledger.advance(seg);
-        t += seg;
-    }
+    drive(
+        &mut probe,
+        &Light::constant(Lux::ZERO, total),
+        Seconds::new(1.0),
+    )?;
+    let ledger = probe.ledger;
     let avg = ledger.average_current_elapsed();
     println!(
         "average combined draw: {} (paper measurement: 7.6 µA)",

@@ -12,6 +12,7 @@ use eh_analog::astable::{AstableConfig, AstableMultivibrator};
 use eh_analog::components::VoltageDivider;
 use eh_bench::{banner, fmt, render_table};
 use eh_pv::presets;
+use eh_sim::SweepRunner;
 use eh_units::{Farads, Lux, Ohms, Volts};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -38,50 +39,77 @@ fn spread(values: &[f64]) -> Spread {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     const BUILDS: usize = 500;
+    // Draw every build's six tolerance factors serially from the seeded
+    // stream, so the Monte Carlo is reproducible no matter how many sweep
+    // workers evaluate the builds afterwards.
     let mut rng = StdRng::seed_from_u64(2011);
     let mut tol = |pct: f64| 1.0 + pct * (rng.gen::<f64>() * 2.0 - 1.0);
-
-    let mut t_on_ms = Vec::with_capacity(BUILDS);
-    let mut t_off_s = Vec::with_capacity(BUILDS);
-    let mut ratios = Vec::with_capacity(BUILDS);
-    let mut captures = Vec::with_capacity(BUILDS);
+    let draws: Vec<[f64; 6]> = (0..BUILDS)
+        .map(|_| {
+            [
+                tol(0.10),
+                tol(0.05),
+                tol(0.05),
+                tol(0.05),
+                tol(0.05),
+                tol(0.05),
+            ]
+        })
+        .collect();
 
     let cell = presets::sanyo_am1815();
     let lux = Lux::new(1000.0);
     let mpp = cell.mpp(lux)?;
     let voc = cell.open_circuit_voltage(lux)?;
 
-    for _ in 0..BUILDS {
+    type BuildOutcome = Result<(f64, f64, f64, f64), Box<dyn std::error::Error + Send + Sync>>;
+    let builds = SweepRunner::auto().run(draws, |_, d| -> BuildOutcome {
+        let [c_tol, r_chg_tol, r_dis_tol, r_thr_tol, r_top_tol, r_bot_tol] = d;
         // Astable: R ±5 %, film C ±10 %. The nominal design targets
         // 39 ms / 69 s through ln2·R·C.
-        let c_t = 1e-6 * tol(0.10);
-        let r_charge = (0.039 / (1e-6 * std::f64::consts::LN_2)) * tol(0.05);
-        let r_discharge = (69.0 / (1e-6 * std::f64::consts::LN_2)) * tol(0.05);
+        let c_t = 1e-6 * c_tol;
+        let r_charge = (0.039 / (1e-6 * std::f64::consts::LN_2)) * r_chg_tol;
+        let r_discharge = (69.0 / (1e-6 * std::f64::consts::LN_2)) * r_dis_tol;
         let config = AstableConfig {
             supply_voltage: Volts::new(3.3),
             timing_capacitance: Farads::new(c_t),
-            threshold_resistance: Ohms::from_mega(10.0 * tol(0.05)),
+            threshold_resistance: Ohms::from_mega(10.0 * r_thr_tol),
             charge_resistance: Ohms::new(r_charge),
             discharge_resistance: Ohms::new(r_discharge),
             comparator_current: eh_units::Amps::from_micro(0.7),
         };
         let astable = AstableMultivibrator::new(config)?;
         let (t_on, t_off) = astable.analytic_periods();
-        t_on_ms.push(t_on.as_milli());
-        t_off_s.push(t_off.value());
 
         // Divider: R1/R2 ±5 % around the 0.298 trim target.
-        let r_top = 5.0e6 * (1.0 - 0.298) * tol(0.05);
-        let r_bottom = 5.0e6 * 0.298 * tol(0.05);
+        let r_top = 5.0e6 * (1.0 - 0.298) * r_top_tol;
+        let r_bottom = 5.0e6 * 0.298 * r_bot_tol;
         let divider = VoltageDivider::new(Ohms::new(r_top), Ohms::new(r_bottom))?;
         let ratio = divider.ratio();
-        ratios.push(ratio);
 
         // Harvest capture with the untrimmed build: operate at
         // (ratio/α)·Voc instead of the ideal k·Voc.
         let k_eff = ratio / 0.5;
         let p = cell.power_at((voc * k_eff).min(voc), lux)?;
-        captures.push(p.value() / mpp.power.value());
+        Ok((
+            t_on.as_milli(),
+            t_off.value(),
+            ratio,
+            p.value() / mpp.power.value(),
+        ))
+    });
+
+    let mut t_on_ms = Vec::with_capacity(BUILDS);
+    let mut t_off_s = Vec::with_capacity(BUILDS);
+    let mut ratios = Vec::with_capacity(BUILDS);
+    let mut captures = Vec::with_capacity(BUILDS);
+    for build in builds {
+        let (t_on, t_off, ratio, capture) =
+            build.map_err(|e| -> Box<dyn std::error::Error> { e })?;
+        t_on_ms.push(t_on);
+        t_off_s.push(t_off);
+        ratios.push(ratio);
+        captures.push(capture);
     }
 
     banner(&format!(

@@ -12,20 +12,37 @@ use eh_bench::{banner, fmt, render_table};
 use eh_core::baselines::{FixedVoltage, FocvSampleHold};
 use eh_core::MpptController;
 use eh_env::week;
-use eh_node::{Battery, DutyCycledLoad, EnergyStore, NodeSimulation, SimConfig, Supercapacitor};
+use eh_node::{
+    Battery, DutyCycledLoad, EnergyStore, NodeError, NodeSimulation, SimConfig, Supercapacitor,
+};
 use eh_pv::presets;
+use eh_sim::SweepRunner;
 use eh_units::{Farads, Joules, Seconds, Volts};
 
+/// Tracker under comparison; each sweep job builds its own instance so
+/// the rows can run on separate workers.
+#[derive(Clone, Copy)]
+enum Tracker {
+    Focv,
+    Fixed,
+}
+
+const TRACKERS: [Tracker; 2] = [Tracker::Focv, Tracker::Fixed];
+
 fn run(
-    tracker: &mut dyn MpptController,
+    kind: Tracker,
     store: Box<dyn EnergyStore + Send>,
     trace: &eh_env::TimeSeries,
-) -> Result<Vec<String>, Box<dyn std::error::Error>> {
-    let cfg = SimConfig::default_for(presets::sanyo_am1815())
+) -> Result<Vec<String>, NodeError> {
+    let mut tracker: Box<dyn MpptController> = match kind {
+        Tracker::Focv => Box::new(FocvSampleHold::paper_prototype()?),
+        Tracker::Fixed => Box::new(FixedVoltage::indoor_tuned()?),
+    };
+    let cfg = SimConfig::default_for(presets::sanyo_am1815())?
         .with_store(store)
         .with_load(DutyCycledLoad::typical_sensor_node()?);
     let mut sim = NodeSimulation::new(cfg)?;
-    let report = sim.run(tracker, trace, Seconds::new(10.0))?;
+    let report = sim.run(tracker.as_mut(), trace, Seconds::new(10.0))?;
     Ok(vec![
         report.tracker.clone(),
         format!("{}", report.gross_energy),
@@ -51,10 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .with_initial_voltage(Volts::new(4.0)),
         ) as Box<dyn EnergyStore + Send>
     };
-    let rows = vec![
-        run(&mut FocvSampleHold::paper_prototype()?, sc(), &trace)?,
-        run(&mut FixedVoltage::indoor_tuned()?, sc(), &trace)?,
-    ];
+    let rows = SweepRunner::auto()
+        .run(TRACKERS.to_vec(), |_, kind| run(kind, sc(), &trace))
+        .into_iter()
+        .collect::<Result<Vec<_>, NodeError>>()?;
     println!(
         "{}",
         render_table(
@@ -71,10 +88,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .with_state_of_charge(0.5),
         ) as Box<dyn EnergyStore + Send>
     };
-    let rows = vec![
-        run(&mut FocvSampleHold::paper_prototype()?, bat(), &trace)?,
-        run(&mut FixedVoltage::indoor_tuned()?, bat(), &trace)?,
-    ];
+    let rows = SweepRunner::auto()
+        .run(TRACKERS.to_vec(), |_, kind| run(kind, bat(), &trace))
+        .into_iter()
+        .collect::<Result<Vec<_>, NodeError>>()?;
     println!(
         "{}",
         render_table(

@@ -1,5 +1,6 @@
 //! Harvest and tracking-accuracy metrics.
 
+use eh_sim::SweepRunner;
 use eh_units::{Joules, Lux, Ratio, Seconds, Volts};
 
 use crate::error::CoreError;
@@ -23,6 +24,10 @@ pub struct TrackingAccuracyRow {
 /// test three times) with a fully charged rail, reporting `Voc`,
 /// `HELD_SAMPLE` and the implied `k`.
 ///
+/// Intensities are simulated on a machine-sized [`SweepRunner`]; the
+/// runner collects rows in input order, so the table is identical on any
+/// worker count.
+///
 /// # Errors
 ///
 /// Propagates system construction/run errors; rejects `repeats == 0`.
@@ -37,8 +42,7 @@ pub fn tracking_accuracy_table(
             value: 0.0,
         });
     }
-    let mut rows = Vec::with_capacity(intensities.len());
-    for &lux in intensities {
+    let results = SweepRunner::auto().run(intensities.to_vec(), |_, lux| {
         let mut voc_sum = 0.0;
         let mut held_sum = 0.0;
         let mut k_sum = 0.0;
@@ -52,14 +56,14 @@ pub fn tracking_accuracy_table(
             k_sum += report.measured_k.value();
         }
         let n = repeats as f64;
-        rows.push(TrackingAccuracyRow {
+        Ok(TrackingAccuracyRow {
             illuminance: lux,
             open_circuit_voltage: Volts::new(voc_sum / n),
             held_sample: Volts::new(held_sum / n),
             k: Ratio::new(k_sum / n),
-        });
-    }
-    Ok(rows)
+        })
+    });
+    results.into_iter().collect()
 }
 
 /// Summary of a tracker's day-scale harvest.

@@ -3,10 +3,11 @@
 use eh_analog::astable::{AstableConfig, AstableMultivibrator};
 use eh_analog::components::MosfetSwitch;
 use eh_analog::sample_hold::{SampleHold, SampleHoldConfig};
-use eh_analog::{CurrentLedger, Trace};
+use eh_analog::{CurrentLedger, Trace, TracePolicy};
 use eh_converter::{ColdStart, InputRegulatedConverter};
 use eh_env::TimeSeries;
 use eh_pv::{presets, PvCell};
+use eh_sim::{drive, Light, StepInput, StepOutput, Stepper};
 use eh_units::{Amps, Coulombs, Joules, Lux, Ratio, Seconds, Volts};
 
 use crate::error::CoreError;
@@ -36,6 +37,9 @@ pub struct SystemConfig {
     /// Whether to record PULSE / HELD_SAMPLE / PV waveform traces
     /// (memory-heavy on day-scale runs).
     pub record_traces: bool,
+    /// Memory policy applied to recorded traces: full fidelity, fixed
+    /// decimation, or a hard sample-count capacity for day-scale runs.
+    pub trace_policy: TracePolicy,
 }
 
 impl SystemConfig {
@@ -62,6 +66,7 @@ impl SystemConfig {
             alpha: 0.5,
             series_switch: MosfetSwitch::logic_level_nmos(),
             record_traces: false,
+            trace_policy: TracePolicy::Full,
         })
     }
 
@@ -168,6 +173,7 @@ pub struct FocvMpptSystem {
     cold_start_time: Option<Seconds>,
     first_pulse_time: Option<Seconds>,
     last_pv_voltage: Volts,
+    last_lux: Lux,
     traces: Option<SystemTraces>,
 }
 
@@ -195,10 +201,10 @@ impl FocvMpptSystem {
             });
         }
         let traces = config.record_traces.then(|| SystemTraces {
-            pulse: Trace::new("PULSE"),
-            held_sample: Trace::new("HELD_SAMPLE"),
-            pv_voltage: Trace::new("PV_IN"),
-            active: Trace::new("ACTIVE"),
+            pulse: Trace::with_policy("PULSE", config.trace_policy),
+            held_sample: Trace::with_policy("HELD_SAMPLE", config.trace_policy),
+            pv_voltage: Trace::with_policy("PV_IN", config.trace_policy),
+            active: Trace::with_policy("ACTIVE", config.trace_policy),
         });
         Ok(Self {
             cold_start: config.cold_start.clone(),
@@ -217,6 +223,7 @@ impl FocvMpptSystem {
             cold_start_time: None,
             first_pulse_time: None,
             last_pv_voltage: Volts::ZERO,
+            last_lux: Lux::ZERO,
             traces,
             config,
         })
@@ -328,6 +335,7 @@ impl FocvMpptSystem {
     ///
     /// Propagates PV solver failures.
     pub fn step(&mut self, lux: Lux, dt: Seconds) -> Result<SystemStep, CoreError> {
+        self.last_lux = lux;
         let mut remaining = dt.value().max(0.0);
         let mut stored = Joules::ZERO;
         let mut metrology = Coulombs::ZERO;
@@ -516,7 +524,8 @@ impl FocvMpptSystem {
         Ok(state)
     }
 
-    /// Runs at constant illuminance and summarises.
+    /// Runs at constant illuminance and summarises, driven by the shared
+    /// engine in [`eh_sim`].
     ///
     /// # Errors
     ///
@@ -527,50 +536,21 @@ impl FocvMpptSystem {
         duration: Seconds,
         dt: Seconds,
     ) -> Result<RunReport, CoreError> {
-        if duration.value() <= 0.0 || dt.value() <= 0.0 {
-            return Err(CoreError::InvalidParameter {
-                name: "duration_or_dt",
-                value: duration.value().min(dt.value()),
-            });
-        }
-        let mut t = 0.0;
-        while t < duration.value() {
-            let step = dt.value().min(duration.value() - t);
-            self.step(lux, Seconds::new(step))?;
-            t += step;
-        }
+        let light = Light::constant(lux, duration);
+        drive(self, &light, dt)?;
         self.report(lux)
     }
 
-    /// Runs over an illuminance trace (values in lux) and summarises.
+    /// Runs over an illuminance trace (values in lux) and summarises,
+    /// driven by the shared engine in [`eh_sim`].
     ///
     /// # Errors
     ///
     /// Propagates step errors.
     pub fn run_trace(&mut self, trace: &TimeSeries, dt: Seconds) -> Result<RunReport, CoreError> {
-        if dt.value() <= 0.0 {
-            return Err(CoreError::InvalidParameter {
-                name: "dt",
-                value: dt.value(),
-            });
-        }
-        let start = self.time;
-        let mut rel = 0.0;
-        let total = trace.duration().value();
-        let mut last_lux = Lux::ZERO;
-        while rel < total {
-            let seg = dt.value().min(total - rel);
-            let lux = Lux::new(
-                trace
-                    .value_at(trace.start_time() + Seconds::new(rel))
-                    .unwrap_or(0.0)
-                    .max(0.0),
-            );
-            last_lux = lux;
-            self.step(lux, Seconds::new(seg))?;
-            rel = (self.time - start).value();
-        }
-        self.report(last_lux)
+        let light = Light::trace(trace);
+        drive(self, &light, dt)?;
+        self.report(self.last_lux)
     }
 
     /// Builds the summary for the run so far, evaluating the true Voc at
@@ -599,6 +579,19 @@ impl FocvMpptSystem {
             stored_energy: self.stored_energy,
             pv_energy: self.pv_energy,
         })
+    }
+}
+
+/// The full platform as a steppable system: the engine hands it time
+/// slices and illuminance samples; PULSE-edge segmentation happens
+/// inside [`FocvMpptSystem::step`], so the whole planned slice is always
+/// consumed.
+impl Stepper for FocvMpptSystem {
+    type Error = CoreError;
+
+    fn step(&mut self, _t: Seconds, dt: Seconds, input: &StepInput) -> Result<StepOutput, CoreError> {
+        FocvMpptSystem::step(self, input.lux, dt)?;
+        Ok(StepOutput::full(dt))
     }
 }
 

@@ -36,7 +36,7 @@ pub fn compare_trackers(
 ) -> Result<Vec<TrackerComparison>, NodeError> {
     let mut oracle = Oracle::new(cell.clone());
     let oracle_report =
-        NodeSimulation::new(SimConfig::default_for(cell.clone()))?.run(&mut oracle, trace, dt)?;
+        NodeSimulation::new(SimConfig::default_for(cell.clone())?)?.run(&mut oracle, trace, dt)?;
     let oracle_gross = oracle_report.gross_energy;
 
     let mut out = Vec::with_capacity(trackers.len() + 1);
@@ -51,7 +51,7 @@ pub fn compare_trackers(
     });
 
     for tracker in trackers.iter_mut() {
-        let mut sim = NodeSimulation::new(SimConfig::default_for(cell.clone()))?;
+        let mut sim = NodeSimulation::new(SimConfig::default_for(cell.clone())?)?;
         let report = sim.run(*tracker, trace, dt)?;
         out.push(TrackerComparison {
             name: report.tracker.clone(),

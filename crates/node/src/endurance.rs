@@ -28,22 +28,7 @@ pub fn run_windowed(
     window: Seconds,
     dt: Seconds,
 ) -> Result<Vec<NodeReport>, NodeError> {
-    let samples_per_window = (window.value() / trace.dt().value()).round() as usize;
-    if samples_per_window < 2 {
-        return Err(NodeError::InvalidParameter {
-            name: "window",
-            value: window.value(),
-        });
-    }
-    let mut reports = Vec::new();
-    let mut from = 0usize;
-    while from + 1 < trace.len() {
-        let to = (from + samples_per_window + 1).min(trace.len());
-        let day = trace.slice_samples(from, to)?;
-        reports.push(sim.run(tracker, &day, dt)?);
-        from = to - 1; // windows share their boundary sample
-    }
-    Ok(reports)
+    eh_sim::run_windowed(trace, window, |day| sim.run(tracker, day, dt))
 }
 
 #[cfg(test)]
@@ -60,7 +45,7 @@ mod tests {
     fn window_shorter_than_sampling_rejected() {
         let trace = eh_env::profiles::constant(eh_units::Lux::new(100.0), Seconds::new(100.0));
         let mut sim =
-            NodeSimulation::new(SimConfig::default_for(presets::sanyo_am1815())).unwrap();
+            NodeSimulation::new(SimConfig::default_for(presets::sanyo_am1815()).unwrap()).unwrap();
         let mut tracker = FocvSampleHold::paper_prototype().unwrap();
         assert!(run_windowed(
             &mut sim,
@@ -85,6 +70,7 @@ mod tests {
             .unwrap()
             .with_initial_voltage(Volts::new(4.0));
         let cfg = SimConfig::default_for(presets::sanyo_am1815())
+            .unwrap()
             .with_store(Box::new(store));
         let mut sim = NodeSimulation::new(cfg).unwrap();
         let mut tracker = FocvSampleHold::paper_prototype().unwrap();
@@ -112,7 +98,7 @@ mod tests {
             Seconds::from_hours(5.0),
         );
         let mut sim =
-            NodeSimulation::new(SimConfig::default_for(presets::sanyo_am1815())).unwrap();
+            NodeSimulation::new(SimConfig::default_for(presets::sanyo_am1815()).unwrap()).unwrap();
         let mut tracker = FocvSampleHold::paper_prototype().unwrap();
         let reports = run_windowed(
             &mut sim,

@@ -22,7 +22,7 @@
 //! use eh_units::Seconds;
 //!
 //! let trace = profiles::office_desk_mixed(7).decimate(60)?; // 1-min grid
-//! let mut sim = NodeSimulation::new(SimConfig::default_for(presets::sanyo_am1815()))?;
+//! let mut sim = NodeSimulation::new(SimConfig::default_for(presets::sanyo_am1815())?)?;
 //! let report = sim.run(
 //!     &mut FocvSampleHold::paper_prototype()?,
 //!     &trace,

@@ -1,10 +1,11 @@
 //! The closed-loop node simulation engine.
 
 use eh_converter::InputRegulatedConverter;
-use eh_core::{MpptController, Observation, TrackerCommand};
+use eh_core::{CoreError, MpptController, Observation, TrackerCommand};
 use eh_env::TimeSeries;
 use eh_pv::PvCell;
-use eh_units::{Joules, Lux, Seconds, Volts, Watts};
+use eh_sim::{drive, Accumulator, Light, StepInput, StepOutput, Stepper};
+use eh_units::{Amps, Seconds, Volts, Watts};
 
 use crate::error::NodeError;
 use crate::load::DutyCycledLoad;
@@ -29,15 +30,19 @@ pub struct SimConfig {
 impl SimConfig {
     /// A default configuration for a cell: paper-prototype converter,
     /// 39 ms dwell, ideal store, no load.
-    pub fn default_for(cell: PvCell) -> Self {
-        Self {
+    ///
+    /// # Errors
+    ///
+    /// Propagates converter construction failures instead of panicking,
+    /// so library callers can handle them.
+    pub fn default_for(cell: PvCell) -> Result<Self, NodeError> {
+        Ok(Self {
             cell,
-            converter: InputRegulatedConverter::paper_prototype()
-                .expect("prototype constants are valid"),
+            converter: InputRegulatedConverter::paper_prototype().map_err(CoreError::from)?,
             measurement_dwell: Seconds::from_milli(39.0),
             load: None,
             store: Box::new(IdealStore::new()),
-        }
+        })
     }
 
     /// Replaces the store (builder style).
@@ -61,6 +66,7 @@ impl std::fmt::Debug for SimConfig {
             .field("cell", &self.cell.name())
             .field("measurement_dwell", &self.measurement_dwell)
             .field("has_load", &self.load.is_some())
+            .field("store", &self.store.stored_energy())
             .finish()
     }
 }
@@ -94,9 +100,10 @@ impl NodeSimulation {
     }
 
     /// Runs `tracker` over `trace` with nominal step `dt` and returns the
-    /// report. Measurement interruptions advance by the (shorter)
-    /// measurement dwell instead of `dt`, so the cost of a 39 ms PULSE is
-    /// charged honestly rather than rounded up to a full step.
+    /// report, driven by the shared engine in [`eh_sim`]. Measurement
+    /// interruptions advance by the (shorter) measurement dwell instead
+    /// of `dt`, so the cost of a 39 ms PULSE is charged honestly rather
+    /// than rounded up to a full step.
     ///
     /// # Errors
     ///
@@ -107,121 +114,129 @@ impl NodeSimulation {
         trace: &TimeSeries,
         dt: Seconds,
     ) -> Result<NodeReport, NodeError> {
-        if dt.value() <= 0.0 {
-            return Err(NodeError::InvalidParameter {
-                name: "dt",
-                value: dt.value(),
-            });
-        }
-        let total = trace.duration().value();
+        let light = Light::trace(trace);
         let has_sensor = tracker.requires_light_sensor();
-
-        let mut t = 0.0f64;
-        let mut gross = Joules::ZERO;
-        let mut overhead = Joules::ZERO;
-        let mut load_demand = Joules::ZERO;
-        let mut load_served = Joules::ZERO;
-        let mut measurements = 0u64;
-
-        let mut last_voltage = Volts::ZERO;
-        let mut last_current = eh_units::Amps::ZERO;
-        let mut last_power = Watts::ZERO;
-        let mut last_voc: Option<Volts> = None;
-        let mut last_isc: Option<eh_units::Amps> = None;
-
-        while t < total {
-            let lux = Lux::new(
-                trace
-                    .value_at(trace.start_time() + Seconds::new(t))
-                    .unwrap_or(0.0)
-                    .max(0.0),
-            );
-            let obs = Observation {
-                time: Seconds::new(t),
-                pv_voltage: last_voltage,
-                pv_current: last_current,
-                pv_power: last_power,
-                voc_measurement: last_voc.take(),
-                isc_measurement: last_isc.take(),
-                ambient_lux: has_sensor.then_some(lux),
-            };
-            let planned = Seconds::new(dt.value().min(total - t));
-            let cmd: TrackerCommand = tracker.step(&obs, planned);
-
-            let actual = if cmd.is_connect() {
-                planned
-            } else {
-                Seconds::new(self.config.measurement_dwell.value().min(planned.value()))
-            };
-
-            match cmd {
-                TrackerCommand::Connect(target) if target.value() > 0.0 => {
-                    let voc = self.config.cell.open_circuit_voltage(lux)?;
-                    let v_op = target.min(voc);
-                    if v_op.value() > 0.0 {
-                        let i = self.config.cell.current_at(v_op, lux)?.max(eh_units::Amps::ZERO);
-                        let harvest = self.config.converter.harvest(v_op, i, actual);
-                        gross += harvest.output_energy;
-                        self.config.store.deposit(harvest.output_energy);
-                        last_voltage = v_op;
-                        last_current = i;
-                        last_power = harvest.input_power;
-                    } else {
-                        last_voltage = Volts::ZERO;
-                        last_current = eh_units::Amps::ZERO;
-                        last_power = Watts::ZERO;
-                    }
-                }
-                TrackerCommand::Connect(_) => {
-                    last_voltage = Volts::ZERO;
-                    last_current = eh_units::Amps::ZERO;
-                    last_power = Watts::ZERO;
-                }
-                TrackerCommand::MeasureVoc => {
-                    let voc = self.config.cell.open_circuit_voltage(lux)?;
-                    last_voc = Some(voc);
-                    last_voltage = voc;
-                    last_current = eh_units::Amps::ZERO;
-                    last_power = Watts::ZERO;
-                    measurements += 1;
-                }
-                TrackerCommand::MeasureIsc => {
-                    let isc = self.config.cell.short_circuit_current(lux)?;
-                    last_isc = Some(isc);
-                    last_voltage = Volts::ZERO;
-                    last_current = isc;
-                    last_power = Watts::ZERO;
-                    measurements += 1;
-                }
-            }
-
-            // Tracker overhead comes out of the store, harvested or not.
-            let oh = tracker.overhead_power() * actual;
-            overhead += oh;
-            self.config.store.withdraw(oh);
-
-            // Node load.
-            if let Some(load) = &self.config.load {
-                let demand = load.energy_demand(Seconds::new(t), actual);
-                let served = self.config.store.withdraw(demand);
-                load_demand += demand;
-                load_served += served;
-            }
-
-            self.config.store.leak(actual);
-            t += actual.value();
-        }
+        let mut stepper = NodeStepper {
+            config: &mut self.config,
+            tracker: &mut *tracker,
+            has_sensor,
+            acc: Accumulator::new(),
+            last_voltage: Volts::ZERO,
+            last_current: Amps::ZERO,
+            last_power: Watts::ZERO,
+            last_voc: None,
+            last_isc: None,
+        };
+        drive(&mut stepper, &light, dt)?;
+        let acc = stepper.acc;
 
         Ok(NodeReport {
             tracker: tracker.name().to_owned(),
-            duration: Seconds::new(total),
-            gross_energy: gross,
-            overhead_energy: overhead,
-            load_demand,
-            load_served,
+            duration: trace.duration(),
+            gross_energy: acc.gross_energy,
+            overhead_energy: acc.overhead_energy,
+            load_demand: acc.load_demand,
+            load_served: acc.load_served,
             final_store_energy: self.config.store.stored_energy(),
-            measurements,
+            measurements: acc.measurements,
         })
+    }
+}
+
+/// One node-simulation time slice as a steppable system: observe, ask
+/// the tracker for a command, execute it, and report the adaptive dwell
+/// back to the engine.
+struct NodeStepper<'a> {
+    config: &'a mut SimConfig,
+    tracker: &'a mut dyn MpptController,
+    has_sensor: bool,
+    acc: Accumulator,
+    last_voltage: Volts,
+    last_current: Amps,
+    last_power: Watts,
+    last_voc: Option<Volts>,
+    last_isc: Option<Amps>,
+}
+
+impl Stepper for NodeStepper<'_> {
+    type Error = NodeError;
+
+    fn step(&mut self, t: Seconds, planned: Seconds, input: &StepInput) -> Result<StepOutput, NodeError> {
+        let lux = input.lux;
+        let obs = Observation {
+            time: t,
+            pv_voltage: self.last_voltage,
+            pv_current: self.last_current,
+            pv_power: self.last_power,
+            voc_measurement: self.last_voc.take(),
+            isc_measurement: self.last_isc.take(),
+            ambient_lux: self.has_sensor.then_some(lux),
+        };
+        let cmd: TrackerCommand = self.tracker.step(&obs, planned);
+
+        // Adaptive dwell: a measurement interrupts harvesting for the
+        // PULSE width only, not the caller's whole step.
+        let actual = if cmd.is_connect() {
+            planned
+        } else {
+            self.config.measurement_dwell.min(planned)
+        };
+
+        match cmd {
+            TrackerCommand::Connect(target) if target.value() > 0.0 => {
+                let voc = self.config.cell.open_circuit_voltage(lux)?;
+                let v_op = target.min(voc);
+                if v_op.value() > 0.0 {
+                    let i = self.config.cell.current_at(v_op, lux)?.max(Amps::ZERO);
+                    let harvest = self.config.converter.harvest(v_op, i, actual);
+                    self.acc.add_harvest(harvest.output_energy);
+                    self.config.store.deposit(harvest.output_energy);
+                    self.last_voltage = v_op;
+                    self.last_current = i;
+                    self.last_power = harvest.input_power;
+                } else {
+                    self.last_voltage = Volts::ZERO;
+                    self.last_current = Amps::ZERO;
+                    self.last_power = Watts::ZERO;
+                }
+            }
+            TrackerCommand::Connect(_) => {
+                self.last_voltage = Volts::ZERO;
+                self.last_current = Amps::ZERO;
+                self.last_power = Watts::ZERO;
+            }
+            TrackerCommand::MeasureVoc => {
+                let voc = self.config.cell.open_circuit_voltage(lux)?;
+                self.last_voc = Some(voc);
+                self.last_voltage = voc;
+                self.last_current = Amps::ZERO;
+                self.last_power = Watts::ZERO;
+                self.acc.count_measurement();
+            }
+            TrackerCommand::MeasureIsc => {
+                let isc = self.config.cell.short_circuit_current(lux)?;
+                self.last_isc = Some(isc);
+                self.last_voltage = Volts::ZERO;
+                self.last_current = isc;
+                self.last_power = Watts::ZERO;
+                self.acc.count_measurement();
+            }
+        }
+
+        // Tracker overhead comes out of the store, harvested or not.
+        let oh = self.tracker.overhead_power() * actual;
+        self.acc.add_overhead(oh);
+        self.config.store.withdraw(oh);
+
+        // Node load.
+        if let Some(load) = &self.config.load {
+            let demand = load.energy_demand(t, actual);
+            let served = self.config.store.withdraw(demand);
+            self.acc.add_load(demand, served);
+        }
+
+        self.config.store.leak(actual);
+        Ok(StepOutput::dwell(actual))
     }
 }
 
@@ -232,7 +247,7 @@ mod tests {
     use eh_core::baselines::{FocvSampleHold, Oracle, PerturbObserve};
     use eh_env::profiles;
     use eh_pv::presets;
-    use eh_units::Farads;
+    use eh_units::{Farads, Joules, Lux};
 
     fn minute_trace() -> TimeSeries {
         profiles::constant(Lux::new(1000.0), Seconds::from_minutes(30.0))
@@ -240,7 +255,7 @@ mod tests {
 
     #[test]
     fn validation() {
-        let mut cfg = SimConfig::default_for(presets::sanyo_am1815());
+        let mut cfg = SimConfig::default_for(presets::sanyo_am1815()).unwrap();
         cfg.measurement_dwell = Seconds::ZERO;
         assert!(NodeSimulation::new(cfg).is_err());
     }
@@ -248,7 +263,7 @@ mod tests {
     #[test]
     fn focv_harvests_at_constant_light() {
         let mut sim =
-            NodeSimulation::new(SimConfig::default_for(presets::sanyo_am1815())).unwrap();
+            NodeSimulation::new(SimConfig::default_for(presets::sanyo_am1815()).unwrap()).unwrap();
         let mut tracker = FocvSampleHold::paper_prototype().unwrap();
         let report = sim
             .run(&mut tracker, &minute_trace(), Seconds::new(1.0))
@@ -264,7 +279,7 @@ mod tests {
         let trace = minute_trace();
         let run = |tracker: &mut dyn MpptController| {
             let mut sim =
-                NodeSimulation::new(SimConfig::default_for(presets::sanyo_am1815())).unwrap();
+                NodeSimulation::new(SimConfig::default_for(presets::sanyo_am1815()).unwrap()).unwrap();
             sim.run(tracker, &trace, Seconds::new(1.0)).unwrap()
         };
         let focv = run(&mut FocvSampleHold::paper_prototype().unwrap());
@@ -282,7 +297,7 @@ mod tests {
         // The paper's core claim: a 2 mW hill climber eats more than an
         // indoor cell produces.
         let mut sim =
-            NodeSimulation::new(SimConfig::default_for(presets::sanyo_am1815())).unwrap();
+            NodeSimulation::new(SimConfig::default_for(presets::sanyo_am1815()).unwrap()).unwrap();
         let mut tracker = PerturbObserve::literature_default().unwrap();
         let report = sim
             .run(&mut tracker, &minute_trace(), Seconds::new(1.0))
@@ -297,6 +312,7 @@ mod tests {
     #[test]
     fn load_served_from_harvest() {
         let cfg = SimConfig::default_for(presets::sanyo_am1815())
+            .unwrap()
             .with_load(DutyCycledLoad::typical_sensor_node().unwrap())
             .with_store(Box::new(
                 Supercapacitor::new(Farads::new(0.22), Volts::new(5.0), Volts::new(1.8)).unwrap(),
@@ -320,7 +336,7 @@ mod tests {
     fn dark_trace_harvests_nothing() {
         let trace = profiles::constant(Lux::ZERO, Seconds::from_minutes(5.0));
         let mut sim =
-            NodeSimulation::new(SimConfig::default_for(presets::sanyo_am1815())).unwrap();
+            NodeSimulation::new(SimConfig::default_for(presets::sanyo_am1815()).unwrap()).unwrap();
         let mut tracker = FocvSampleHold::paper_prototype().unwrap();
         let report = sim.run(&mut tracker, &trace, Seconds::new(1.0)).unwrap();
         assert_eq!(report.gross_energy, Joules::ZERO);

@@ -1,0 +1,88 @@
+//! Energy bookkeeping shared by report-producing steppers.
+
+use eh_units::Joules;
+
+/// Running energy totals a stepper accrues while being driven.
+///
+/// Every layer that produces a report (core system, node simulation,
+/// endurance windows) tracks the same four ledgers; this struct owns the
+/// arithmetic once so reports are just a snapshot of an accumulator.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Accumulator {
+    /// Energy delivered by the harvester into storage.
+    pub gross_energy: Joules,
+    /// Energy burned by the tracker's own electronics.
+    pub overhead_energy: Joules,
+    /// Energy the load asked for.
+    pub load_demand: Joules,
+    /// Energy the load actually received.
+    pub load_served: Joules,
+    /// Number of open-circuit / short-circuit measurements taken.
+    pub measurements: u64,
+}
+
+impl Accumulator {
+    /// A zeroed ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Credits harvested energy.
+    pub fn add_harvest(&mut self, e: Joules) {
+        self.gross_energy += e;
+    }
+
+    /// Debits tracker overhead.
+    pub fn add_overhead(&mut self, e: Joules) {
+        self.overhead_energy += e;
+    }
+
+    /// Records a load request and how much of it was served.
+    pub fn add_load(&mut self, demand: Joules, served: Joules) {
+        self.load_demand += demand;
+        self.load_served += served;
+    }
+
+    /// Counts one measurement interruption (Voc or Isc).
+    pub fn count_measurement(&mut self) {
+        self.measurements += 1;
+    }
+
+    /// Harvested energy net of tracker overhead.
+    pub fn net_energy(&self) -> Joules {
+        self.gross_energy - self.overhead_energy
+    }
+
+    /// Fraction of demanded load energy that was served (1.0 when the
+    /// load never asked for anything).
+    pub fn load_availability(&self) -> f64 {
+        if self.load_demand.value() <= 0.0 {
+            1.0
+        } else {
+            self.load_served / self.load_demand
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledgers_accumulate_independently() {
+        let mut a = Accumulator::new();
+        a.add_harvest(Joules::new(3.0));
+        a.add_overhead(Joules::new(0.5));
+        a.add_load(Joules::new(2.0), Joules::new(1.0));
+        a.count_measurement();
+        a.count_measurement();
+        assert_eq!(a.net_energy(), Joules::new(2.5));
+        assert_eq!(a.load_availability(), 0.5);
+        assert_eq!(a.measurements, 2);
+    }
+
+    #[test]
+    fn idle_load_counts_as_fully_available() {
+        assert_eq!(Accumulator::new().load_availability(), 1.0);
+    }
+}

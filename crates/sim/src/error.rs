@@ -1,0 +1,64 @@
+//! Error type for the simulation engine.
+
+use std::error::Error;
+use std::fmt;
+
+use eh_env::EnvError;
+
+/// Errors raised by the simulation engine itself, before a stepper's own
+/// error type gets involved.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A driver parameter (time step, duration, window, worker count) was
+    /// non-positive or non-finite.
+    InvalidParameter {
+        /// Which parameter was rejected.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// An environment-layer error while slicing or sampling a time series.
+    Env(EnvError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidParameter { name, value } => {
+                write!(f, "invalid simulation parameter `{name}`: {value}")
+            }
+            SimError::Env(e) => write!(f, "environment error: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Env(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EnvError> for SimError {
+    fn from(e: EnvError) -> Self {
+        SimError::Env(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_parameter() {
+        let e = SimError::InvalidParameter {
+            name: "dt",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("dt"));
+        assert!(e.to_string().contains("-1"));
+    }
+}

@@ -1,0 +1,38 @@
+//! `eh-sim` — the shared simulation engine.
+//!
+//! Every experiment layer in this workspace used to own a private copy
+//! of the same loop: advance a clock through a light profile, hand each
+//! slice to the system under test, honour the short measurement dwell
+//! when the FOCV tracker fires its 39 ms `PULSE`, and accumulate energy
+//! ledgers into a report. This crate owns that loop once:
+//!
+//! - [`Stepper`] is the contract a simulated system implements;
+//! - [`Light`] unifies constant-level and trace-driven illumination;
+//! - [`drive`] is the time-stepping engine with adaptive-dwell clamping;
+//! - [`split_windows`]/[`run_windowed`] are the shared windowed-endurance
+//!   core;
+//! - [`Scenario`] binds a stepper to a light profile and a `dt`;
+//! - [`SweepRunner`] fans scenarios across scoped threads with stable,
+//!   input-order collection, so sweeps are bit-for-bit deterministic
+//!   regardless of worker count;
+//! - [`Accumulator`] is the common energy ledger behind reports.
+//!
+//! The crate is std-only by design: the build environment has no crate
+//! registry access, so parallelism comes from `std::thread::scope`
+//! rather than an external thread pool.
+
+mod accumulator;
+mod engine;
+mod error;
+mod light;
+mod scenario;
+mod stepper;
+mod sweep;
+
+pub use accumulator::Accumulator;
+pub use engine::{drive, run_windowed, split_windows};
+pub use error::SimError;
+pub use light::Light;
+pub use scenario::Scenario;
+pub use stepper::{StepInput, StepOutput, Stepper};
+pub use sweep::SweepRunner;

@@ -1,0 +1,78 @@
+//! Scenarios: a stepper bound to a light profile and a time step.
+
+use eh_units::Seconds;
+
+use crate::engine::drive;
+use crate::light::Light;
+use crate::stepper::Stepper;
+
+/// One labelled simulation run: a stepper, the light it sees, and the
+/// nominal time step to drive it with. Scenarios are the unit of work a
+/// [`crate::SweepRunner`] fans out across threads.
+#[derive(Debug, Clone)]
+pub struct Scenario<'a, S> {
+    label: String,
+    stepper: S,
+    light: Light<'a>,
+    dt: Seconds,
+}
+
+impl<'a, S: Stepper> Scenario<'a, S> {
+    /// Binds a stepper to a light profile under a human-readable label.
+    pub fn new(label: impl Into<String>, stepper: S, light: Light<'a>, dt: Seconds) -> Self {
+        Self {
+            label: label.into(),
+            stepper,
+            light,
+            dt,
+        }
+    }
+
+    /// The scenario's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Drives the stepper across the whole light profile, returning the
+    /// finished stepper so the caller can extract its report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine and stepper errors from [`drive`].
+    pub fn run(mut self) -> Result<S, S::Error> {
+        drive(&mut self.stepper, &self.light, self.dt)?;
+        Ok(self.stepper)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::SimError;
+    use crate::stepper::{StepInput, StepOutput};
+    use eh_units::Lux;
+
+    struct Counter(u64);
+
+    impl Stepper for Counter {
+        type Error = SimError;
+
+        fn step(&mut self, _t: Seconds, dt: Seconds, _i: &StepInput) -> Result<StepOutput, SimError> {
+            self.0 += 1;
+            Ok(StepOutput::full(dt))
+        }
+    }
+
+    #[test]
+    fn run_returns_the_finished_stepper() {
+        let sc = Scenario::new(
+            "count",
+            Counter(0),
+            Light::constant(Lux::new(1.0), Seconds::new(5.0)),
+            Seconds::new(1.0),
+        );
+        assert_eq!(sc.label(), "count");
+        let done = sc.run().unwrap();
+        assert_eq!(done.0, 5);
+    }
+}

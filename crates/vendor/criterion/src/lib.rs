@@ -1,0 +1,207 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crate registry access, so this vendored
+//! crate implements the API slice the workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkId::from_parameter`], [`black_box`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — over a simple
+//! wall-clock harness: a short warm-up, then timed batches, reporting
+//! the per-iteration mean and min to stdout. No statistics engine, no
+//! HTML reports; enough to compare hot paths release-to-release.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one parameterised benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a parameter's `Display` form.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+
+    /// Builds an id from a function name and a parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Timing loop handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_per_batch: u64,
+    batches: u64,
+    mean: Duration,
+    min: Duration,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Self {
+            iters_per_batch: 0,
+            batches: sample_size.max(2) as u64,
+            mean: Duration::ZERO,
+            min: Duration::MAX,
+        }
+    }
+
+    /// Runs `f` repeatedly and records per-iteration wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: aim for batches of roughly 5 ms, minimum 1 iter.
+        let t0 = Instant::now();
+        black_box(f());
+        let one = t0.elapsed().max(Duration::from_nanos(1));
+        let per_batch = (Duration::from_millis(5).as_nanos() / one.as_nanos()).max(1);
+        self.iters_per_batch = u64::try_from(per_batch).unwrap_or(u64::MAX).min(1_000_000);
+
+        let mut total = Duration::ZERO;
+        for _ in 0..self.batches {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_batch {
+                black_box(f());
+            }
+            let batch = start.elapsed();
+            let per_iter = batch / u32::try_from(self.iters_per_batch).unwrap_or(u32::MAX);
+            self.min = self.min.min(per_iter);
+            total += batch;
+        }
+        self.mean = total / u32::try_from(self.batches * self.iters_per_batch).unwrap_or(u32::MAX);
+    }
+}
+
+/// Top-level harness, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        run_one(name.as_ref(), 10, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, name.as_ref()),
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Runs a parameterised benchmark within the group.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.label), self.sample_size, |b| {
+            f(b, input);
+        });
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher::new(sample_size);
+    f(&mut b);
+    println!(
+        "bench {name:<44} mean {:>12?}  min {:>12?}  ({} iters)",
+        b.mean,
+        b.min,
+        b.batches * b.iters_per_batch
+    );
+}
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        /// Benchmark group entry point generated by `criterion_group!`.
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop_sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3)
+            .bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+                b.iter(|| n * 2)
+            });
+        g.finish();
+    }
+}

@@ -1,0 +1,101 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crate registry access, so this vendored
+//! crate implements the slice of the `proptest` 1.x API the workspace's
+//! property tests use:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header;
+//! * range strategies over `f64` / `usize` / `u64` / `i32`;
+//! * [`collection::vec`] for random-length vectors;
+//! * [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assume!`].
+//!
+//! Semantics differ from upstream in two deliberate ways: inputs are
+//! drawn from a deterministic per-test generator (seeded from the test
+//! name) so failures reproduce exactly without a persistence file, and
+//! there is no shrinking — a failing case panics with its inputs
+//! reported by the assertion message instead.
+
+pub mod strategy;
+
+pub mod collection;
+
+pub mod test_runner;
+
+/// The glob-importable surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a property test case.
+///
+/// Upstream returns a `TestCaseError`; this stand-in simply panics,
+/// which aborts the whole test with the offending inputs visible in the
+/// assertion message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+///
+/// Expands to an early `return` from the generated per-case closure, so
+/// the runner simply moves on to the next case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` that runs `body` over many sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cases = ($cfg).cases; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cases = 256u32; $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cases = $cases:expr;
+     $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases: u32 = $cases;
+                let mut rng =
+                    $crate::test_runner::TestRng::from_name(stringify!($name));
+                for _ in 0..cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::sample(&($strat), &mut rng);
+                    )*
+                    let case = move || $body;
+                    case();
+                }
+            }
+        )*
+    };
+}

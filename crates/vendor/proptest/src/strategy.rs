@@ -1,0 +1,113 @@
+//! Input strategies: how a test argument is drawn from the generator.
+
+use std::ops::Range;
+
+use crate::test_runner::TestRng;
+
+/// A source of random values of one type, mirroring `proptest::strategy::Strategy`.
+///
+/// Upstream strategies produce shrinkable value *trees*; this offline
+/// stand-in samples plain values — on failure the assertion message
+/// reports the un-shrunk inputs.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        debug_assert!(self.start < self.end, "empty f64 range strategy");
+        let span = self.end - self.start;
+        let v = self.start + rng.unit_f64() * span;
+        // Guard the half-open contract against rounding at the top end.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        debug_assert!(self.start < self.end, "empty usize range strategy");
+        let span = (self.end - self.start) as u64;
+        self.start + rng.below(span) as usize
+    }
+}
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+
+    fn sample(&self, rng: &mut TestRng) -> u64 {
+        debug_assert!(self.start < self.end, "empty u64 range strategy");
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+impl Strategy for Range<u32> {
+    type Value = u32;
+
+    fn sample(&self, rng: &mut TestRng) -> u32 {
+        debug_assert!(self.start < self.end, "empty u32 range strategy");
+        self.start + rng.below(u64::from(self.end - self.start)) as u32
+    }
+}
+
+impl Strategy for Range<i32> {
+    type Value = i32;
+
+    fn sample(&self, rng: &mut TestRng) -> i32 {
+        debug_assert!(self.start < self.end, "empty i32 range strategy");
+        let span = i64::from(self.end) - i64::from(self.start);
+        let off = rng.below(span as u64) as i64;
+        (i64::from(self.start) + off) as i32
+    }
+}
+
+// Strategies are frequently produced by helper functions returning
+// `impl Strategy` and then sampled behind a reference inside the
+// generated test body; a blanket reference impl keeps both spellings
+// working.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_range_stays_in_bounds() {
+        let mut rng = TestRng::from_name("f64");
+        let s = -2.0..3.0f64;
+        for _ in 0..10_000 {
+            let v = s.sample(&mut rng);
+            assert!((-2.0..3.0).contains(&v), "v = {v}");
+        }
+    }
+
+    #[test]
+    fn usize_range_covers_and_bounds() {
+        let mut rng = TestRng::from_name("usize");
+        let s = 2usize..9;
+        let mut seen = [false; 9];
+        for _ in 0..1_000 {
+            let v = s.sample(&mut rng);
+            assert!((2..9).contains(&v));
+            seen[v] = true;
+        }
+        assert!(seen[2..9].iter().all(|&b| b), "all values reachable");
+    }
+}

@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Deployed with a charged store so the node survives the first night.
     let store = Supercapacitor::new(Farads::new(0.22), Volts::new(5.0), Volts::new(1.8))?
         .with_initial_voltage(Volts::new(4.0));
-    let config = SimConfig::default_for(presets::sanyo_am1815())
+    let config = SimConfig::default_for(presets::sanyo_am1815())?
         .with_store(Box::new(store))
         .with_load(DutyCycledLoad::typical_sensor_node()?);
 

@@ -13,6 +13,9 @@
 //! * [`converter`] — input-regulated buck-boost converter and cold-start.
 //! * [`core`] — the paper's FOCV sample-and-hold MPPT system plus the
 //!   baseline trackers it is compared against.
+//! * [`sim`] — the shared simulation engine: [`sim::Stepper`] steppers,
+//!   [`sim::drive`] time-stepping with adaptive dwell, and the
+//!   deterministic [`sim::SweepRunner`] scenario fan-out.
 //! * [`node`] — closed-loop wireless-sensor-node simulations.
 
 #![forbid(unsafe_code)]
@@ -24,4 +27,5 @@ pub use eh_core as core;
 pub use eh_env as env;
 pub use eh_node as node;
 pub use eh_pv as pv;
+pub use eh_sim as sim;
 pub use eh_units as units;

@@ -98,7 +98,9 @@ fn sizing_matches_simulation() {
     // Simulate the same 8 h of darkness and measure the overhead+load
     // energy the engine actually books.
     let trace = pv_mppt_repro::env::profiles::constant(Lux::ZERO, Seconds::from_hours(hours));
-    let cfg = SimConfig::default_for(presets::sanyo_am1815()).with_load(load);
+    let cfg = SimConfig::default_for(presets::sanyo_am1815())
+        .unwrap()
+        .with_load(load);
     let mut sim = NodeSimulation::new(cfg).expect("valid sim");
     let mut t = FocvSampleHold::paper_prototype().expect("valid tracker");
     let report = sim.run(&mut t, &trace, Seconds::new(10.0)).expect("run succeeds");
@@ -118,7 +120,7 @@ fn endurance_three_days() {
     .expect("valid sequence")
     .decimate(120)
     .expect("valid decimation");
-    let mut sim = NodeSimulation::new(SimConfig::default_for(presets::sanyo_am1815()))
+    let mut sim = NodeSimulation::new(SimConfig::default_for(presets::sanyo_am1815()).unwrap())
         .expect("valid sim");
     let mut tracker = FocvSampleHold::paper_prototype().expect("valid tracker");
     let reports = endurance::run_windowed(

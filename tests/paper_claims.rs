@@ -173,7 +173,7 @@ fn full_day_closed_loop_smoke() {
     let day = profiles::office_desk_mixed(99)
         .decimate(30)
         .expect("decimate succeeds");
-    let mut sim = NodeSimulation::new(SimConfig::default_for(presets::sanyo_am1815()))
+    let mut sim = NodeSimulation::new(SimConfig::default_for(presets::sanyo_am1815()).unwrap())
         .expect("valid config");
     let mut tracker = FocvSampleHold::paper_prototype().expect("valid tracker");
     let report = sim
