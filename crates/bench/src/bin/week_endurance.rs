@@ -15,7 +15,7 @@ use eh_env::week;
 use eh_node::{
     Battery, DutyCycledLoad, EnergyStore, NodeError, NodeSimulation, SimConfig, Supercapacitor,
 };
-use eh_pv::presets;
+use eh_pv::{presets, PvCell};
 use eh_sim::SweepRunner;
 use eh_units::{Farads, Joules, Seconds, Volts};
 
@@ -31,6 +31,7 @@ const TRACKERS: [Tracker; 2] = [Tracker::Focv, Tracker::Fixed];
 
 fn run(
     kind: Tracker,
+    cell: &PvCell,
     store: Box<dyn EnergyStore + Send>,
     trace: &eh_env::TimeSeries,
 ) -> Result<Vec<String>, NodeError> {
@@ -38,7 +39,8 @@ fn run(
         Tracker::Focv => Box::new(FocvSampleHold::paper_prototype()?),
         Tracker::Fixed => Box::new(FixedVoltage::indoor_tuned()?),
     };
-    let cfg = SimConfig::default_for(presets::sanyo_am1815())?
+    let cfg = SimConfig::default_for(cell.clone())?
+        .with_pv_cache(true)
         .with_store(store)
         .with_load(DutyCycledLoad::typical_sensor_node()?);
     let mut sim = NodeSimulation::new(cfg)?;
@@ -59,6 +61,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "deployment week: {} days of light trace, duty-cycled sense+TX load",
         trace.duration().as_hours() / 24.0
     );
+    // One pre-warmed operating-point cache, shared by every sweep job
+    // (clones of a warmed cell share the table). Re-run with
+    // `with_pv_cache(false)` in `run` to cross-check against the exact
+    // solver — see BENCH_pv_cache.json for the measured agreement.
+    let cell = presets::sanyo_am1815().with_cache(true);
+    cell.cached()?;
 
     banner("0.22 F supercapacitor (deployed charged to 4 V)");
     let sc = || {
@@ -69,7 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ) as Box<dyn EnergyStore + Send>
     };
     let rows = SweepRunner::auto()
-        .run(TRACKERS.to_vec(), |_, kind| run(kind, sc(), &trace))
+        .run(TRACKERS.to_vec(), |_, kind| run(kind, &cell, sc(), &trace))
         .into_iter()
         .collect::<Result<Vec<_>, NodeError>>()?;
     println!(
@@ -89,7 +97,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ) as Box<dyn EnergyStore + Send>
     };
     let rows = SweepRunner::auto()
-        .run(TRACKERS.to_vec(), |_, kind| run(kind, bat(), &trace))
+        .run(TRACKERS.to_vec(), |_, kind| run(kind, &cell, bat(), &trace))
         .into_iter()
         .collect::<Result<Vec<_>, NodeError>>()?;
     println!(

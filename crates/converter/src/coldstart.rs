@@ -142,6 +142,11 @@ impl ColdStart {
         self.v_c1
     }
 
+    /// The reservoir capacitance C1 (47 µF in the paper's prototype).
+    pub fn capacitance(&self) -> Farads {
+        self.capacitance
+    }
+
     /// The voltage the PV module must exceed for the charging path to
     /// conduct (C1 voltage plus the diode drop).
     pub fn charging_knee(&self) -> Volts {

@@ -37,6 +37,11 @@ pub struct SystemConfig {
     /// Whether to record PULSE / HELD_SAMPLE / PV waveform traces
     /// (memory-heavy on day-scale runs).
     pub record_traces: bool,
+    /// Whether the cell answers hot-path queries from the memoized
+    /// [`eh_pv::CachedPvSurface`] instead of the exact implicit solver
+    /// (accurate to the documented error bound; `false` keeps the exact
+    /// reference path for validation runs).
+    pub pv_cache: bool,
     /// Memory policy applied to recorded traces: full fidelity, fixed
     /// decimation, or a hard sample-count capacity for day-scale runs.
     pub trace_policy: TracePolicy,
@@ -67,6 +72,7 @@ impl SystemConfig {
             series_switch: MosfetSwitch::logic_level_nmos(),
             record_traces: false,
             trace_policy: TracePolicy::Full,
+            pv_cache: false,
         })
     }
 
@@ -206,10 +212,15 @@ impl FocvMpptSystem {
             pv_voltage: Trace::with_policy("PV_IN", config.trace_policy),
             active: Trace::with_policy("ACTIVE", config.trace_policy),
         });
+        let cell = config.cell.clone().with_cache(config.pv_cache);
+        if config.pv_cache {
+            // Build the surface now so step timing is pure lookups.
+            cell.cached()?;
+        }
         Ok(Self {
             cold_start: config.cold_start.clone(),
             converter: config.converter.clone(),
-            cell: config.cell.clone(),
+            cell,
             astable,
             sample_hold,
             time: Seconds::ZERO,
@@ -333,10 +344,18 @@ impl FocvMpptSystem {
     ///
     /// # Errors
     ///
-    /// Propagates PV solver failures.
+    /// Rejects non-finite or non-positive `dt` with
+    /// [`CoreError::InvalidParameter`] (matching `NodeSimulation`'s
+    /// validation); propagates PV solver failures.
     pub fn step(&mut self, lux: Lux, dt: Seconds) -> Result<SystemStep, CoreError> {
+        if !(dt.value().is_finite() && dt.value() > 0.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "dt",
+                value: dt.value(),
+            });
+        }
         self.last_lux = lux;
-        let mut remaining = dt.value().max(0.0);
+        let mut remaining = dt.value();
         let mut stored = Joules::ZERO;
         let mut metrology = Coulombs::ZERO;
         let mut last_state = if self.cold_start.rail_on() {
@@ -357,6 +376,12 @@ impl FocvMpptSystem {
                 if self.cold_start_time.is_none() {
                     self.cold_start_time = Some(self.time);
                 }
+            }
+            // Rail collapse: the astable dies with the rail, so PULSE is no
+            // longer high — forget the edge state, or the power-up PULSE
+            // after recovery would be miscounted as no rising edge.
+            if !rail_on && self.rail_was_on {
+                self.pulse_was_high = false;
             }
             self.rail_was_on = rail_on;
 
@@ -510,9 +535,14 @@ impl FocvMpptSystem {
         // surplus goes to storage.
         let v_rail = self.cold_start.rail_voltage().max(Volts::new(0.5));
         let avail_q = Coulombs::new(harvest_energy.value() / v_rail.value());
+        // Top the rail up to the configured astable supply (the rail IS the
+        // metrology supply), sized by the configured C1 — not the paper's
+        // 3.3 V / 47 µF, which would mis-account any re-trimmed build.
         let top_up_needed = Coulombs::new(
-            (Volts::new(3.3) - self.cold_start.rail_voltage()).max(Volts::ZERO).value()
-                * 47e-6,
+            (self.config.astable.supply_voltage - self.cold_start.rail_voltage())
+                .max(Volts::ZERO)
+                .value()
+                * self.cold_start.capacitance().value(),
         );
         let used_for_rail = avail_q.min(load_q + top_up_needed);
         self.cold_start
@@ -806,5 +836,117 @@ mod tests {
                 .pulses
         };
         assert_eq!(run(0.5), run(0.013));
+    }
+
+    #[test]
+    fn non_positive_or_nan_dt_rejected() {
+        let mut sys = charged_system();
+        for dt in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = sys.step(Lux::new(500.0), Seconds::new(dt));
+            assert!(
+                matches!(err, Err(CoreError::InvalidParameter { name: "dt", .. })),
+                "dt = {dt} must be rejected, got {err:?}"
+            );
+        }
+        // A rejected step must not have advanced time or state.
+        assert_eq!(sys.time(), Seconds::ZERO);
+        assert_eq!(sys.pulses(), 0);
+    }
+
+    #[test]
+    fn rail_top_up_respects_configured_supply_voltage() {
+        // Re-trim the astable supply to 2.5 V. The rail top-up must then
+        // stop near 2.5 V; with the hard-coded 3.3 V target the rail is
+        // driven all the way to C1's clamp.
+        let mut cfg = SystemConfig::paper_prototype().unwrap();
+        cfg.astable = AstableConfig::from_periods(
+            Volts::new(2.5),
+            eh_units::Farads::from_micro(1.0),
+            eh_units::Ohms::from_mega(10.0),
+            Seconds::from_milli(39.0),
+            Seconds::new(69.0),
+        )
+        .unwrap();
+        cfg.cold_start.set_rail_voltage(Volts::new(2.5));
+        let mut sys = FocvMpptSystem::new(cfg).unwrap();
+        let mut last = Volts::ZERO;
+        let mut t = 0.0;
+        while t < 150.0 {
+            last = sys.step(Lux::new(1000.0), Seconds::new(0.05)).unwrap().rail_voltage;
+            t += 0.05;
+        }
+        assert!(
+            last.value() < 2.7,
+            "rail climbed to {last} despite a 2.5 V configured supply"
+        );
+    }
+
+    #[test]
+    fn rail_top_up_respects_configured_capacitance() {
+        // With a 1 µF C1, the hard-coded 47 µF top-up requests ~47× the
+        // charge the rail can absorb; C1 clamps at v_max and the excess is
+        // silently burned every segment instead of being stored. Stored
+        // energy must be (nearly) independent of C1 once the rail is up.
+        // A 0.1 µF astable timing cap keeps the PULSE recharge draw small
+        // enough that a 1 µF rail rides through the pulse on its own.
+        let run = |cap_uf: f64| {
+            let mut cfg = SystemConfig::paper_prototype().unwrap();
+            cfg.astable = AstableConfig::from_periods(
+                Volts::new(3.3),
+                eh_units::Farads::from_micro(0.1),
+                eh_units::Ohms::from_mega(10.0),
+                Seconds::from_milli(39.0),
+                Seconds::new(69.0),
+            )
+            .unwrap();
+            cfg.cold_start = ColdStart::new(
+                eh_units::Farads::from_micro(cap_uf),
+                Volts::new(2.2),
+                Volts::new(1.8),
+                Volts::new(3.3),
+                Volts::new(0.3),
+            )
+            .unwrap();
+            cfg.cold_start.set_rail_voltage(Volts::new(3.3));
+            let mut sys = FocvMpptSystem::new(cfg).unwrap();
+            sys.run_constant(Lux::new(1000.0), Seconds::new(150.0), Seconds::new(0.05))
+                .unwrap()
+                .stored_energy
+                .value()
+        };
+        let small = run(1.0);
+        let paper = run(47.0);
+        let rel = (small - paper).abs() / paper;
+        assert!(
+            rel < 0.02,
+            "stored energy depends on C1 size: {small} J vs {paper} J (rel {rel:.3})"
+        );
+    }
+
+    #[test]
+    fn cached_system_matches_exact_tracking() {
+        // The cache toggle must not move the paper's headline numbers:
+        // same pulse count, measured k within the documented error bound's
+        // effect, energies within a fraction of a percent.
+        let run = |cached: bool| {
+            let mut cfg = SystemConfig::paper_prototype().unwrap();
+            cfg.pv_cache = cached;
+            cfg.cold_start.set_rail_voltage(Volts::new(3.3));
+            let mut sys = FocvMpptSystem::new(cfg).unwrap();
+            sys.run_constant(Lux::new(1000.0), Seconds::new(150.0), Seconds::new(0.05))
+                .unwrap()
+        };
+        let exact = run(false);
+        let cached = run(true);
+        assert_eq!(exact.pulses, cached.pulses);
+        assert!(
+            (exact.measured_k.value() - cached.measured_k.value()).abs() < 1e-3,
+            "k diverged: exact {} vs cached {}",
+            exact.measured_k,
+            cached.measured_k
+        );
+        let e_rel = (exact.stored_energy.value() - cached.stored_energy.value()).abs()
+            / exact.stored_energy.value();
+        assert!(e_rel < 5e-3, "stored energy diverged by {e_rel:.2e}");
     }
 }

@@ -25,6 +25,11 @@ pub struct SimConfig {
     pub load: Option<DutyCycledLoad>,
     /// The energy store.
     pub store: Box<dyn EnergyStore + Send>,
+    /// Whether the cell answers hot-path queries from the memoized
+    /// [`eh_pv::CachedPvSurface`] instead of the exact implicit solver
+    /// (accurate to the documented error bound; `false` keeps the exact
+    /// reference path for validation runs).
+    pub pv_cache: bool,
 }
 
 impl SimConfig {
@@ -42,6 +47,7 @@ impl SimConfig {
             measurement_dwell: Seconds::from_milli(39.0),
             load: None,
             store: Box::new(IdealStore::new()),
+            pv_cache: false,
         })
     }
 
@@ -58,6 +64,13 @@ impl SimConfig {
         self.load = Some(load);
         self
     }
+
+    /// Enables or disables the PV operating-point cache (builder style).
+    #[must_use]
+    pub fn with_pv_cache(mut self, enabled: bool) -> Self {
+        self.pv_cache = enabled;
+        self
+    }
 }
 
 impl std::fmt::Debug for SimConfig {
@@ -67,6 +80,7 @@ impl std::fmt::Debug for SimConfig {
             .field("measurement_dwell", &self.measurement_dwell)
             .field("has_load", &self.load.is_some())
             .field("store", &self.store.stored_energy())
+            .field("pv_cache", &self.pv_cache)
             .finish()
     }
 }
@@ -84,12 +98,18 @@ impl NodeSimulation {
     /// # Errors
     ///
     /// Rejects a non-positive measurement dwell.
-    pub fn new(config: SimConfig) -> Result<Self, NodeError> {
+    pub fn new(mut config: SimConfig) -> Result<Self, NodeError> {
         if !(config.measurement_dwell.value().is_finite() && config.measurement_dwell.value() > 0.0) {
             return Err(NodeError::InvalidParameter {
                 name: "measurement_dwell",
                 value: config.measurement_dwell.value(),
             });
+        }
+        config.cell = config.cell.clone().with_cache(config.pv_cache);
+        if config.pv_cache {
+            // Build the surface now so run timing is pure lookups (a
+            // no-op when a warmed cell was cloned into this config).
+            config.cell.cached().map_err(CoreError::from)?;
         }
         Ok(Self { config })
     }
@@ -342,5 +362,30 @@ mod tests {
         assert_eq!(report.gross_energy, Joules::ZERO);
         assert!(report.overhead_energy.value() > 0.0);
         assert!(!report.is_net_positive());
+    }
+
+    #[test]
+    fn cached_run_matches_exact_report() {
+        // The pv_cache toggle must not move the closed-loop report beyond
+        // the cache's documented error bound: same measurement count,
+        // energies within a fraction of a percent.
+        let run = |cached: bool| {
+            let cfg = SimConfig::default_for(presets::sanyo_am1815())
+                .unwrap()
+                .with_pv_cache(cached);
+            let mut sim = NodeSimulation::new(cfg).unwrap();
+            let mut tracker = FocvSampleHold::paper_prototype().unwrap();
+            sim.run(&mut tracker, &minute_trace(), Seconds::new(1.0))
+                .unwrap()
+        };
+        let exact = run(false);
+        let cached = run(true);
+        assert_eq!(exact.measurements, cached.measurements);
+        let gross_rel = (exact.gross_energy.value() - cached.gross_energy.value()).abs()
+            / exact.gross_energy.value();
+        assert!(gross_rel < 5e-3, "gross energy diverged by {gross_rel:.2e}");
+        let overhead_rel = (exact.overhead_energy.value() - cached.overhead_energy.value()).abs()
+            / exact.overhead_energy.value();
+        assert!(overhead_rel < 5e-3, "overhead diverged by {overhead_rel:.2e}");
     }
 }

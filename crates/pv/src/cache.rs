@@ -1,0 +1,389 @@
+//! The PV operating-point cache: a memoized interpolation table over a
+//! cell's I-V surface that takes the implicit single-diode solver off
+//! the simulation hot path.
+//!
+//! Every closed-loop step of the node and system engines resolves the
+//! same smooth surface `I(V, lux)` at one `(model, temperature)` — and
+//! the exact solver pays a 60–100-iteration bisection/Newton for each
+//! query. [`CachedPvSurface`] replaces those solves with table lookups:
+//!
+//! * a 1-D table `Voc(lux)`, linear in log-lux (the Voc law *is*
+//!   logarithmic, so the interpolant is nearly exact);
+//! * a 1-D table `Isc(lux)`, linear in lux within each log-spaced cell
+//!   (`Isc` is near-linear in illuminance);
+//! * a 2-D shape table `s(lux, u) = I(u·Voc(lux), lux) / Isc(lux)` over
+//!   a log-lux × normalized-voltage grid, interpolated bilinearly.
+//!
+//! Normalizing the voltage axis by `Voc(lux)` and the current by
+//! `Isc(lux)` keeps the interpolated quantity slowly varying in both
+//! directions, which is what buys the documented error bound with a
+//! sub-megabyte table.
+//!
+//! # Error bound and domain
+//!
+//! Inside the cached domain — `lux ∈ [0.05, 2·10⁵]` and
+//! `0 ≤ V ≤ Voc(lux)` — the cache guarantees
+//! `|I_cached − I_exact| / Isc_exact(lux) <` [`CachedPvSurface::REL_CURRENT_ERROR_BOUND`]
+//! and `|Voc_cached − Voc_exact| <` [`CachedPvSurface::VOC_ERROR_BOUND_VOLTS`];
+//! both are validated against the exact solver by the property tests in
+//! `crates/pv/tests/cache_surface.rs` and measurable at runtime via
+//! [`CachedPvSurface::validate_against_exact`]. Outside the domain
+//! (dark, dimmer than 0.05 lux, brighter than 200 klux, or beyond Voc)
+//! every query **falls back to the exact solver**, so out-of-domain
+//! answers are bit-identical to the uncached path.
+
+use eh_units::{Amps, Kelvin, Lux, Volts, Watts};
+
+use crate::error::PvError;
+use crate::model::SingleDiodeModel;
+
+/// Log-spaced illuminance grid lines.
+const N_LUX: usize = 121;
+/// Uniform normalized-voltage grid lines per illuminance.
+const N_V: usize = 513;
+/// Lower edge of the cached illuminance domain, in lux.
+const LUX_MIN: f64 = 0.05;
+/// Upper edge of the cached illuminance domain, in lux.
+const LUX_MAX: f64 = 2.0e5;
+
+#[inline]
+fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + (b - a) * t
+}
+
+/// `exp(x) − 1` with the argument clamped to avoid overflow (mirrors the
+/// exact solver's clamping).
+#[inline]
+fn exp_m1_clamped(x: f64) -> f64 {
+    x.min(500.0).exp_m1()
+}
+
+/// Exact terminal current by safeguarded Newton on the junction voltage
+/// `W = V + I·Rs`: the residual
+/// `h(W) = Iph − I0·expm1(W/b) − W/Rsh − (W − V)/Rs`
+/// is strictly decreasing and bracketed on `[V, V + Iph·Rs]` for
+/// `0 ≤ V ≤ Voc`, so this converges in a handful of steps — a fast exact
+/// evaluator for table construction (the runtime fallback still uses the
+/// reference bisection in [`SingleDiodeModel::current_at`]; both solve
+/// the same equation to double precision).
+fn solve_current(iph: f64, i0: f64, b: f64, rs: f64, rsh: f64, v: f64) -> f64 {
+    if rs <= 0.0 {
+        return iph - i0 * exp_m1_clamped(v / b) - v / rsh;
+    }
+    let h = |w: f64| iph - i0 * exp_m1_clamped(w / b) - w / rsh - (w - v) / rs;
+    let mut lo = v;
+    let mut hi = v + iph * rs + 1e-12;
+    let mut w = v;
+    for _ in 0..80 {
+        let hv = h(w);
+        if hv > 0.0 {
+            lo = w;
+        } else {
+            hi = w;
+        }
+        let dh = -(i0 / b) * (w / b).min(500.0).exp() - 1.0 / rsh - 1.0 / rs;
+        let mut next = w - hv / dh;
+        if !(next > lo && next < hi) {
+            next = 0.5 * (lo + hi);
+        }
+        if (next - w).abs() <= 1e-15 * (1.0 + w.abs()) {
+            w = next;
+            break;
+        }
+        w = next;
+    }
+    (w - v) / rs
+}
+
+/// A memoized bilinear interpolation table over one cell's I-V surface,
+/// built per `(model, temperature)` and exposing the same
+/// `current_at` / `open_circuit_voltage` / `short_circuit_current` /
+/// `power_at` surface as the exact model (see the module docs for the
+/// error bound and the exact-fallback domain).
+///
+/// ```
+/// use eh_pv::{presets, CachedPvSurface};
+/// use eh_units::{Lux, Volts};
+///
+/// let cell = presets::sanyo_am1815();
+/// let surface = CachedPvSurface::build(cell.model(), cell.temperature())?;
+/// let lux = Lux::new(1000.0);
+/// let exact = cell.current_at(Volts::new(3.0), lux)?;
+/// let cached = surface.current_at(Volts::new(3.0), lux)?;
+/// let isc = cell.short_circuit_current(lux)?;
+/// assert!((cached - exact).value().abs() / isc.value()
+///     < CachedPvSurface::REL_CURRENT_ERROR_BOUND);
+/// # Ok::<(), eh_pv::PvError>(())
+/// ```
+#[derive(Clone)]
+pub struct CachedPvSurface {
+    model: SingleDiodeModel,
+    temperature: Kelvin,
+    ln_min: f64,
+    ln_step: f64,
+    lux_grid: Vec<f64>,
+    voc: Vec<f64>,
+    isc: Vec<f64>,
+    /// Row-major `N_LUX × N_V`: `I(u_k·Voc_j, lux_j) / Isc_j`.
+    shape: Vec<f64>,
+}
+
+impl std::fmt::Debug for CachedPvSurface {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachedPvSurface")
+            .field("model", &self.model.name())
+            .field("temperature", &self.temperature)
+            .field("lux_grid", &N_LUX)
+            .field("voltage_grid", &N_V)
+            .finish()
+    }
+}
+
+impl CachedPvSurface {
+    /// Documented bound on `|I_cached − I_exact| / Isc_exact(lux)` inside
+    /// the cached domain (validated by the cache property tests).
+    pub const REL_CURRENT_ERROR_BOUND: f64 = 1e-3;
+
+    /// Documented bound on `|Voc_cached − Voc_exact|` in volts inside the
+    /// cached illuminance domain.
+    pub const VOC_ERROR_BOUND_VOLTS: f64 = 1e-3;
+
+    /// Builds the table for one `(model, temperature)` pair.
+    ///
+    /// Construction performs `N_LUX` exact Voc solves plus
+    /// `N_LUX × N_V` fast Newton current solves — a few milliseconds,
+    /// amortized over the millions of lookups of a closed-loop run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates exact-solver failures, and reports
+    /// [`PvError::SolveFailed`] if a grid node produces a non-finite
+    /// table entry.
+    pub fn build(model: &SingleDiodeModel, temperature: Kelvin) -> Result<Self, PvError> {
+        let ln_min = LUX_MIN.ln();
+        let ln_step = (LUX_MAX / LUX_MIN).ln() / (N_LUX - 1) as f64;
+        let i0 = model.saturation_current(temperature).value();
+        let b = model.thermal_slope(temperature).value();
+        let rs = model.series_resistance().value();
+
+        let mut lux_grid = Vec::with_capacity(N_LUX);
+        let mut voc = Vec::with_capacity(N_LUX);
+        let mut isc = Vec::with_capacity(N_LUX);
+        let mut shape = Vec::with_capacity(N_LUX * N_V);
+        for j in 0..N_LUX {
+            let lux = (ln_min + ln_step * j as f64).exp();
+            let l = Lux::new(lux);
+            let voc_j = model.open_circuit_voltage(l, temperature)?.value();
+            let iph = model.photocurrent(l, temperature).value();
+            let rsh = model.shunt_resistance(l).value();
+            let isc_j = solve_current(iph, i0, b, rs, rsh, 0.0);
+            if !(voc_j.is_finite() && voc_j > 0.0 && isc_j.is_finite() && isc_j > 0.0) {
+                return Err(PvError::SolveFailed {
+                    what: "cache grid node",
+                });
+            }
+            for k in 0..N_V {
+                let u = k as f64 / (N_V - 1) as f64;
+                let i = solve_current(iph, i0, b, rs, rsh, u * voc_j);
+                if !i.is_finite() {
+                    return Err(PvError::SolveFailed {
+                        what: "cache grid node",
+                    });
+                }
+                shape.push(i / isc_j);
+            }
+            lux_grid.push(lux);
+            voc.push(voc_j);
+            isc.push(isc_j);
+        }
+        Ok(Self {
+            model: model.clone(),
+            temperature,
+            ln_min,
+            ln_step,
+            lux_grid,
+            voc,
+            isc,
+            shape,
+        })
+    }
+
+    /// The underlying electrical model.
+    pub fn model(&self) -> &SingleDiodeModel {
+        &self.model
+    }
+
+    /// The operating temperature the table was built for.
+    pub fn temperature(&self) -> Kelvin {
+        self.temperature
+    }
+
+    /// The illuminance domain `[min, max]` covered by the table; queries
+    /// outside it fall back to the exact solver.
+    pub fn lux_domain() -> (Lux, Lux) {
+        (Lux::new(LUX_MIN), Lux::new(LUX_MAX))
+    }
+
+    /// `(illuminance grid lines, voltage grid lines)` of the table.
+    pub fn grid_size() -> (usize, usize) {
+        (N_LUX, N_V)
+    }
+
+    /// Whether an illuminance lies inside the cached domain.
+    fn in_domain(l: f64) -> bool {
+        (LUX_MIN..=LUX_MAX).contains(&l)
+    }
+
+    /// Cell index and fractional position along the log-lux axis.
+    fn lux_cell(&self, l: f64) -> (usize, f64) {
+        let fx = ((l.ln() - self.ln_min) / self.ln_step).clamp(0.0, (N_LUX - 1) as f64);
+        let j = (fx as usize).min(N_LUX - 2);
+        (j, fx - j as f64)
+    }
+
+    fn voc_interp(&self, j: usize, tx: f64) -> f64 {
+        lerp(self.voc[j], self.voc[j + 1], tx)
+    }
+
+    /// `Isc` interpolated linearly **in lux** (not log-lux) within the
+    /// cell, which is exact for the dominant `Iph ∝ lux` term.
+    fn isc_interp(&self, j: usize, l: f64) -> f64 {
+        let w = (l - self.lux_grid[j]) / (self.lux_grid[j + 1] - self.lux_grid[j]);
+        lerp(self.isc[j], self.isc[j + 1], w)
+    }
+
+    fn validate_inputs(v: Volts, lux: Lux) -> Result<(), PvError> {
+        if !v.is_finite() || v.value() < 0.0 {
+            return Err(PvError::OutOfRange {
+                what: "terminal voltage",
+                value: v.value(),
+            });
+        }
+        Self::validate_lux(lux)
+    }
+
+    fn validate_lux(lux: Lux) -> Result<(), PvError> {
+        if !lux.is_finite() || lux.value() < 0.0 {
+            return Err(PvError::OutOfRange {
+                what: "illuminance",
+                value: lux.value(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Terminal current at terminal voltage `v` — the cached counterpart
+    /// of [`SingleDiodeModel::current_at`], accurate to the documented
+    /// bound inside the domain and exact (solver fallback) outside it.
+    ///
+    /// # Errors
+    ///
+    /// Rejects negative `v` and negative/non-finite `lux` with the same
+    /// [`PvError::OutOfRange`] as the exact solver, and propagates
+    /// fallback solver errors.
+    pub fn current_at(&self, v: Volts, lux: Lux) -> Result<Amps, PvError> {
+        Self::validate_inputs(v, lux)?;
+        let l = lux.value();
+        if !Self::in_domain(l) {
+            return self.model.current_at(v, lux, self.temperature);
+        }
+        let (j, tx) = self.lux_cell(l);
+        let voc_q = self.voc_interp(j, tx);
+        if v.value() > voc_q {
+            // Beyond open circuit the current turns over exponentially —
+            // off the harvesting path, so solve it exactly.
+            return self.model.current_at(v, lux, self.temperature);
+        }
+        let u = (v.value() / voc_q).clamp(0.0, 1.0);
+        let fu = u * (N_V - 1) as f64;
+        let k = (fu as usize).min(N_V - 2);
+        let tu = fu - k as f64;
+        let row0 = &self.shape[j * N_V..(j + 1) * N_V];
+        let row1 = &self.shape[(j + 1) * N_V..(j + 2) * N_V];
+        let s0 = lerp(row0[k], row0[k + 1], tu);
+        let s1 = lerp(row1[k], row1[k + 1], tu);
+        let s = lerp(s0, s1, tx);
+        Ok(Amps::new(s * self.isc_interp(j, l)))
+    }
+
+    /// Output power at terminal voltage `v`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`CachedPvSurface::current_at`].
+    pub fn power_at(&self, v: Volts, lux: Lux) -> Result<Watts, PvError> {
+        Ok(v * self.current_at(v, lux)?)
+    }
+
+    /// Open-circuit voltage from the 1-D `Voc(lux)` table (linear in
+    /// log-lux; the exact law is logarithmic, so the interpolant is
+    /// within [`CachedPvSurface::VOC_ERROR_BOUND_VOLTS`]).
+    ///
+    /// # Errors
+    ///
+    /// Rejects negative/non-finite illuminance; propagates fallback
+    /// solver errors outside the domain.
+    pub fn open_circuit_voltage(&self, lux: Lux) -> Result<Volts, PvError> {
+        Self::validate_lux(lux)?;
+        let l = lux.value();
+        if !Self::in_domain(l) {
+            return self.model.open_circuit_voltage(lux, self.temperature);
+        }
+        let (j, tx) = self.lux_cell(l);
+        Ok(Volts::new(self.voc_interp(j, tx)))
+    }
+
+    /// Short-circuit current from the 1-D `Isc(lux)` table.
+    ///
+    /// # Errors
+    ///
+    /// Rejects negative/non-finite illuminance; propagates fallback
+    /// solver errors outside the domain.
+    pub fn short_circuit_current(&self, lux: Lux) -> Result<Amps, PvError> {
+        Self::validate_lux(lux)?;
+        let l = lux.value();
+        if !Self::in_domain(l) {
+            return self.model.short_circuit_current(lux, self.temperature);
+        }
+        let (j, _) = self.lux_cell(l);
+        Ok(Amps::new(self.isc_interp(j, l)))
+    }
+
+    /// Probes the table against the exact solver on a grid of
+    /// `lux_probes × v_probes` off-node points (log-spaced illuminances,
+    /// uniform normalized voltages) and returns the worst observed
+    /// `|I_cached − I_exact| / Isc_exact` — the measured counterpart of
+    /// [`CachedPvSurface::REL_CURRENT_ERROR_BOUND`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero probe counts as [`PvError::InvalidParameter`];
+    /// propagates exact-solver errors.
+    pub fn validate_against_exact(&self, lux_probes: usize, v_probes: usize) -> Result<f64, PvError> {
+        if lux_probes == 0 || v_probes == 0 {
+            return Err(PvError::InvalidParameter {
+                name: "probes",
+                value: 0.0,
+            });
+        }
+        let mut worst = 0.0_f64;
+        for a in 0..lux_probes {
+            // Offset by half a probe step so probes land between nodes.
+            let frac = (a as f64 + 0.5) / lux_probes as f64;
+            let lux = Lux::new((self.ln_min + (LUX_MAX / LUX_MIN).ln() * frac).exp());
+            let isc_exact = self.model.short_circuit_current(lux, self.temperature)?.value();
+            if isc_exact <= 0.0 {
+                continue;
+            }
+            let voc_q = self.open_circuit_voltage(lux)?.value();
+            for bi in 0..v_probes {
+                let u = (bi as f64 + 0.5) / v_probes as f64;
+                let v = Volts::new(u * voc_q);
+                let cached = self.current_at(v, lux)?.value();
+                let exact = self.model.current_at(v, lux, self.temperature)?.value();
+                worst = worst.max((cached - exact).abs() / isc_exact);
+            }
+        }
+        Ok(worst)
+    }
+}

@@ -1,7 +1,11 @@
 //! A PV cell bound to an operating temperature.
 
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
 use eh_units::{Amps, Kelvin, Lux, Volts, Watts};
 
+use crate::cache::CachedPvSurface;
 use crate::curve::IvCurve;
 use crate::error::PvError;
 use crate::model::SingleDiodeModel;
@@ -19,10 +23,61 @@ use crate::mpp::{solve_mpp, MppPoint};
 /// assert!(i.as_micro() > 30.0);
 /// # Ok::<(), eh_pv::PvError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+///
+/// # Operating-point cache
+///
+/// With [`PvCell::with_cache`] the hot-path queries — `current_at`,
+/// `power_at`, `open_circuit_voltage`, `short_circuit_current` — are
+/// answered from a lazily built [`CachedPvSurface`] instead of the
+/// implicit solver, accurate to
+/// [`CachedPvSurface::REL_CURRENT_ERROR_BOUND`] and falling back to the
+/// exact solver outside the cached domain. The table is built once per
+/// `(model, temperature)` on first use and **shared across clones** of
+/// the cell, so sweep jobs that clone a warmed cell pay no rebuild.
+/// `voltage_at_current`, `mpp`, and `iv_curve` always use the exact
+/// solver (the cache stores no inverse).
 pub struct PvCell {
     model: SingleDiodeModel,
     temperature: Kelvin,
+    cache_enabled: bool,
+    surface: OnceLock<Arc<CachedPvSurface>>,
+}
+
+impl Clone for PvCell {
+    fn clone(&self) -> Self {
+        let surface = OnceLock::new();
+        if let Some(s) = self.surface.get() {
+            // Share the already-built table; clones must not rebuild.
+            let _ = surface.set(Arc::clone(s));
+        }
+        Self {
+            model: self.model.clone(),
+            temperature: self.temperature,
+            cache_enabled: self.cache_enabled,
+            surface,
+        }
+    }
+}
+
+impl PartialEq for PvCell {
+    fn eq(&self, other: &Self) -> bool {
+        // The memoized surface is derived state; equality is defined by
+        // the model, temperature, and caching policy alone.
+        self.model == other.model
+            && self.temperature == other.temperature
+            && self.cache_enabled == other.cache_enabled
+    }
+}
+
+impl fmt::Debug for PvCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PvCell")
+            .field("model", &self.model)
+            .field("temperature", &self.temperature)
+            .field("cache_enabled", &self.cache_enabled)
+            .field("cache_built", &self.surface.get().is_some())
+            .finish()
+    }
 }
 
 impl PvCell {
@@ -31,14 +86,53 @@ impl PvCell {
         Self {
             model,
             temperature: Kelvin::STC,
+            cache_enabled: false,
+            surface: OnceLock::new(),
         }
     }
 
     /// Returns a copy of this cell at a different operating temperature.
+    ///
+    /// Any memoized surface is dropped — the cache is per
+    /// `(model, temperature)` — and rebuilt lazily if caching is enabled.
     #[must_use]
     pub fn with_temperature(mut self, t: impl Into<Kelvin>) -> Self {
         self.temperature = t.into();
+        self.surface = OnceLock::new();
         self
+    }
+
+    /// Enables or disables the operating-point cache for the hot-path
+    /// queries (see the type-level docs for semantics and error bound).
+    #[must_use]
+    pub fn with_cache(mut self, enabled: bool) -> Self {
+        self.cache_enabled = enabled;
+        self
+    }
+
+    /// Whether hot-path queries are answered from the cache.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache_enabled
+    }
+
+    /// The memoized I-V surface for this `(model, temperature)`,
+    /// building it on first call (a few milliseconds). Useful to warm
+    /// the table before cloning the cell into sweep jobs, or to probe
+    /// the cache directly regardless of [`PvCell::cache_enabled`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates table-construction failures from
+    /// [`CachedPvSurface::build`].
+    pub fn cached(&self) -> Result<&CachedPvSurface, PvError> {
+        if self.surface.get().is_none() {
+            let built = CachedPvSurface::build(&self.model, self.temperature)?;
+            let _ = self.surface.set(Arc::new(built));
+        }
+        Ok(self
+            .surface
+            .get()
+            .expect("surface was just built or already present"))
     }
 
     /// The underlying electrical model.
@@ -63,7 +157,11 @@ impl PvCell {
     /// Returns an error for negative `v` or `lux`, or if the implicit
     /// solve fails.
     pub fn current_at(&self, v: Volts, lux: Lux) -> Result<Amps, PvError> {
-        self.model.current_at(v, lux, self.temperature)
+        if self.cache_enabled {
+            self.cached()?.current_at(v, lux)
+        } else {
+            self.model.current_at(v, lux, self.temperature)
+        }
     }
 
     /// Output power at terminal voltage `v`.
@@ -77,7 +175,7 @@ impl PvCell {
 
     /// Terminal voltage at which the cell carries current `i` (inverse
     /// of [`PvCell::current_at`]; negative result means the cell cannot
-    /// support the current).
+    /// support the current). Always solved exactly.
     ///
     /// # Errors
     ///
@@ -92,7 +190,11 @@ impl PvCell {
     ///
     /// Returns an error for negative illuminance.
     pub fn open_circuit_voltage(&self, lux: Lux) -> Result<Volts, PvError> {
-        self.model.open_circuit_voltage(lux, self.temperature)
+        if self.cache_enabled {
+            self.cached()?.open_circuit_voltage(lux)
+        } else {
+            self.model.open_circuit_voltage(lux, self.temperature)
+        }
     }
 
     /// Short-circuit current.
@@ -101,10 +203,15 @@ impl PvCell {
     ///
     /// Propagates solver errors.
     pub fn short_circuit_current(&self, lux: Lux) -> Result<Amps, PvError> {
-        self.model.short_circuit_current(lux, self.temperature)
+        if self.cache_enabled {
+            self.cached()?.short_circuit_current(lux)
+        } else {
+            self.model.short_circuit_current(lux, self.temperature)
+        }
     }
 
-    /// Solves the maximum power point at the given illuminance.
+    /// Solves the maximum power point at the given illuminance. Always
+    /// solved exactly.
     ///
     /// # Errors
     ///
@@ -134,8 +241,8 @@ impl From<SingleDiodeModel> for PvCell {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use eh_units::Celsius;
     use crate::presets;
+    use eh_units::Celsius;
 
     #[test]
     fn temperature_is_configurable() {
@@ -181,5 +288,50 @@ mod tests {
             "Vmpp = {}",
             mpp.voltage
         );
+    }
+
+    #[test]
+    fn cached_cell_dispatches_to_surface() {
+        let exact = presets::sanyo_am1815();
+        let cached = exact.clone().with_cache(true);
+        assert!(cached.cache_enabled());
+        let lux = Lux::new(430.0);
+        let v = Volts::new(2.8);
+        // Dispatch must hit the surface: bit-identical to a direct probe.
+        let via_cell = cached.current_at(v, lux).unwrap();
+        let via_surface = cached.cached().unwrap().current_at(v, lux).unwrap();
+        assert_eq!(via_cell, via_surface);
+        // …and close to the exact solver.
+        let truth = exact.current_at(v, lux).unwrap();
+        let isc = exact.short_circuit_current(lux).unwrap();
+        assert!((via_cell - truth).value().abs() / isc.value() < 1e-3);
+    }
+
+    #[test]
+    fn clones_share_the_built_surface() {
+        let cell = presets::sanyo_am1815().with_cache(true);
+        let surface = cell.cached().unwrap() as *const CachedPvSurface;
+        let clone = cell.clone();
+        let shared = clone.cached().unwrap() as *const CachedPvSurface;
+        assert_eq!(surface, shared, "clone rebuilt the table");
+    }
+
+    #[test]
+    fn temperature_change_invalidates_surface() {
+        let cell = presets::sanyo_am1815().with_cache(true);
+        let before = cell.cached().unwrap() as *const CachedPvSurface;
+        let warm = cell.clone().with_temperature(Celsius::new(40.0));
+        let after = warm.cached().unwrap() as *const CachedPvSurface;
+        assert_ne!(before, after, "stale surface survived a temperature change");
+        assert!((warm.cached().unwrap().temperature().value() - 313.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equality_ignores_memoized_surface() {
+        let a = presets::sanyo_am1815().with_cache(true);
+        let b = presets::sanyo_am1815().with_cache(true);
+        a.cached().unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, presets::sanyo_am1815());
     }
 }

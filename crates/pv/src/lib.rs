@@ -15,6 +15,10 @@
 //!   paper).
 //! * [`PvCell`] — a model bound to an operating temperature, exposing
 //!   `Voc`, `Isc`, I-V curves and MPP solving.
+//! * [`CachedPvSurface`] — a memoized interpolation table over the I-V
+//!   surface with a documented error bound, taking the implicit solver
+//!   off the simulation hot path (enable per cell with
+//!   [`PvCell::with_cache`]).
 //! * [`presets`] — parameter sets fitted to the paper's own measurements
 //!   (Table I) and the AM-1815 datasheet.
 //! * [`focv`] — fractional-open-circuit-voltage analysis: `k(lux)`, and
@@ -45,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod array;
+mod cache;
 mod cell;
 mod curve;
 mod error;
@@ -58,6 +63,7 @@ pub mod spectrum;
 pub mod teg;
 pub mod thermal;
 
+pub use cache::CachedPvSurface;
 pub use cell::PvCell;
 pub use curve::{CurvePoint, IvCurve};
 pub use error::PvError;

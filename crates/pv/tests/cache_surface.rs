@@ -1,0 +1,190 @@
+//! Cached-vs-exact agreement for the PV operating-point cache: the
+//! documented error bound must hold across the lux/voltage grid, at the
+//! domain boundaries, in the dark, and beyond Voc.
+
+use eh_pv::{presets, CachedPvSurface, PvCell};
+use eh_units::{Celsius, Lux, Volts};
+use proptest::prelude::*;
+
+fn exact_cell() -> PvCell {
+    presets::sanyo_am1815()
+}
+
+fn surface() -> &'static CachedPvSurface {
+    static SURF: std::sync::OnceLock<CachedPvSurface> = std::sync::OnceLock::new();
+    SURF.get_or_init(|| {
+        let cell = exact_cell();
+        CachedPvSurface::build(cell.model(), cell.temperature()).expect("build succeeds")
+    })
+}
+
+/// Relative current error of the cache against the exact solver at one
+/// `(v, lux)` point, normalized by the exact `Isc`.
+fn rel_err(cell: &PvCell, surf: &CachedPvSurface, v: Volts, lux: Lux) -> f64 {
+    let exact = cell.current_at(v, lux).expect("exact solve");
+    let cached = surf.current_at(v, lux).expect("cached lookup");
+    let isc = cell.short_circuit_current(lux).expect("isc solve");
+    (cached - exact).value().abs() / isc.value()
+}
+
+#[test]
+fn grid_sweep_stays_within_error_bound() {
+    let cell = exact_cell();
+    let surf = surface();
+    let (lo, hi) = CachedPvSurface::lux_domain();
+    let span = (hi.value() / lo.value()).ln();
+    // 40 log-spaced illuminances including both domain edges, 33 voltage
+    // fractions including 0 and Voc.
+    for a in 0..40 {
+        let lux = Lux::new(lo.value() * (span * a as f64 / 39.0).exp());
+        let voc = surf.open_circuit_voltage(lux).expect("cached voc").value();
+        for b in 0..33 {
+            let v = Volts::new(voc * b as f64 / 32.0);
+            let err = rel_err(&cell, surf, v, lux);
+            assert!(
+                err < CachedPvSurface::REL_CURRENT_ERROR_BOUND,
+                "rel err {err:.2e} at lux={lux}, v={v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn voc_and_isc_tables_stay_within_bounds() {
+    let cell = exact_cell();
+    let surf = surface();
+    let (lo, hi) = CachedPvSurface::lux_domain();
+    let span = (hi.value() / lo.value()).ln();
+    for a in 0..200 {
+        let lux = Lux::new(lo.value() * (span * (a as f64 + 0.37) / 200.0).exp());
+        let voc_exact = cell.open_circuit_voltage(lux).unwrap();
+        let voc_cached = surf.open_circuit_voltage(lux).unwrap();
+        assert!(
+            (voc_cached - voc_exact).value().abs() < CachedPvSurface::VOC_ERROR_BOUND_VOLTS,
+            "voc off by {} at {lux}",
+            (voc_cached - voc_exact).value().abs()
+        );
+        let isc_exact = cell.short_circuit_current(lux).unwrap();
+        let isc_cached = surf.short_circuit_current(lux).unwrap();
+        assert!(
+            (isc_cached - isc_exact).value().abs() / isc_exact.value()
+                < CachedPvSurface::REL_CURRENT_ERROR_BOUND,
+            "isc off at {lux}"
+        );
+    }
+}
+
+#[test]
+fn dark_and_out_of_domain_match_exact_solver() {
+    let cell = exact_cell();
+    let surf = surface();
+    let (lo, hi) = CachedPvSurface::lux_domain();
+    // Dark, dimmer-than-domain, and brighter-than-domain all fall back to
+    // the exact solver, so agreement is bit-exact.
+    for lux in [Lux::ZERO, Lux::new(lo.value() / 3.0), Lux::new(hi.value() * 2.0)] {
+        for v in [Volts::ZERO, Volts::new(1.0), Volts::new(4.0)] {
+            assert_eq!(
+                surf.current_at(v, lux).unwrap(),
+                cell.current_at(v, lux).unwrap(),
+                "fallback diverged at lux={lux}, v={v}"
+            );
+        }
+        assert_eq!(
+            surf.open_circuit_voltage(lux).unwrap(),
+            cell.open_circuit_voltage(lux).unwrap()
+        );
+        assert_eq!(
+            surf.short_circuit_current(lux).unwrap(),
+            cell.short_circuit_current(lux).unwrap()
+        );
+    }
+}
+
+#[test]
+fn beyond_voc_falls_back_to_exact_solver() {
+    let cell = exact_cell();
+    let surf = surface();
+    for lux in [Lux::new(0.05), Lux::new(200.0), Lux::new(150_000.0)] {
+        let voc = cell.open_circuit_voltage(lux).unwrap();
+        for factor in [1.02, 1.2, 1.6] {
+            let v = Volts::new(voc.value() * factor);
+            assert_eq!(
+                surf.current_at(v, lux).unwrap(),
+                cell.current_at(v, lux).unwrap(),
+                "beyond-Voc fallback diverged at lux={lux}, factor={factor}"
+            );
+        }
+    }
+}
+
+#[test]
+fn invalid_inputs_rejected_like_exact_solver() {
+    let cell = exact_cell();
+    let surf = surface();
+    assert!(surf.current_at(Volts::new(-0.1), Lux::new(100.0)).is_err());
+    assert!(surf.current_at(Volts::new(1.0), Lux::new(-5.0)).is_err());
+    assert!(surf.current_at(Volts::new(f64::NAN), Lux::new(100.0)).is_err());
+    assert!(surf.open_circuit_voltage(Lux::new(f64::NAN)).is_err());
+    assert!(cell.current_at(Volts::new(-0.1), Lux::new(100.0)).is_err());
+}
+
+#[test]
+fn self_validation_probe_stays_under_bound() {
+    let worst = surface()
+        .validate_against_exact(80, 48)
+        .expect("validation probe succeeds");
+    assert!(
+        worst < CachedPvSurface::REL_CURRENT_ERROR_BOUND,
+        "measured worst-case error {worst:.2e} exceeds the documented bound"
+    );
+}
+
+#[test]
+fn rebuilds_are_bit_identical() {
+    let cell = exact_cell();
+    let a = CachedPvSurface::build(cell.model(), cell.temperature()).expect("build succeeds");
+    let b = CachedPvSurface::build(cell.model(), cell.temperature()).expect("build succeeds");
+    let (lo, hi) = CachedPvSurface::lux_domain();
+    let span = (hi.value() / lo.value()).ln();
+    for i in 0..50 {
+        let lux = Lux::new(lo.value() * (span * (i as f64 + 0.21) / 50.0).exp());
+        let voc = a.open_circuit_voltage(lux).unwrap().value();
+        let v = Volts::new(voc * 0.613);
+        assert_eq!(
+            a.current_at(v, lux).unwrap().value().to_bits(),
+            b.current_at(v, lux).unwrap().value().to_bits()
+        );
+    }
+}
+
+#[test]
+fn warm_cell_surface_respects_its_temperature() {
+    let warm = exact_cell().with_temperature(Celsius::new(40.0));
+    let surf = CachedPvSurface::build(warm.model(), warm.temperature()).expect("build succeeds");
+    for lux in [Lux::new(20.0), Lux::new(1000.0), Lux::new(80_000.0)] {
+        let voc = surf.open_circuit_voltage(lux).unwrap().value();
+        let v = Volts::new(voc * 0.55);
+        let err = rel_err(&warm, &surf, v, lux);
+        assert!(err < CachedPvSurface::REL_CURRENT_ERROR_BOUND, "err {err:.2e} at {lux}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Random in-domain probes respect the documented bound; lux is
+    /// sampled log-uniformly over the full cached domain.
+    #[test]
+    fn random_probes_stay_within_error_bound(log_lux in -1.3f64..5.3, u in 0.0f64..1.0) {
+        let cell = exact_cell();
+        let surf = surface();
+        let lux = Lux::new(10f64.powf(log_lux).clamp(0.05, 2.0e5));
+        let voc = surf.open_circuit_voltage(lux).unwrap().value();
+        let v = Volts::new(voc * u);
+        let err = rel_err(&cell, surf, v, lux);
+        prop_assert!(
+            err < CachedPvSurface::REL_CURRENT_ERROR_BOUND,
+            "rel err {} at lux={}, u={}", err, lux, u
+        );
+    }
+}

@@ -19,8 +19,10 @@ use crate::stepper::{StepInput, Stepper};
 /// # Errors
 ///
 /// Returns `SimError::InvalidParameter` (through the stepper's error
-/// type) for a non-positive or non-finite `dt`, or for a constant light
-/// profile with non-positive duration; propagates any stepper error.
+/// type) for a non-positive or non-finite `dt`, or for a light source —
+/// constant or trace — with non-positive duration (a single-sample trace
+/// has zero duration and is rejected rather than silently simulating
+/// nothing); propagates any stepper error.
 pub fn drive<S: Stepper>(
     stepper: &mut S,
     light: &Light<'_>,
@@ -34,7 +36,7 @@ pub fn drive<S: Stepper>(
         .into());
     }
     let total = light.duration().value();
-    if matches!(light, Light::Constant { .. }) && !(total.is_finite() && total > 0.0) {
+    if !(total.is_finite() && total > 0.0) {
         return Err(SimError::InvalidParameter {
             name: "duration",
             value: total,
@@ -207,6 +209,21 @@ mod tests {
         assert!(drive(&mut s, &light, Seconds::ZERO).is_err());
         let dark = Light::constant(Lux::new(1.0), Seconds::ZERO);
         assert!(drive(&mut s, &dark, Seconds::new(1.0)).is_err());
+    }
+
+    #[test]
+    fn zero_duration_trace_is_rejected() {
+        // A single-sample trace has zero duration; driving it must be an
+        // error like the constant-light case, not a silent 0 s no-op.
+        let mut s = Rogue(1.0);
+        let one_sample =
+            TimeSeries::new(Seconds::ZERO, Seconds::new(1.0), vec![500.0]).unwrap();
+        let light = Light::trace(&one_sample);
+        let err = drive(&mut s, &light, Seconds::new(1.0));
+        assert!(
+            matches!(err, Err(SimError::InvalidParameter { name: "duration", .. })),
+            "zero-duration trace must be rejected, got {err:?}"
+        );
     }
 
     #[test]

@@ -95,6 +95,37 @@ fn sweep_identical_at_any_worker_count() {
     }
 }
 
+/// Cached sweeps must be bit-identical across worker counts: the jobs
+/// share one pre-warmed interpolation table (cloning a warmed cell shares
+/// the surface), and pure table lookups carry no thread-dependent state.
+#[test]
+fn cached_sweep_identical_at_any_worker_count() {
+    let cell = presets::sanyo_am1815().with_cache(true);
+    cell.cached().expect("surface builds");
+    let intensities: Vec<f64> = (1..=8).map(|i| 200.0 * i as f64).collect();
+    let job = move |_: usize, lux: f64| {
+        let cfg = SimConfig::default_for(cell.clone())
+            .expect("valid config")
+            .with_pv_cache(true);
+        let mut sim = NodeSimulation::new(cfg).expect("valid sim");
+        let mut tracker = FocvSampleHold::paper_prototype().expect("valid tracker");
+        let trace = profiles::constant(Lux::new(lux), Seconds::from_minutes(10.0));
+        let report = sim
+            .run(&mut tracker, &trace, Seconds::new(1.0))
+            .expect("run succeeds");
+        (
+            report.gross_energy.value().to_bits(),
+            report.overhead_energy.value().to_bits(),
+            report.measurements,
+        )
+    };
+    let serial = SweepRunner::new(1).run(intensities.clone(), &job);
+    for workers in [2, 4] {
+        let parallel = SweepRunner::new(workers).run(intensities.clone(), &job);
+        assert_eq!(serial, parallel, "cached sweep diverged at {workers} workers");
+    }
+}
+
 /// A measurement step that returns a short dwell advances the engine
 /// clock by exactly that dwell, not the planned dt.
 #[test]

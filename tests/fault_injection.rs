@@ -76,6 +76,37 @@ fn brownout_cold_starts_again() {
     assert!(report.stored_energy.value() > 0.0);
 }
 
+/// A rail collapse *while PULSE is high* must not eat the recovery pulse:
+/// the edge detector's memory has to be cleared on the rail's on→off
+/// transition, or the power-up PULSE after the cold start is miscounted
+/// as no rising edge.
+#[test]
+fn rail_collapse_mid_pulse_still_counts_recovery_pulse() {
+    let lux = Lux::new(1000.0);
+    let mut sys = charged_system();
+    // The astable powers up with PULSE high, so the first short step lands
+    // inside the 39 ms power-up pulse.
+    let step = sys
+        .step(lux, Seconds::from_milli(10.0))
+        .expect("step succeeds");
+    assert!(step.pulse, "power-up PULSE must be high");
+    assert_eq!(sys.pulses(), 1);
+
+    // The rail dies while PULSE is high (hard brown-out mid-sample).
+    sys.collapse_rail();
+    sys.step(Lux::ZERO, Seconds::new(1.0)).expect("step succeeds");
+
+    // Light returns: the system cold-starts and the astable fires its
+    // power-up PULSE again — that pulse must be counted as a fresh edge.
+    sys.run_constant(lux, Seconds::new(30.0), Seconds::new(0.05))
+        .expect("run succeeds");
+    assert!(
+        sys.pulses() >= 2,
+        "recovery PULSE was not counted: {} pulses",
+        sys.pulses()
+    );
+}
+
 /// A sudden light drop between samples leaves the system harvesting at a
 /// stale (too high) set point; the next PULSE re-aims it. This is the
 /// §II-B trade made concrete.
