@@ -15,7 +15,7 @@
 use std::time::Instant;
 
 use eh_analog::sample_hold::{SampleHold, SampleHoldConfig};
-use eh_bench::{banner, fmt, render_table};
+use eh_bench::{banner, fmt, render_table, sweep_runner};
 use eh_core::baselines::FocvSampleHold;
 use eh_env::{profiles, sampling_error, TimeSeries};
 use eh_node::{NodeError, NodeSimulation, SimConfig};
@@ -98,9 +98,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t0 = Instant::now();
     let rows_serial = SweepRunner::new(1).run(periods.clone(), hold_job);
     let serial_elapsed = t0.elapsed();
-    let workers = SweepRunner::auto().workers();
+    let runner = sweep_runner();
+    let workers = runner.workers();
     let t1 = Instant::now();
-    let rows_parallel = SweepRunner::auto().run(periods, hold_job);
+    let rows_parallel = runner.run(periods, hold_job);
     let parallel_elapsed = t1.elapsed();
     assert_eq!(rows_serial, rows_parallel, "sweep must be deterministic");
     let rows = rows_parallel.into_iter().collect::<Result<Vec<_>, _>>()?;
@@ -120,7 +121,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ------------------------------------------------------------------
     banner("Ablation 2 — k trim (R2 potentiometer)");
     let trims = vec![0.45, 0.50, 0.55, 0.596, 0.65, 0.70, 0.80];
-    let rows = SweepRunner::auto()
+    let rows = sweep_runner()
         .run(trims, |_, k| -> Result<Vec<String>, NodeError> {
             let mut tracker = FocvSampleHold::new(
                 k,
@@ -229,7 +230,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     banner("Ablation 5 — metrology budget sensitivity");
     let trace = profiles::constant(Lux::new(200.0), Seconds::from_hours(1.0));
     let budgets = vec![2.0, 8.0, 42.0, 150.0, 600.0];
-    let rows = SweepRunner::auto()
+    let rows = sweep_runner()
         .run(budgets, |_, overhead_ua| -> Result<Vec<String>, NodeError> {
             let mut tracker = FocvSampleHold::new(
                 0.596,

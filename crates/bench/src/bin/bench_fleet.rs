@@ -1,0 +1,215 @@
+//! Benchmark — fleet-scale simulation throughput and determinism.
+//!
+//! Runs the reference mixed indoor/outdoor fleet (day-scale light,
+//! 1-minute grid) at several sizes and worker counts, recording
+//! nodes/sec into `BENCH_fleet.json`, and asserts the eh-fleet
+//! determinism contract on the way: the 1000-node fleet must produce
+//! **bit-identical** [`FleetReport`]s at 1, 2 and 4 workers. A compact
+//! tracker comparison over a smaller replayed population closes the
+//! report.
+//!
+//! Worker counts beyond the machine's `available_parallelism` cannot
+//! speed anything up; the JSON records the host parallelism so scaling
+//! numbers from a single-core container are read for what they are.
+//!
+//! Run with `cargo run -q --release -p eh-bench --bin bench_fleet`
+//! (accepts `--workers N` / `EH_WORKERS` to set the top worker count).
+
+use std::time::Instant;
+
+use eh_bench::{banner, fmt, render_table, sweep_runner};
+use eh_fleet::{compare_trackers_over_fleet, FleetReport, FleetRunner, FleetSpec};
+use eh_units::Seconds;
+
+/// Fleet sizes for the scaling sweep.
+const SIZES: [u32; 3] = [100, 1000, 10_000];
+/// The fleet size the determinism assertion and drill-down use.
+const REFERENCE_SIZE: u32 = 1000;
+
+fn day_spec(nodes: u32) -> FleetSpec {
+    FleetSpec::mixed_indoor_outdoor(nodes, 2011).expect("reference spec is valid")
+}
+
+fn percentile_row(report: &FleetReport) -> (f64, f64, f64) {
+    let p = report
+        .net_energy_percentiles()
+        .expect("non-empty fleet report");
+    (p.p5, p.p50, p.p95)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let host = std::thread::available_parallelism().map_or(1, usize::from);
+    let max_workers = sweep_runner().workers();
+    let mut worker_counts = vec![1usize, 2, 4, max_workers];
+    worker_counts.sort_unstable();
+    worker_counts.dedup();
+
+    banner("Fleet scaling — mixed indoor/outdoor day, 1-minute grid");
+    println!(
+        "host parallelism {host}, worker counts {worker_counts:?}, shard size {}",
+        FleetRunner::DEFAULT_SHARD_SIZE
+    );
+
+    let mut scaling: Vec<(u32, usize, f64, f64)> = Vec::new();
+    let mut reference_reports: Vec<(usize, FleetReport)> = Vec::new();
+    let mut rows = Vec::new();
+    for &nodes in &SIZES {
+        let spec = day_spec(nodes);
+        for &workers in &worker_counts {
+            let runner = FleetRunner::new(workers);
+            let t0 = Instant::now();
+            let report = runner.run(&spec)?;
+            let elapsed = t0.elapsed().as_secs_f64();
+            assert_eq!(report.nodes(), nodes as usize);
+            let rate = f64::from(nodes) / elapsed.max(1e-12);
+            scaling.push((nodes, workers, elapsed, rate));
+            rows.push(vec![
+                nodes.to_string(),
+                workers.to_string(),
+                fmt(elapsed, 3),
+                fmt(rate, 1),
+            ]);
+            if nodes == REFERENCE_SIZE {
+                reference_reports.push((workers, report));
+            }
+        }
+    }
+    println!(
+        "{}",
+        render_table(&["nodes", "workers", "seconds", "nodes/sec"], &rows)
+    );
+
+    banner("Determinism — 1000 nodes, bit-identical at every worker count");
+    let (_, reference) = &reference_reports[0];
+    for (workers, report) in &reference_reports[1..] {
+        assert_eq!(
+            report, reference,
+            "{workers}-worker fleet diverged from the 1-worker reference"
+        );
+    }
+    let checked: Vec<usize> = reference_reports.iter().map(|(w, _)| *w).collect();
+    println!("workers {checked:?}: all FleetReports bit-identical");
+
+    let (p5, p50, p95) = percentile_row(reference);
+    let worst = reference.worst_node().expect("non-empty fleet");
+    println!("{reference}");
+
+    banner("Tracker comparison over one replayed 200-node population");
+    let mut cmp_spec = day_spec(200);
+    cmp_spec.trace_decimate = 600; // 10-minute grid keeps 8 trackers tractable
+    cmp_spec.dt = Seconds::new(600.0);
+    let cmp_runner = FleetRunner::new(max_workers);
+    let comparison = compare_trackers_over_fleet(&cmp_spec, &cmp_runner)?;
+    let cmp_rows: Vec<Vec<String>> = comparison
+        .iter()
+        .map(|(kind, report)| {
+            let (p5, p50, p95) = percentile_row(report);
+            vec![
+                kind.label().to_owned(),
+                fmt(p5, 3),
+                fmt(p50, 3),
+                fmt(p95, 3),
+                report.net_negative_count().to_string(),
+                report.brown_out_count().to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "tracker",
+                "net p5 (J)",
+                "net p50 (J)",
+                "net p95 (J)",
+                "net-negative",
+                "brown-outs"
+            ],
+            &cmp_rows
+        )
+    );
+
+    // Scaling headline: 1 worker vs the top worker count at the
+    // reference size (honest numbers; ~1.0 expected on a 1-core host).
+    let rate_at = |workers: usize| {
+        scaling
+            .iter()
+            .find(|(n, w, _, _)| *n == REFERENCE_SIZE && *w == workers)
+            .map(|(_, _, _, r)| *r)
+            .expect("reference size measured at every worker count")
+    };
+    let speedup = rate_at(*worker_counts.last().expect("non-empty")) / rate_at(1);
+    println!(
+        "\n1000-node speedup x{} from 1 to {} workers on a {host}-core host",
+        fmt(speedup, 2),
+        worker_counts.last().expect("non-empty")
+    );
+
+    let scaling_json: Vec<String> = scaling
+        .iter()
+        .map(|(nodes, workers, secs, rate)| {
+            format!(
+                r#"    {{ "nodes": {nodes}, "workers": {workers}, "seconds": {secs:.3}, "nodes_per_sec": {rate:.1} }}"#
+            )
+        })
+        .collect();
+    let comparison_json: Vec<String> = comparison
+        .iter()
+        .map(|(kind, report)| {
+            let (p5, p50, p95) = percentile_row(report);
+            format!(
+                r#"    {{ "tracker": "{}", "net_p5_j": {p5:.6}, "net_p50_j": {p50:.6}, "net_p95_j": {p95:.6}, "net_negative": {}, "brown_outs": {} }}"#,
+                kind.label(),
+                report.net_negative_count(),
+                report.brown_out_count()
+            )
+        })
+        .collect();
+    let json = format!(
+        r#"{{
+  "bench": "fleet",
+  "command": "cargo run -q --release -p eh-bench --bin bench_fleet",
+  "scenario": "FleetSpec::mixed_indoor_outdoor, seed 2011, 1-minute trace grid, dt 60 s, shard size {shard}",
+  "host_parallelism": {host},
+  "host_note": "worker counts beyond host_parallelism cannot add speed; on a 1-core host speedups of ~1.0 are the honest expectation",
+  "worker_counts": {workers:?},
+  "scaling": [
+{scaling_rows}
+  ],
+  "speedup_1_to_max_workers_at_1000_nodes": {speedup:.3},
+  "determinism": {{
+    "nodes": {ref_size},
+    "worker_counts_checked": {checked:?},
+    "bit_identical": true
+  }},
+  "reference_fleet_1000": {{
+    "net_energy_p5_j": {p5:.6},
+    "net_energy_p50_j": {p50:.6},
+    "net_energy_p95_j": {p95:.6},
+    "brown_outs": {brown},
+    "cold_start_failures": {cold},
+    "net_negative": {negative},
+    "worst_node": {{ "id": {worst_id}, "placement": "{worst_place}", "net_j": {worst_net:.6} }}
+  }},
+  "tracker_comparison_200_nodes": [
+{cmp_rows}
+  ]
+}}
+"#,
+        shard = FleetRunner::DEFAULT_SHARD_SIZE,
+        workers = worker_counts,
+        scaling_rows = scaling_json.join(",\n"),
+        ref_size = REFERENCE_SIZE,
+        brown = reference.brown_out_count(),
+        cold = reference.cold_start_failures(),
+        negative = reference.net_negative_count(),
+        worst_id = worst.id,
+        worst_place = worst.placement.label(),
+        worst_net = worst.net_energy().value(),
+        cmp_rows = comparison_json.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
+    std::fs::write(path, json)?;
+    println!("wrote {path}");
+    Ok(())
+}

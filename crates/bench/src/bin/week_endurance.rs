@@ -8,7 +8,7 @@
 //!
 //! Run with `cargo run -p eh-bench --bin week_endurance`.
 
-use eh_bench::{banner, fmt, render_table};
+use eh_bench::{banner, fmt, render_table, sweep_runner};
 use eh_core::baselines::{FixedVoltage, FocvSampleHold};
 use eh_core::MpptController;
 use eh_env::week;
@@ -16,7 +16,6 @@ use eh_node::{
     Battery, DutyCycledLoad, EnergyStore, NodeError, NodeSimulation, SimConfig, Supercapacitor,
 };
 use eh_pv::{presets, PvCell};
-use eh_sim::SweepRunner;
 use eh_units::{Farads, Joules, Seconds, Volts};
 
 /// Tracker under comparison; each sweep job builds its own instance so
@@ -76,7 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .with_initial_voltage(Volts::new(4.0)),
         ) as Box<dyn EnergyStore + Send>
     };
-    let rows = SweepRunner::auto()
+    let rows = sweep_runner()
         .run(TRACKERS.to_vec(), |_, kind| run(kind, &cell, sc(), &trace))
         .into_iter()
         .collect::<Result<Vec<_>, NodeError>>()?;
@@ -96,7 +95,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .with_state_of_charge(0.5),
         ) as Box<dyn EnergyStore + Send>
     };
-    let rows = SweepRunner::auto()
+    let rows = sweep_runner()
         .run(TRACKERS.to_vec(), |_, kind| run(kind, &cell, bat(), &trace))
         .into_iter()
         .collect::<Result<Vec<_>, NodeError>>()?;

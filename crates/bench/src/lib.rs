@@ -8,6 +8,43 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use eh_sim::SweepRunner;
+
+/// Parses a worker-count override from command-line arguments
+/// (`--workers N` or `--workers=N`) and the `EH_WORKERS` environment
+/// variable; the command line wins. Zero, negative, or unparsable
+/// values are ignored so a typo degrades to the auto-sized default
+/// instead of a crash deep inside an experiment run.
+pub fn parse_workers<I, S>(args: I, env_value: Option<&str>) -> Option<usize>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let parse = |s: &str| s.trim().parse::<usize>().ok().filter(|&n| n > 0);
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        let arg = arg.as_ref();
+        if arg == "--workers" {
+            return args.next().and_then(|v| parse(v.as_ref()));
+        }
+        if let Some(v) = arg.strip_prefix("--workers=") {
+            return parse(v);
+        }
+    }
+    env_value.and_then(parse)
+}
+
+/// The sweep runner every experiment binary should use: sized by
+/// `--workers N` / `--workers=N` on the command line, else the
+/// `EH_WORKERS` environment variable, else the machine's available
+/// parallelism.
+pub fn sweep_runner() -> SweepRunner {
+    match parse_workers(std::env::args().skip(1), std::env::var("EH_WORKERS").ok().as_deref()) {
+        Some(n) => SweepRunner::new(n),
+        None => SweepRunner::auto(),
+    }
+}
+
 /// Renders an aligned plain-text table.
 ///
 /// ```
@@ -124,6 +161,22 @@ mod tests {
         let flat = sparkline(&[2.0, 2.0, 2.0]);
         assert_eq!(flat, "▁▁▁");
         assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn workers_override_resolution() {
+        // Command line beats the environment.
+        assert_eq!(parse_workers(["--workers", "4"], Some("2")), Some(4));
+        assert_eq!(parse_workers(["--workers=8"], Some("2")), Some(8));
+        // Environment fallback.
+        assert_eq!(parse_workers(Vec::<String>::new(), Some("3")), Some(3));
+        assert_eq!(parse_workers(["--other"], Some(" 5 ")), Some(5));
+        // Garbage degrades to None (auto), never panics.
+        assert_eq!(parse_workers(["--workers", "zero"], None), None);
+        assert_eq!(parse_workers(["--workers=0"], Some("2")), None);
+        assert_eq!(parse_workers(["--workers"], None), None);
+        assert_eq!(parse_workers(Vec::<String>::new(), Some("lots")), None);
+        assert_eq!(parse_workers(Vec::<String>::new(), None), None);
     }
 
     #[test]

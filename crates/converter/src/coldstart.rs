@@ -147,6 +147,18 @@ impl ColdStart {
         self.capacitance
     }
 
+    /// The enable threshold: the C1 voltage at which the rail turns on
+    /// (2.2 V in the prototype).
+    pub fn enable_threshold(&self) -> Volts {
+        self.v_enable
+    }
+
+    /// The steering diode D1's forward drop (0.3 V Schottky in the
+    /// prototype).
+    pub fn diode_drop(&self) -> Volts {
+        self.diode_drop
+    }
+
     /// The voltage the PV module must exceed for the charging path to
     /// conduct (C1 voltage plus the diode drop).
     pub fn charging_knee(&self) -> Volts {

@@ -95,6 +95,36 @@ impl FocvSampleHold {
         )
     }
 
+    /// Staggers the power-up PULSE by `offset` into the hold period: the
+    /// first measurement fires after `offset` instead of immediately,
+    /// and until then the tracker behaves as a circuit with a discharged
+    /// hold capacitor — a held 0 V sample, converter off. Fleet
+    /// simulations use this to model astable multivibrators that powered
+    /// up at different instants, so a thousand nodes do not all
+    /// interrupt harvesting in lock-step.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an offset outside `[0, sample_period)`.
+    pub fn with_initial_phase(mut self, offset: Seconds) -> Result<Self, CoreError> {
+        if !(offset.value().is_finite()
+            && offset.value() >= 0.0
+            && offset < self.sample_period)
+        {
+            return Err(CoreError::InvalidParameter {
+                name: "initial_phase",
+                value: offset.value(),
+            });
+        }
+        self.since_sample = self.sample_period - offset;
+        if offset.value() > 0.0 {
+            // Discharged hold capacitor: tracks 0 V (converter off)
+            // until the delayed first PULSE takes a real sample.
+            self.held_voc = Some(Volts::ZERO);
+        }
+        Ok(self)
+    }
+
     /// The trimmed FOCV factor.
     pub fn k(&self) -> f64 {
         self.k
@@ -224,6 +254,35 @@ mod tests {
         // Light changed but no resample yet: target unchanged.
         let c = t.step(&obs(None), Seconds::new(10.0));
         assert!((c.target_voltage().expect("connected").value() - 5.0 * 0.596).abs() < 1e-9);
+    }
+
+    #[test]
+    fn initial_phase_delays_the_first_pulse() {
+        let mut t = FocvSampleHold::paper_prototype()
+            .unwrap()
+            .with_initial_phase(Seconds::new(10.0))
+            .unwrap();
+        // For the first 9 s the tracker idles at a held 0 V sample.
+        for _ in 0..9 {
+            let c = t.step(&obs(None), Seconds::new(1.0));
+            assert!(c.is_connect(), "no PULSE before the phase elapses");
+            assert_eq!(c.target_voltage(), Some(Volts::ZERO));
+        }
+        // The 10th second reaches the staggered boundary: PULSE fires.
+        let c = t.step(&obs(None), Seconds::new(1.0));
+        assert!(!c.is_connect(), "delayed power-up PULSE must fire");
+        let c = t.step(&obs(Some(5.44)), Seconds::new(1.0));
+        assert!((c.target_voltage().expect("tracking").value() - 5.44 * 0.596).abs() < 1e-9);
+    }
+
+    #[test]
+    fn initial_phase_validation() {
+        let t = || FocvSampleHold::paper_prototype().unwrap();
+        assert!(t().with_initial_phase(Seconds::new(-1.0)).is_err());
+        assert!(t().with_initial_phase(Seconds::new(69.0)).is_err());
+        assert!(t().with_initial_phase(Seconds::new(f64::NAN)).is_err());
+        assert!(t().with_initial_phase(Seconds::ZERO).is_ok());
+        assert!(t().with_initial_phase(Seconds::new(68.9)).is_ok());
     }
 
     #[test]

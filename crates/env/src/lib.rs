@@ -35,6 +35,7 @@
 
 mod error;
 pub mod lamps;
+mod perturb;
 pub mod process;
 pub mod profiles;
 pub mod sampling_error;
@@ -43,4 +44,5 @@ pub mod solar;
 pub mod week;
 
 pub use error::EnvError;
+pub use perturb::TracePerturbation;
 pub use series::TimeSeries;

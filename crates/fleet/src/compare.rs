@@ -1,0 +1,186 @@
+//! Replaying one seeded population against the state of the art.
+//!
+//! The paper's Table compares trackers on a single prototype; a fleet
+//! asks the sharper question — how does each technique behave across a
+//! *population* of toleranced, differently lit nodes? Because the
+//! population is a pure function of the spec, every tracker sees the
+//! same N nodes: same placements, same optics, same astable jitter
+//! (where the tracker has an astable), same light.
+
+use eh_core::baselines::{
+    FixedVoltage, FocvSampleHold, FractionalIsc, IncrementalConductance, Oracle, PerturbObserve,
+    Photodetector, PilotCell,
+};
+use eh_core::MpptController;
+use eh_pv::PvCell;
+
+use crate::error::FleetError;
+use crate::population::NodeSpec;
+use crate::report::FleetReport;
+use crate::run::FleetRunner;
+use crate::spec::FleetSpec;
+
+/// Every tracker family the workspace models, as fleet-runnable kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum TrackerKind {
+    /// The paper's FOCV sample-and-hold, jittered per node.
+    Focv,
+    /// Fixed reference voltage (Weddell'08).
+    FixedVoltage,
+    /// Perturb & observe hill climber.
+    PerturbObserve,
+    /// Incremental conductance.
+    IncrementalConductance,
+    /// Fractional short-circuit current.
+    FractionalIsc,
+    /// Pilot-cell FOCV (Brunelli'08).
+    PilotCell,
+    /// Photodetector-steered (AmbiMax).
+    Photodetector,
+    /// The zero-overhead MPP oracle (upper bound).
+    Oracle,
+}
+
+impl TrackerKind {
+    /// Every kind, in comparison-table order (oracle last as the
+    /// reference bound).
+    pub const ALL: [TrackerKind; 8] = [
+        TrackerKind::Focv,
+        TrackerKind::FixedVoltage,
+        TrackerKind::PerturbObserve,
+        TrackerKind::IncrementalConductance,
+        TrackerKind::FractionalIsc,
+        TrackerKind::PilotCell,
+        TrackerKind::Photodetector,
+        TrackerKind::Oracle,
+    ];
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TrackerKind::Focv => "focv",
+            TrackerKind::FixedVoltage => "fixed-voltage",
+            TrackerKind::PerturbObserve => "perturb-observe",
+            TrackerKind::IncrementalConductance => "incremental-conductance",
+            TrackerKind::FractionalIsc => "fractional-isc",
+            TrackerKind::PilotCell => "pilot-cell",
+            TrackerKind::Photodetector => "photodetector",
+            TrackerKind::Oracle => "oracle",
+        }
+    }
+
+    /// Builds the tracker instance for one node. Only the FOCV kind
+    /// uses the node's drawn divider/astable values — the baselines
+    /// have no astable to jitter — but every kind sees the node's
+    /// perturbed light and placement temperature through `cell`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tracker parameter validation.
+    pub(crate) fn build(
+        self,
+        node: &NodeSpec,
+        cell: &PvCell,
+    ) -> Result<Box<dyn MpptController>, FleetError> {
+        Ok(match self {
+            TrackerKind::Focv => Box::new(node.tracker()?),
+            TrackerKind::FixedVoltage => Box::new(FixedVoltage::indoor_tuned()?),
+            TrackerKind::PerturbObserve => Box::new(PerturbObserve::literature_default()?),
+            TrackerKind::IncrementalConductance => {
+                Box::new(IncrementalConductance::literature_default()?)
+            }
+            TrackerKind::FractionalIsc => Box::new(FractionalIsc::literature_default()?),
+            TrackerKind::PilotCell => Box::new(PilotCell::literature_default(cell.clone())?),
+            TrackerKind::Photodetector => Box::new(Photodetector::literature_default()?),
+            TrackerKind::Oracle => Box::new(Oracle::new(cell.clone())),
+        })
+    }
+
+    /// A reference instance of the kind's display name, as reported by
+    /// the tracker itself.
+    pub fn tracker_name(self) -> String {
+        let probe = NodeSpec {
+            id: 0,
+            placement: crate::Placement::InteriorDesk,
+            k: FocvSampleHold::paper_prototype()
+                .expect("prototype constants are valid")
+                .k(),
+            sample_period: eh_units::Seconds::new(69.0),
+            pulse_width: eh_units::Seconds::from_milli(39.0),
+            phase_offset: eh_units::Seconds::ZERO,
+            perturbation: eh_env::TracePerturbation::identity(),
+        };
+        let cell = eh_pv::presets::sanyo_am1815();
+        self.build(&probe, &cell)
+            .expect("reference parameters are valid")
+            .name()
+            .to_owned()
+    }
+}
+
+/// Replays the same seeded population against every [`TrackerKind`],
+/// returning one merged [`FleetReport`] per kind in
+/// [`TrackerKind::ALL`] order.
+///
+/// # Errors
+///
+/// Propagates the first failing fleet run.
+pub fn compare_trackers_over_fleet(
+    spec: &FleetSpec,
+    runner: &FleetRunner,
+) -> Result<Vec<(TrackerKind, FleetReport)>, FleetError> {
+    TrackerKind::ALL
+        .iter()
+        .map(|&kind| Ok((kind, runner.run_tracker(spec, kind)?)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Tolerances;
+    use eh_units::Seconds;
+
+    #[test]
+    fn labels_and_names_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            TrackerKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), TrackerKind::ALL.len());
+        let names: std::collections::HashSet<_> =
+            TrackerKind::ALL.iter().map(|k| k.tracker_name()).collect();
+        assert_eq!(names.len(), TrackerKind::ALL.len());
+    }
+
+    #[test]
+    fn comparison_replays_the_same_population() {
+        // A tiny, coarse fleet so the 8-way comparison stays fast.
+        let mut spec = FleetSpec::mixed_indoor_outdoor(6, 99).unwrap();
+        spec.trace_decimate = 1200;
+        spec.dt = Seconds::new(1200.0);
+        spec.tolerances = Tolerances::production_batch();
+        let rows = compare_trackers_over_fleet(&spec, &FleetRunner::new(2)).unwrap();
+        assert_eq!(rows.len(), TrackerKind::ALL.len());
+        for (kind, report) in &rows {
+            assert_eq!(report.nodes(), 6, "{} lost nodes", kind.label());
+        }
+        // Same population: placements line up across trackers.
+        let placements = |r: &FleetReport| -> Vec<_> {
+            r.outcomes.iter().map(|o| (o.id, o.placement)).collect()
+        };
+        let reference = placements(&rows[0].1);
+        for (_, report) in &rows[1..] {
+            assert_eq!(placements(report), reference);
+        }
+        // The oracle bounds everyone's median net energy.
+        let median = |r: &FleetReport| r.net_energy_percentiles().unwrap().p50;
+        let oracle = median(&rows.last().unwrap().1);
+        for (kind, report) in &rows {
+            assert!(
+                median(report) <= oracle + 1e-9,
+                "{} beat the oracle",
+                kind.label()
+            );
+        }
+    }
+}

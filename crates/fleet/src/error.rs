@@ -1,0 +1,80 @@
+//! Error type for the fleet crate.
+
+use std::error::Error;
+use std::fmt;
+
+use eh_converter::ConverterError;
+use eh_core::CoreError;
+use eh_env::EnvError;
+use eh_node::NodeError;
+use eh_pv::PvError;
+
+/// Errors returned by fleet construction and fleet runs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FleetError {
+    /// An underlying node-simulation error.
+    Node(NodeError),
+    /// An underlying environment error.
+    Env(EnvError),
+    /// An underlying PV model error.
+    Pv(PvError),
+    /// An underlying tracker/system error.
+    Core(CoreError),
+    /// An underlying converter error.
+    Converter(ConverterError),
+    /// A fleet specification parameter was invalid.
+    InvalidSpec {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Node(e) => write!(f, "node simulation: {e}"),
+            FleetError::Env(e) => write!(f, "environment: {e}"),
+            FleetError::Pv(e) => write!(f, "pv model: {e}"),
+            FleetError::Core(e) => write!(f, "tracker: {e}"),
+            FleetError::Converter(e) => write!(f, "converter: {e}"),
+            FleetError::InvalidSpec { name, value } => {
+                write!(f, "invalid fleet spec parameter {name} = {value}")
+            }
+        }
+    }
+}
+
+impl Error for FleetError {}
+
+impl From<NodeError> for FleetError {
+    fn from(e: NodeError) -> Self {
+        FleetError::Node(e)
+    }
+}
+
+impl From<EnvError> for FleetError {
+    fn from(e: EnvError) -> Self {
+        FleetError::Env(e)
+    }
+}
+
+impl From<PvError> for FleetError {
+    fn from(e: PvError) -> Self {
+        FleetError::Pv(e)
+    }
+}
+
+impl From<CoreError> for FleetError {
+    fn from(e: CoreError) -> Self {
+        FleetError::Core(e)
+    }
+}
+
+impl From<ConverterError> for FleetError {
+    fn from(e: ConverterError) -> Self {
+        FleetError::Converter(e)
+    }
+}

@@ -1,0 +1,103 @@
+//! The shared PV-surface pool.
+//!
+//! Per-node optical tolerance is folded into each node's illuminance
+//! perturbation, so every node of a placement shares the *same*
+//! electrical cell at that placement's temperature. The pool warms one
+//! memoized [`eh_pv::CachedPvSurface`] per `(model, temperature)` up
+//! front; the cells it hands to simulation jobs are clones, and clones
+//! share the built table — a 10 000-node fleet pays for at most three
+//! table builds, not 10 000.
+
+use eh_pv::PvCell;
+
+use crate::error::FleetError;
+use crate::spec::Placement;
+
+/// One warmed cell per placement in use, indexed by
+/// [`Placement::index`].
+#[derive(Debug)]
+pub struct SurfacePool {
+    cells: [Option<PvCell>; 3],
+}
+
+impl SurfacePool {
+    /// Builds the pool for the placements that actually occur in a
+    /// population, re-binding `base` to each placement's temperature.
+    /// With `cache` set, each cell's surface is built eagerly here so
+    /// worker threads only ever do lookups.
+    ///
+    /// # Errors
+    ///
+    /// Propagates surface-construction failures.
+    pub fn warm(
+        base: &PvCell,
+        placements: impl IntoIterator<Item = Placement>,
+        cache: bool,
+    ) -> Result<Self, FleetError> {
+        let mut cells: [Option<PvCell>; 3] = [None, None, None];
+        for p in placements {
+            if cells[p.index()].is_none() {
+                let cell = base.clone().with_temperature(p.cell_temperature());
+                cells[p.index()] = Some(if cache { cell.warmed()? } else { cell });
+            }
+        }
+        Ok(Self { cells })
+    }
+
+    /// The pool's cell for a placement, if that placement was warmed.
+    pub fn cell(&self, p: Placement) -> Option<&PvCell> {
+        self.cells[p.index()].as_ref()
+    }
+
+    /// How many distinct `(model, temperature)` cells the pool holds.
+    pub fn len(&self) -> usize {
+        self.cells.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eh_pv::{presets, CachedPvSurface};
+
+    #[test]
+    fn clones_share_the_warmed_surface() {
+        let pool = SurfacePool::warm(
+            &presets::sanyo_am1815(),
+            [Placement::InteriorDesk, Placement::InteriorDesk],
+            true,
+        )
+        .unwrap();
+        assert_eq!(pool.len(), 1);
+        let cell = pool.cell(Placement::InteriorDesk).unwrap();
+        let a = cell.cached().unwrap() as *const CachedPvSurface;
+        let b = cell.clone().cached().unwrap() as *const CachedPvSurface;
+        assert_eq!(a, b, "job clone rebuilt the table");
+        assert!(pool.cell(Placement::Outdoor).is_none());
+    }
+
+    #[test]
+    fn placements_get_distinct_temperature_surfaces() {
+        let pool = SurfacePool::warm(&presets::sanyo_am1815(), Placement::ALL, true).unwrap();
+        assert_eq!(pool.len(), 3);
+        let window = pool.cell(Placement::WindowDesk).unwrap();
+        let interior = pool.cell(Placement::InteriorDesk).unwrap();
+        assert_ne!(window.temperature(), interior.temperature());
+        let a = window.cached().unwrap() as *const CachedPvSurface;
+        let b = interior.cached().unwrap() as *const CachedPvSurface;
+        assert_ne!(a, b, "different temperatures must not share one table");
+    }
+
+    #[test]
+    fn uncached_pool_builds_no_surfaces() {
+        let pool =
+            SurfacePool::warm(&presets::sanyo_am1815(), [Placement::Outdoor], false).unwrap();
+        assert!(!pool.is_empty());
+        assert!(!pool.cell(Placement::Outdoor).unwrap().cache_enabled());
+    }
+}

@@ -1,0 +1,234 @@
+//! The sharded fleet runner.
+//!
+//! ```text
+//! FleetSpec ──population()──▶ [NodeSpec; N] ──shards──▶ SweepRunner
+//!     │                                                    │ fold per shard
+//!     └─▶ base day traces + warmed surface pool (shared)   ▼
+//!                       FleetReport ◀──merge in shard index order
+//! ```
+//!
+//! Each worker claims shards of nodes, simulates them against its
+//! placement's shared base trace (perturbed per node) and the shared
+//! warmed PV surface, and folds the single-node reports locally; the
+//! per-shard aggregates merge in shard index order. The result is
+//! bit-for-bit identical at any worker count.
+
+use eh_converter::{ColdStart, InputRegulatedConverter};
+use eh_env::{week, TimeSeries};
+use eh_node::{NodeSimulation, SimConfig};
+use eh_sim::SweepRunner;
+use eh_units::Lux;
+
+use crate::compare::TrackerKind;
+use crate::error::FleetError;
+use crate::pool::SurfacePool;
+use crate::population::NodeSpec;
+use crate::report::{FleetReport, NodeOutcome};
+use crate::spec::{FleetSpec, Placement};
+
+/// Runs fleets: a [`SweepRunner`] plus a shard size.
+///
+/// The shard size trades scheduling overhead against load balance; it
+/// never affects the result (see
+/// [`eh_sim::SweepRunner::run_merged`]'s order contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetRunner {
+    runner: SweepRunner,
+    shard_size: usize,
+}
+
+impl FleetRunner {
+    /// Default nodes per shard.
+    pub const DEFAULT_SHARD_SIZE: usize = 32;
+
+    /// A runner with a fixed worker count (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        Self {
+            runner: SweepRunner::new(workers),
+            shard_size: Self::DEFAULT_SHARD_SIZE,
+        }
+    }
+
+    /// A runner sized to the machine's available parallelism.
+    pub fn auto() -> Self {
+        Self {
+            runner: SweepRunner::auto(),
+            shard_size: Self::DEFAULT_SHARD_SIZE,
+        }
+    }
+
+    /// Overrides the shard size (clamped to at least 1).
+    #[must_use]
+    pub fn with_shard_size(mut self, shard_size: usize) -> Self {
+        self.shard_size = shard_size.max(1);
+        self
+    }
+
+    /// The worker count.
+    pub fn workers(&self) -> usize {
+        self.runner.workers()
+    }
+
+    /// The nodes-per-shard granularity.
+    pub fn shard_size(&self) -> usize {
+        self.shard_size
+    }
+
+    /// Runs the fleet with each node's own FOCV tracker (the paper's
+    /// technique, jittered per unit).
+    ///
+    /// # Errors
+    ///
+    /// Propagates spec validation and simulation errors; on multiple
+    /// node failures the first in fleet order is returned.
+    pub fn run(&self, spec: &FleetSpec) -> Result<FleetReport, FleetError> {
+        self.run_tracker(spec, TrackerKind::Focv)
+    }
+
+    /// Runs the same seeded population under an arbitrary tracker kind
+    /// — the building block of
+    /// [`compare_trackers_over_fleet`](crate::compare_trackers_over_fleet).
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetRunner::run`].
+    pub fn run_tracker(
+        &self,
+        spec: &FleetSpec,
+        kind: TrackerKind,
+    ) -> Result<FleetReport, FleetError> {
+        let population = spec.population()?;
+
+        // Shared inputs, built once: one base trace per day kind (the
+        // two office placements share the office day) and one warmed
+        // PV surface per placement temperature in use.
+        let in_use: Vec<Placement> = Placement::ALL
+            .into_iter()
+            .filter(|p| population.iter().any(|n| n.placement == *p))
+            .collect();
+        let mut traces: [Option<TimeSeries>; 3] = [None, None, None];
+        for &p in &in_use {
+            let existing = in_use
+                .iter()
+                .take_while(|q| **q != p)
+                .find(|q| q.day_kind() == p.day_kind())
+                .map(|q| traces[q.index()].clone().expect("earlier placement traced"));
+            traces[p.index()] = Some(match existing {
+                Some(t) => t,
+                None => week::day(p.day_kind(), spec.seed).decimate(spec.trace_decimate)?,
+            });
+        }
+        let pool = SurfacePool::warm(&spec.cell, in_use.iter().copied(), spec.pv_cache)?;
+        let cold = ColdStart::paper_prototype()?;
+        let knee = cold.enable_threshold() + cold.diode_drop();
+
+        let simulate = |_idx: usize, node: NodeSpec| -> Result<FleetReport, FleetError> {
+            let base = traces[node.placement.index()]
+                .as_ref()
+                .expect("every placement in use has a base trace");
+            let trace = node.perturbation.apply(base);
+            let cell = pool
+                .cell(node.placement)
+                .expect("every placement in use has a warmed cell")
+                .clone();
+
+            // Analytic cold-start feasibility: at this node's own peak
+            // illuminance, the module must push the supervisor's C1
+            // past the enable threshold through the steering diode
+            // while out-supplying the supervisor's quiescent draw.
+            let peak = Lux::new(trace.max());
+            let cold_start_ok = cell.open_circuit_voltage(peak)? > knee
+                && cell.current_at(knee, peak)? > cold.supervisor_current();
+
+            let mut tracker = kind.build(&node, &cell)?;
+            let config = SimConfig {
+                cell,
+                converter: InputRegulatedConverter::paper_prototype()?,
+                measurement_dwell: node.pulse_width,
+                load: spec.load.clone(),
+                store: spec.store.build()?,
+                pv_cache: spec.pv_cache,
+            };
+            let report = NodeSimulation::new(config)?.run(tracker.as_mut(), &trace, spec.dt)?;
+            Ok(FleetReport::single(
+                &spec.name,
+                NodeOutcome {
+                    id: node.id,
+                    placement: node.placement,
+                    cold_start_ok,
+                    report,
+                },
+            ))
+        };
+
+        self.runner
+            .run_merged(population, self.shard_size, simulate)
+            .expect("validated specs have at least one node")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Tolerances;
+    use eh_units::Seconds;
+
+    /// A small fleet that still exercises every placement, sized so the
+    /// test-suite run stays fast: 10-minute trace grid, 10-minute step.
+    fn small_spec() -> FleetSpec {
+        let mut spec = FleetSpec::mixed_indoor_outdoor(24, 2011).unwrap();
+        spec.trace_decimate = 600;
+        spec.dt = Seconds::new(600.0);
+        spec
+    }
+
+    #[test]
+    fn fleet_runs_and_aggregates_every_node() {
+        let report = FleetRunner::new(2).run(&small_spec()).unwrap();
+        assert_eq!(report.nodes(), 24);
+        assert!(report.net_energy_percentiles().is_some());
+        assert!(report.worst_node().is_some());
+        let placed: usize = Placement::ALL
+            .iter()
+            .map(|&p| report.placement_count(p))
+            .sum();
+        assert_eq!(placed, 24);
+    }
+
+    #[test]
+    fn heterogeneity_spreads_the_outcomes() {
+        let report = FleetRunner::new(1).run(&small_spec()).unwrap();
+        let p = report.net_energy_percentiles().unwrap();
+        assert!(
+            p.p95 > p.p5,
+            "a toleranced fleet must not collapse to one outcome: {p:?}"
+        );
+    }
+
+    #[test]
+    fn zero_tolerance_single_placement_fleet_collapses() {
+        let mut spec = small_spec();
+        spec.tolerances = Tolerances::none();
+        spec.placements = crate::PlacementMix::new(0.0, 1.0, 0.0).unwrap();
+        let report = FleetRunner::new(2).run(&spec).unwrap();
+        let p = report.net_energy_percentiles().unwrap();
+        // Identical hardware and identical light: only the power-up
+        // phase differs, which perturbs day-scale energy marginally.
+        let spread = (p.p95 - p.p5).abs();
+        let scale = p.p50.abs().max(1e-12);
+        assert!(
+            spread / scale < 0.05,
+            "golden fleet spread {spread:.3e} vs median {scale:.3e}"
+        );
+    }
+
+    #[test]
+    fn oracle_fleet_dominates_focv_fleet() {
+        let spec = small_spec();
+        let runner = FleetRunner::new(2);
+        let focv = runner.run(&spec).unwrap();
+        let oracle = runner.run_tracker(&spec, TrackerKind::Oracle).unwrap();
+        let net = |r: &FleetReport| r.net_energy_percentiles().unwrap().p50;
+        assert!(net(&oracle) >= net(&focv));
+    }
+}

@@ -309,6 +309,94 @@ impl EnergyStore for IdealStore {
     }
 }
 
+/// A declarative, cloneable description of an energy store.
+///
+/// `Box<dyn EnergyStore>` is neither `Clone` nor comparable, which makes
+/// it awkward for specifications that must stamp out one fresh store per
+/// simulated node (a fleet) or per sweep job. `StoreSpec` is the
+/// value-type counterpart: describe the store once, [`StoreSpec::build`]
+/// a fresh instance wherever one is needed.
+///
+/// ```
+/// use eh_node::{EnergyStore, StoreSpec};
+///
+/// let spec = StoreSpec::supercapacitor_022f_at(4.0);
+/// let a = spec.build()?;
+/// let b = spec.build()?;
+/// assert_eq!(a.stored_energy(), b.stored_energy()); // independent, identical
+/// # Ok::<(), eh_node::NodeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum StoreSpec {
+    /// An [`IdealStore`].
+    Ideal,
+    /// A [`Supercapacitor`].
+    Supercapacitor {
+        /// Capacitance in farads.
+        capacitance: Farads,
+        /// Maximum rated voltage.
+        v_max: Volts,
+        /// Minimum usable voltage.
+        v_min: Volts,
+        /// Deployment voltage.
+        initial_voltage: Volts,
+    },
+    /// A [`Battery`].
+    Battery {
+        /// Rated capacity.
+        capacity: Joules,
+        /// Coulombic charge efficiency in `(0, 1]`.
+        charge_efficiency: f64,
+        /// Fraction of stored energy lost per month.
+        self_discharge_per_month: f64,
+        /// Deployment state of charge in `[0, 1]`.
+        initial_soc: f64,
+    },
+}
+
+impl StoreSpec {
+    /// The week-endurance reference store: a 0.22 F / 5 V supercapacitor
+    /// (1.8 V dropout) deployed charged to `initial_volts`.
+    pub fn supercapacitor_022f_at(initial_volts: f64) -> Self {
+        StoreSpec::Supercapacitor {
+            capacitance: Farads::new(0.22),
+            v_max: Volts::new(5.0),
+            v_min: Volts::new(1.8),
+            initial_voltage: Volts::new(initial_volts),
+        }
+    }
+
+    /// Builds a fresh store from the description.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying constructors' parameter validation.
+    pub fn build(&self) -> Result<Box<dyn EnergyStore + Send>, NodeError> {
+        Ok(match *self {
+            StoreSpec::Ideal => Box::new(IdealStore::new()),
+            StoreSpec::Supercapacitor {
+                capacitance,
+                v_max,
+                v_min,
+                initial_voltage,
+            } => Box::new(
+                Supercapacitor::new(capacitance, v_max, v_min)?
+                    .with_initial_voltage(initial_voltage),
+            ),
+            StoreSpec::Battery {
+                capacity,
+                charge_efficiency,
+                self_discharge_per_month,
+                initial_soc,
+            } => Box::new(
+                Battery::new(capacity, charge_efficiency, self_discharge_per_month)?
+                    .with_state_of_charge(initial_soc),
+            ),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -419,6 +507,41 @@ mod tests {
             .with_state_of_charge(1.0);
         c.leak(Seconds::new(15.0 * 86_400.0));
         assert!(c.stored_energy().value() > 94.0 && c.stored_energy().value() < 96.0);
+    }
+
+    #[test]
+    fn store_spec_builds_fresh_equivalent_stores() {
+        let spec = StoreSpec::supercapacitor_022f_at(4.0);
+        let mut a = spec.build().unwrap();
+        let b = spec.build().unwrap();
+        assert!(a.stored_energy().value() > 0.0);
+        assert_eq!(a.stored_energy(), b.stored_energy());
+        // Instances are independent: draining one leaves the other full.
+        a.withdraw(Joules::new(1.0));
+        assert!(a.stored_energy() < b.stored_energy());
+
+        assert_eq!(
+            StoreSpec::Ideal.build().unwrap().stored_energy(),
+            Joules::ZERO
+        );
+        let bat = StoreSpec::Battery {
+            capacity: Joules::new(200.0),
+            charge_efficiency: 0.9,
+            self_discharge_per_month: 0.03,
+            initial_soc: 0.5,
+        };
+        assert_eq!(bat.build().unwrap().stored_energy(), Joules::new(100.0));
+    }
+
+    #[test]
+    fn store_spec_propagates_validation() {
+        let bad = StoreSpec::Battery {
+            capacity: Joules::ZERO,
+            charge_efficiency: 0.9,
+            self_discharge_per_month: 0.03,
+            initial_soc: 0.5,
+        };
+        assert!(bad.build().is_err());
     }
 
     #[test]

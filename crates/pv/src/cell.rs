@@ -115,6 +115,21 @@ impl PvCell {
         self.cache_enabled
     }
 
+    /// Enables the cache and builds the surface eagerly, returning the
+    /// warmed cell: the one-call handoff for fan-out code that clones
+    /// one cell into many jobs and must pay the table build exactly once
+    /// per `(model, temperature)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table-construction failures from
+    /// [`CachedPvSurface::build`].
+    pub fn warmed(self) -> Result<Self, PvError> {
+        let cell = self.with_cache(true);
+        cell.cached()?;
+        Ok(cell)
+    }
+
     /// The memoized I-V surface for this `(model, temperature)`,
     /// building it on first call (a few milliseconds). Useful to warm
     /// the table before cloning the cell into sweep jobs, or to probe
@@ -305,6 +320,15 @@ mod tests {
         let truth = exact.current_at(v, lux).unwrap();
         let isc = exact.short_circuit_current(lux).unwrap();
         assert!((via_cell - truth).value().abs() / isc.value() < 1e-3);
+    }
+
+    #[test]
+    fn warmed_builds_once_and_clones_share() {
+        let warm = presets::sanyo_am1815().warmed().unwrap();
+        assert!(warm.cache_enabled());
+        let a = warm.cached().unwrap() as *const CachedPvSurface;
+        let b = warm.clone().cached().unwrap() as *const CachedPvSurface;
+        assert_eq!(a, b, "warmed clone rebuilt the table");
     }
 
     #[test]

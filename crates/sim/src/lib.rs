@@ -15,6 +15,10 @@
 //! - [`SweepRunner`] fans scenarios across scoped threads with stable,
 //!   input-order collection, so sweeps are bit-for-bit deterministic
 //!   regardless of worker count;
+//! - [`Mergeable`] + [`SweepRunner::run_merged`] are the sharded
+//!   map-reduce used by fleet-scale aggregation: workers reduce their
+//!   own shards, shard aggregates fold in shard index order, and the
+//!   result is bit-identical at any worker count and shard size;
 //! - [`Accumulator`] is the common energy ledger behind reports.
 //!
 //! The crate is std-only by design: the build environment has no crate
@@ -25,6 +29,7 @@ mod accumulator;
 mod engine;
 mod error;
 mod light;
+mod merge;
 mod scenario;
 mod stepper;
 mod sweep;
@@ -33,6 +38,7 @@ pub use accumulator::Accumulator;
 pub use engine::{drive, run_windowed, split_windows};
 pub use error::SimError;
 pub use light::Light;
+pub use merge::Mergeable;
 pub use scenario::Scenario;
 pub use stepper::{StepInput, StepOutput, Stepper};
 pub use sweep::SweepRunner;

@@ -4,6 +4,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 
+use crate::merge::Mergeable;
 use crate::scenario::Scenario;
 use crate::stepper::Stepper;
 
@@ -102,6 +103,50 @@ impl SweepRunner {
             .collect()
     }
 
+    /// Maps `f` over every item in shards of `shard_size` and folds the
+    /// per-item reports into one aggregate, returning `None` for empty
+    /// input.
+    ///
+    /// Each worker reduces the shards it claims locally (saving one
+    /// allocation per item over [`SweepRunner::run`] + fold), and the
+    /// per-shard aggregates are folded **in shard index order**, so the
+    /// result is bit-for-bit identical at any worker count and any shard
+    /// size — the contract fleet-scale aggregation relies on.
+    pub fn run_merged<T, R, F>(&self, items: Vec<T>, shard_size: usize, f: F) -> Option<R>
+    where
+        T: Send,
+        R: Mergeable + Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        if items.is_empty() {
+            return None;
+        }
+        let shard_size = shard_size.max(1);
+        // Chunk into (first global index, shard items) pairs.
+        let mut shards: Vec<(usize, Vec<T>)> = Vec::new();
+        for (i, item) in items.into_iter().enumerate() {
+            match shards.last_mut() {
+                Some((_, shard)) if shard.len() < shard_size => shard.push(item),
+                _ => shards.push((i, vec![item])),
+            }
+        }
+        let shard_reports = self.run(shards, |_, (base, shard)| {
+            let mut report: Option<R> = None;
+            for (offset, item) in shard.into_iter().enumerate() {
+                let r = f(base + offset, item);
+                match report.as_mut() {
+                    Some(acc) => acc.merge(r),
+                    None => report = Some(r),
+                }
+            }
+            report.expect("shards are non-empty by construction")
+        });
+        shard_reports.into_iter().reduce(|mut acc, r| {
+            acc.merge(r);
+            acc
+        })
+    }
+
     /// Runs every scenario to completion, returning `(label, result)`
     /// pairs in input order.
     pub fn sweep<'a, S>(&self, scenarios: Vec<Scenario<'a, S>>) -> Vec<(String, Result<S, S::Error>)>
@@ -138,6 +183,30 @@ mod tests {
         assert!(SweepRunner::auto().workers() >= 1);
         let out: Vec<u8> = SweepRunner::new(4).run(Vec::<u8>::new(), |_, x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn run_merged_is_shard_and_worker_invariant() {
+        let items: Vec<u32> = (0..97).collect();
+        let reference: Vec<u32> = items.iter().map(|x| x * 3).collect();
+        for workers in [1, 2, 5, 16] {
+            for shard_size in [1, 7, 32, 1000] {
+                let merged = SweepRunner::new(workers)
+                    .run_merged(items.clone(), shard_size, |i, x| {
+                        assert_eq!(i as u32, x);
+                        vec![x * 3]
+                    })
+                    .expect("non-empty input");
+                assert_eq!(merged, reference, "workers={workers} shard={shard_size}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_merged_empty_input_is_none() {
+        let out: Option<Vec<u8>> =
+            SweepRunner::new(4).run_merged(Vec::<u8>::new(), 8, |_, x| vec![x]);
+        assert!(out.is_none());
     }
 
     #[test]

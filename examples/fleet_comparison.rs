@@ -1,0 +1,57 @@
+//! A production deployment is never one node: every unit carries its
+//! own divider trim, astable timing, cell binning, dust, and desk
+//! placement. This example stamps a 60-node heterogeneous fleet out of
+//! one seeded `FleetSpec`, prints the population-level statistics with
+//! the worst-node drill-down, and then replays the *same* population
+//! against every baseline tracker.
+//!
+//! Run with `cargo run --example fleet_comparison`.
+
+use pv_mppt_repro::fleet::{compare_trackers_over_fleet, FleetRunner, FleetSpec, Placement};
+use pv_mppt_repro::units::Seconds;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 60 nodes from one seed: production-batch tolerances, mixed
+    // window/interior/outdoor placements, supercap storage. A 10-minute
+    // grid keeps the 8-tracker shoot-out at example speed.
+    let mut spec = FleetSpec::mixed_indoor_outdoor(60, 2011)?;
+    spec.name = "office building, floor 3".into();
+    spec.trace_decimate = 600;
+    spec.dt = Seconds::new(600.0);
+
+    let runner = FleetRunner::auto();
+    let report = runner.run(&spec)?;
+
+    println!("{report}");
+    for p in [Placement::WindowDesk, Placement::InteriorDesk, Placement::Outdoor] {
+        println!("  {:>2} × {}", report.placement_count(p), p.label());
+    }
+
+    // The same 60 nodes — identical trims, placements, and light — under
+    // every tracker the paper compares against.
+    println!("\nSame population, every tracker (net energy across the fleet):\n");
+    println!(
+        "{:<42} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "tracker", "p5 (J)", "p50 (J)", "p95 (J)", "net<0", "br-outs"
+    );
+    let comparison = compare_trackers_over_fleet(&spec, &runner)?;
+    for (kind, fleet) in &comparison {
+        let p = fleet.net_energy_percentiles().expect("non-empty fleet");
+        println!(
+            "{:<42} {:>10.3} {:>10.3} {:>10.3} {:>8} {:>8}",
+            kind.label(),
+            p.p5,
+            p.p50,
+            p.p95,
+            fleet.net_negative_count(),
+            fleet.brown_out_count()
+        );
+    }
+
+    println!(
+        "\nThe FOCV sample-and-hold keeps the whole population net-positive —\n\
+         including the dusty interior-desk worst case — while the mW-class\n\
+         trackers drain every node they are deployed on."
+    );
+    Ok(())
+}

@@ -17,6 +17,10 @@
 //!   [`sim::drive`] time-stepping with adaptive dwell, and the
 //!   deterministic [`sim::SweepRunner`] scenario fan-out.
 //! * [`node`] — closed-loop wireless-sensor-node simulations.
+//! * [`fleet`] — deterministic fleet-scale simulation of heterogeneous
+//!   node populations: seeded [`fleet::FleetSpec`] instantiation,
+//!   sharded order-independent aggregation, tracker comparison over a
+//!   whole population.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,6 +29,7 @@ pub use eh_analog as analog;
 pub use eh_converter as converter;
 pub use eh_core as core;
 pub use eh_env as env;
+pub use eh_fleet as fleet;
 pub use eh_node as node;
 pub use eh_pv as pv;
 pub use eh_sim as sim;
