@@ -149,7 +149,11 @@ impl AstableMultivibrator {
         }
         let (upper, lower) = Self::solve_thresholds(&config)?;
         let (rail_high, rail_low) = Self::solve_rail_currents(&config)?;
-        let comparator = Comparator::new(config.supply_voltage, config.comparator_current, Volts::ZERO)?;
+        let comparator = Comparator::new(
+            config.supply_voltage,
+            config.comparator_current,
+            Volts::ZERO,
+        )?;
         let mut timing_cap = Capacitor::polyester(config.timing_capacitance)?;
         // Power-up: capacitor discharged, so the comparator output starts
         // high (cap below the lower threshold) and the first PULSE fires
@@ -300,7 +304,11 @@ impl AstableMultivibrator {
                 self.upper_threshold,
             )
         } else {
-            (Volts::ZERO, self.config.discharge_resistance, self.lower_threshold)
+            (
+                Volts::ZERO,
+                self.config.discharge_resistance,
+                self.lower_threshold,
+            )
         };
         rc::time_to_reach(
             self.timing_cap.voltage(),
@@ -327,7 +335,11 @@ impl AstableMultivibrator {
                     self.upper_threshold,
                 )
             } else {
-                (Volts::ZERO, self.config.discharge_resistance, self.lower_threshold)
+                (
+                    Volts::ZERO,
+                    self.config.discharge_resistance,
+                    self.lower_threshold,
+                )
             };
             let tau = resistance * c;
             let v0 = self.timing_cap.voltage();
@@ -358,8 +370,14 @@ impl AstableMultivibrator {
                 self.output_high = !self.output_high;
                 transitions += 1;
                 // Keep the internal comparator state consistent.
-                self.comparator
-                    .update(if self.output_high { Volts::new(1.0) } else { Volts::ZERO }, Volts::new(0.5));
+                self.comparator.update(
+                    if self.output_high {
+                        Volts::new(1.0)
+                    } else {
+                        Volts::ZERO
+                    },
+                    Volts::new(0.5),
+                );
             } else if seg >= remaining && time_to_flip > seg {
                 break;
             }
@@ -514,7 +532,9 @@ mod tests {
                 Seconds::new(69.0),
             )
             .unwrap();
-            AstableMultivibrator::new(config).unwrap().analytic_periods()
+            AstableMultivibrator::new(config)
+                .unwrap()
+                .analytic_periods()
         };
         let (on_a, off_a) = at(2.2);
         let (on_b, off_b) = at(3.3);

@@ -435,7 +435,10 @@ impl Capacitor {
     /// Rejects non-positive capacitance.
     pub fn polyester(capacitance: Farads) -> Result<Self, AnalogError> {
         const INSULATION_TAU_S: f64 = 1e5;
-        Self::new(capacitance, Ohms::new(INSULATION_TAU_S / capacitance.value()))
+        Self::new(
+            capacitance,
+            Ohms::new(INSULATION_TAU_S / capacitance.value()),
+        )
     }
 
     /// The capacitance.
@@ -545,9 +548,7 @@ impl VoltageDivider {
 
     /// The Thevenin source resistance at the tap.
     pub fn thevenin_resistance(&self) -> Ohms {
-        Ohms::new(
-            self.top.value() * self.bottom.value() / (self.top.value() + self.bottom.value()),
-        )
+        Ohms::new(self.top.value() * self.bottom.value() / (self.top.value() + self.bottom.value()))
     }
 
     /// Current drawn from the input source.
@@ -639,8 +640,8 @@ mod tests {
 
     #[test]
     fn comparator_basic_and_hysteresis() {
-        let mut c = Comparator::new(Volts::new(3.3), Amps::from_micro(0.7), Volts::new(0.2))
-            .unwrap();
+        let mut c =
+            Comparator::new(Volts::new(3.3), Amps::from_micro(0.7), Volts::new(0.2)).unwrap();
         assert!(!c.output_high());
         // Below upper threshold (1.0 + 0.1): stays low.
         assert!(!c.update(Volts::new(1.05), Volts::new(1.0)));
@@ -669,8 +670,8 @@ mod tests {
 
     #[test]
     fn comparator_delay_and_buffer_slew_figures() {
-        let cmp = Comparator::lmc7215(Volts::new(3.3))
-            .with_propagation_delay(Seconds::from_micro(10.0));
+        let cmp =
+            Comparator::lmc7215(Volts::new(3.3)).with_propagation_delay(Seconds::from_micro(10.0));
         assert!((cmp.propagation_delay().as_micro() - 10.0).abs() < 1e-9);
         // The default 4 µs is four orders below the 39 ms pulse.
         let fresh = Comparator::lmc7215(Volts::new(3.3));
@@ -733,7 +734,11 @@ mod tests {
     #[test]
     fn capacitor_charge_and_leak() {
         let mut c = Capacitor::polyester(Farads::from_nano(100.0)).unwrap();
-        c.drive_toward(Volts::new(1.5), Ohms::from_kilo(3.0), Seconds::from_milli(39.0));
+        c.drive_toward(
+            Volts::new(1.5),
+            Ohms::from_kilo(3.0),
+            Seconds::from_milli(39.0),
+        );
         // τ = 3 kΩ·100 nF = 0.3 ms; 39 ms is 130 τ: fully settled.
         assert!((c.voltage().value() - 1.5).abs() < 1e-6);
         // Hold for 69 s: with τ_ins = 10⁵ s the droop is ~1 mV on 1.5 V.

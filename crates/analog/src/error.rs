@@ -48,8 +48,12 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(AnalogError::SingularNetwork.to_string().contains("singular"));
-        assert!(AnalogError::UnknownNode { index: 7 }.to_string().contains('7'));
+        assert!(AnalogError::SingularNetwork
+            .to_string()
+            .contains("singular"));
+        assert!(AnalogError::UnknownNode { index: 7 }
+            .to_string()
+            .contains('7'));
         let e = AnalogError::InvalidParameter {
             name: "on_resistance",
             value: -2.0,

@@ -129,12 +129,7 @@ impl Netlist {
     /// # Errors
     ///
     /// Rejects unknown nodes and non-finite voltage.
-    pub fn voltage_source(
-        &mut self,
-        pos: Node,
-        neg: Node,
-        v: Volts,
-    ) -> Result<usize, AnalogError> {
+    pub fn voltage_source(&mut self, pos: Node, neg: Node, v: Volts) -> Result<usize, AnalogError> {
         self.check_node(pos)?;
         self.check_node(neg)?;
         if !v.value().is_finite() {
@@ -184,7 +179,11 @@ impl Netlist {
         let mut vs_row = 0usize;
         for e in &self.elements {
             match *e {
-                Element::Resistor { a: na, b: nb, conductance: g } => {
+                Element::Resistor {
+                    a: na,
+                    b: nb,
+                    conductance: g,
+                } => {
                     if let Some(i) = idx(na) {
                         a[i][i] += g;
                     }
@@ -308,9 +307,11 @@ mod tests {
         let mut net = Netlist::new();
         let vin = net.node();
         let tap = net.node();
-        net.voltage_source(vin, Netlist::GROUND, Volts::new(3.3)).unwrap();
+        net.voltage_source(vin, Netlist::GROUND, Volts::new(3.3))
+            .unwrap();
         net.resistor(vin, tap, Ohms::from_kilo(10.0)).unwrap();
-        net.resistor(tap, Netlist::GROUND, Ohms::from_kilo(10.0)).unwrap();
+        net.resistor(tap, Netlist::GROUND, Ohms::from_kilo(10.0))
+            .unwrap();
         let sol = net.solve().unwrap();
         assert!((sol.voltage(tap).unwrap().value() - 1.65).abs() < 1e-12);
     }
@@ -320,11 +321,14 @@ mod tests {
         let mut net = Netlist::new();
         let vin = net.node();
         let tap = net.node();
-        net.voltage_source(vin, Netlist::GROUND, Volts::new(5.0)).unwrap();
+        net.voltage_source(vin, Netlist::GROUND, Volts::new(5.0))
+            .unwrap();
         net.resistor(vin, tap, Ohms::from_mega(1.0)).unwrap();
-        net.resistor(tap, Netlist::GROUND, Ohms::from_mega(1.0)).unwrap();
+        net.resistor(tap, Netlist::GROUND, Ohms::from_mega(1.0))
+            .unwrap();
         // Load resistor equal to the bottom leg: tap drops from 2.5 to 1.6667.
-        net.resistor(tap, Netlist::GROUND, Ohms::from_mega(1.0)).unwrap();
+        net.resistor(tap, Netlist::GROUND, Ohms::from_mega(1.0))
+            .unwrap();
         let sol = net.solve().unwrap();
         assert!((sol.voltage(tap).unwrap().value() - 5.0 / 3.0).abs() < 1e-9);
     }
@@ -333,8 +337,10 @@ mod tests {
     fn current_source_into_resistor() {
         let mut net = Netlist::new();
         let n = net.node();
-        net.current_source(Netlist::GROUND, n, Amps::from_micro(10.0)).unwrap();
-        net.resistor(n, Netlist::GROUND, Ohms::from_kilo(100.0)).unwrap();
+        net.current_source(Netlist::GROUND, n, Amps::from_micro(10.0))
+            .unwrap();
+        net.resistor(n, Netlist::GROUND, Ohms::from_kilo(100.0))
+            .unwrap();
         let sol = net.solve().unwrap();
         assert!((sol.voltage(n).unwrap().value() - 1.0).abs() < 1e-12);
     }
@@ -344,9 +350,12 @@ mod tests {
         let mut net = Netlist::new();
         let a = net.node();
         let b = net.node();
-        let src = net.voltage_source(a, Netlist::GROUND, Volts::new(10.0)).unwrap();
+        let src = net
+            .voltage_source(a, Netlist::GROUND, Volts::new(10.0))
+            .unwrap();
         net.resistor(a, b, Ohms::from_kilo(6.0)).unwrap();
-        net.resistor(b, Netlist::GROUND, Ohms::from_kilo(4.0)).unwrap();
+        net.resistor(b, Netlist::GROUND, Ohms::from_kilo(4.0))
+            .unwrap();
         let sol = net.solve().unwrap();
         // 10 V / 10 kΩ = 1 mA; MNA reports the current into the + terminal
         // as negative when the source delivers power.
@@ -361,11 +370,14 @@ mod tests {
         let top = net.node();
         let left = net.node();
         let right = net.node();
-        net.voltage_source(top, Netlist::GROUND, Volts::new(5.0)).unwrap();
+        net.voltage_source(top, Netlist::GROUND, Volts::new(5.0))
+            .unwrap();
         net.resistor(top, left, Ohms::from_kilo(1.0)).unwrap();
-        net.resistor(left, Netlist::GROUND, Ohms::from_kilo(2.0)).unwrap();
+        net.resistor(left, Netlist::GROUND, Ohms::from_kilo(2.0))
+            .unwrap();
         net.resistor(top, right, Ohms::from_kilo(2.0)).unwrap();
-        net.resistor(right, Netlist::GROUND, Ohms::from_kilo(4.0)).unwrap();
+        net.resistor(right, Netlist::GROUND, Ohms::from_kilo(4.0))
+            .unwrap();
         // Balanced bridge: both taps at the same potential.
         net.resistor(left, right, Ohms::from_kilo(10.0)).unwrap();
         let sol = net.solve().unwrap();
@@ -378,7 +390,8 @@ mod tests {
         let mut net = Netlist::new();
         let a = net.node();
         let _floating = net.node();
-        net.voltage_source(a, Netlist::GROUND, Volts::new(1.0)).unwrap();
+        net.voltage_source(a, Netlist::GROUND, Volts::new(1.0))
+            .unwrap();
         assert_eq!(net.solve().unwrap_err(), AnalogError::SingularNetwork);
     }
 
@@ -409,9 +422,11 @@ mod tests {
         let mut net = Netlist::new();
         let mid = net.node();
         let top = net.node();
-        net.voltage_source(mid, Netlist::GROUND, Volts::new(1.5)).unwrap();
+        net.voltage_source(mid, Netlist::GROUND, Volts::new(1.5))
+            .unwrap();
         net.voltage_source(top, mid, Volts::new(1.5)).unwrap();
-        net.resistor(top, Netlist::GROUND, Ohms::from_kilo(1.0)).unwrap();
+        net.resistor(top, Netlist::GROUND, Ohms::from_kilo(1.0))
+            .unwrap();
         let sol = net.solve().unwrap();
         assert!((sol.voltage(top).unwrap().value() - 3.0).abs() < 1e-12);
     }
@@ -424,11 +439,17 @@ mod tests {
             let a = net.node();
             let b = net.node();
             net.resistor(a, b, Ohms::from_kilo(1.0)).unwrap();
-            net.resistor(b, Netlist::GROUND, Ohms::from_kilo(1.0)).unwrap();
-            net.voltage_source(a, Netlist::GROUND, Volts::new(if with_v { 2.0 } else { 0.0 }))
+            net.resistor(b, Netlist::GROUND, Ohms::from_kilo(1.0))
                 .unwrap();
+            net.voltage_source(
+                a,
+                Netlist::GROUND,
+                Volts::new(if with_v { 2.0 } else { 0.0 }),
+            )
+            .unwrap();
             if with_i {
-                net.current_source(Netlist::GROUND, b, Amps::from_milli(1.0)).unwrap();
+                net.current_source(Netlist::GROUND, b, Amps::from_milli(1.0))
+                    .unwrap();
             }
             net.solve().unwrap().voltage(b).unwrap().value()
         };

@@ -116,19 +116,34 @@ mod tests {
 
     #[test]
     fn relax_zero_tau_snaps() {
-        let v = relax(Volts::new(5.0), Volts::new(1.0), Seconds::ZERO, Seconds::new(0.1));
+        let v = relax(
+            Volts::new(5.0),
+            Volts::new(1.0),
+            Seconds::ZERO,
+            Seconds::new(0.1),
+        );
         assert_eq!(v, Volts::new(1.0));
     }
 
     #[test]
     fn relax_zero_dt_is_identity() {
-        let v = relax(Volts::new(2.0), Volts::new(5.0), Seconds::new(1.0), Seconds::ZERO);
+        let v = relax(
+            Volts::new(2.0),
+            Volts::new(5.0),
+            Seconds::new(1.0),
+            Seconds::ZERO,
+        );
         assert_eq!(v, Volts::new(2.0));
     }
 
     #[test]
     fn discharge_direction() {
-        let v = relax(Volts::new(3.0), Volts::ZERO, Seconds::new(1.0), Seconds::new(1.0));
+        let v = relax(
+            Volts::new(3.0),
+            Volts::ZERO,
+            Seconds::new(1.0),
+            Seconds::new(1.0),
+        );
         assert!((v.value() - 3.0 * (-1.0f64).exp()).abs() < 1e-12);
     }
 

@@ -187,7 +187,9 @@ impl SampleHold {
     /// The current the measurement chain draws from the PV node while
     /// sampling at the given PV voltage.
     pub fn measurement_load_current(&self, pv_voltage: Volts) -> Amps {
-        self.config.divider.input_current(pv_voltage.max(Volts::ZERO))
+        self.config
+            .divider
+            .input_current(pv_voltage.max(Volts::ZERO))
     }
 
     /// Forces the held value (for tests and fault injection).
@@ -213,8 +215,8 @@ impl SampleHold {
             // by U2, through the switch onto the hold capacitor.
             let tap = self.config.divider.output(pv_voltage.max(Volts::ZERO));
             let target = self.config.input_buffer.output(tap);
-            let source_r = self.config.input_buffer.output_resistance()
-                + self.switch.on_resistance();
+            let source_r =
+                self.config.input_buffer.output_resistance() + self.switch.on_resistance();
             self.hold_cap.drive_toward(target, source_r, dt);
             pv_charge = self.measurement_load_current(pv_voltage).value() * dt.value();
         } else {
@@ -228,12 +230,15 @@ impl SampleHold {
 
         // Output buffer drives HELD_SAMPLE through the R3/C3 filter.
         let buffered = self.config.output_buffer.output(self.hold_cap.voltage());
-        let filter_r = self.config.output_buffer.output_resistance() + self.config.filter_resistance;
+        let filter_r =
+            self.config.output_buffer.output_resistance() + self.config.filter_resistance;
         self.filter_cap.drive_toward(buffered, filter_r, dt);
 
         // ACTIVE sanity check (U5).
         let threshold = self.config.supply_voltage * self.config.active_threshold_fraction;
-        let active = self.active_comparator.update(self.filter_cap.voltage(), threshold);
+        let active = self
+            .active_comparator
+            .update(self.filter_cap.voltage(), threshold);
 
         // Supply accounting: buffers + U5 + its divider + auxiliary gate
         // drive, all continuous.
@@ -363,10 +368,7 @@ mod tests {
         let s = sh.step(Volts::new(5.0), false, total);
         let avg = s.supply_charge / total;
         // 1.8 + 1.8 + 0.8 + 0.11 + 2.15 = 6.66 µA continuous.
-        assert!(
-            (avg.as_micro() - 6.66).abs() < 0.1,
-            "S&H average = {avg}"
-        );
+        assert!((avg.as_micro() - 6.66).abs() < 0.1, "S&H average = {avg}");
     }
 
     #[test]

@@ -168,16 +168,14 @@ impl Trace {
 
     /// Minimum value in the closed time window `[from, to]`.
     pub fn min_in(&self, from: Seconds, to: Seconds) -> Option<f64> {
-        self.window(from, to).fold(None, |acc, v| {
-            Some(acc.map_or(v, |a: f64| a.min(v)))
-        })
+        self.window(from, to)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
     }
 
     /// Maximum value in the closed time window `[from, to]`.
     pub fn max_in(&self, from: Seconds, to: Seconds) -> Option<f64> {
-        self.window(from, to).fold(None, |acc, v| {
-            Some(acc.map_or(v, |a: f64| a.max(v)))
-        })
+        self.window(from, to)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
     }
 
     /// Peak-to-peak ripple in the window `[from, to]`.

@@ -306,8 +306,13 @@ mod tests {
             ckt.voltage_source(vin, DynamicCircuit::GROUND, Volts::new(1.0))
                 .unwrap();
             ckt.resistor(vin, vout, Ohms::from_kilo(1.0)).unwrap();
-            ckt.capacitor(vout, DynamicCircuit::GROUND, Farads::from_micro(1.0), Volts::ZERO)
-                .unwrap();
+            ckt.capacitor(
+                vout,
+                DynamicCircuit::GROUND,
+                Farads::from_micro(1.0),
+                Volts::ZERO,
+            )
+            .unwrap();
             // Simulate exactly one time constant (1 ms).
             let steps = (1.0 / dt_ms).round() as usize;
             for _ in 0..steps {
@@ -325,7 +330,10 @@ mod tests {
         let coarse = (run(0.1) - analytic).abs();
         let fine = (run(0.01) - analytic).abs();
         assert!(fine < 0.002, "fine-step error {fine}");
-        assert!(fine < coarse, "backward Euler must converge: {coarse} → {fine}");
+        assert!(
+            fine < coarse,
+            "backward Euler must converge: {coarse} → {fine}"
+        );
     }
 
     #[test]
@@ -340,10 +348,16 @@ mod tests {
             .unwrap();
         ckt.capacitor(top, mid, Farads::from_nano(100.0), Volts::ZERO)
             .unwrap();
-        ckt.capacitor(mid, DynamicCircuit::GROUND, Farads::from_nano(100.0), Volts::ZERO)
-            .unwrap();
+        ckt.capacitor(
+            mid,
+            DynamicCircuit::GROUND,
+            Farads::from_nano(100.0),
+            Volts::ZERO,
+        )
+        .unwrap();
         // A large bleed keeps the middle node defined.
-        ckt.resistor(mid, DynamicCircuit::GROUND, Ohms::new(1e12)).unwrap();
+        ckt.resistor(mid, DynamicCircuit::GROUND, Ohms::new(1e12))
+            .unwrap();
         ckt.set_source(src, Volts::new(2.0)).unwrap();
         ckt.step(Seconds::from_nano(100.0)).unwrap();
         let mid_v = ckt.voltage(mid).unwrap().value();
@@ -359,8 +373,13 @@ mod tests {
             .voltage_source(vin, DynamicCircuit::GROUND, Volts::new(3.3))
             .unwrap();
         ckt.resistor(vin, vout, Ohms::from_kilo(10.0)).unwrap();
-        ckt.capacitor(vout, DynamicCircuit::GROUND, Farads::from_micro(1.0), Volts::ZERO)
-            .unwrap();
+        ckt.capacitor(
+            vout,
+            DynamicCircuit::GROUND,
+            Farads::from_micro(1.0),
+            Volts::ZERO,
+        )
+        .unwrap();
         for _ in 0..1000 {
             ckt.step(Seconds::from_milli(0.1)).unwrap();
         }
@@ -381,12 +400,23 @@ mod tests {
             let mut ckt = DynamicCircuit::new();
             let vin = ckt.node();
             let vout = ckt.node();
-            ckt.voltage_source(vin, DynamicCircuit::GROUND, Volts::new(1.0)).unwrap();
-            ckt.resistor(vin, vout, Ohms::from_kilo(10.0)).unwrap();
-            ckt.capacitor(vout, DynamicCircuit::GROUND, Farads::from_nano(100.0), Volts::ZERO)
+            ckt.voltage_source(vin, DynamicCircuit::GROUND, Volts::new(1.0))
                 .unwrap();
+            ckt.resistor(vin, vout, Ohms::from_kilo(10.0)).unwrap();
+            ckt.capacitor(
+                vout,
+                DynamicCircuit::GROUND,
+                Farads::from_nano(100.0),
+                Volts::ZERO,
+            )
+            .unwrap();
             let trace = ckt
-                .run_probe(vout, "one", Seconds::from_milli(1.0), Seconds::from_micro(10.0))
+                .run_probe(
+                    vout,
+                    "one",
+                    Seconds::from_milli(1.0),
+                    Seconds::from_micro(10.0),
+                )
                 .unwrap();
             trace.value_at(Seconds::from_milli(1.0)).unwrap()
         };
@@ -395,19 +425,38 @@ mod tests {
             let vin = ckt.node();
             let mid = ckt.node();
             let vout = ckt.node();
-            ckt.voltage_source(vin, DynamicCircuit::GROUND, Volts::new(1.0)).unwrap();
+            ckt.voltage_source(vin, DynamicCircuit::GROUND, Volts::new(1.0))
+                .unwrap();
             ckt.resistor(vin, mid, Ohms::from_kilo(10.0)).unwrap();
-            ckt.capacitor(mid, DynamicCircuit::GROUND, Farads::from_nano(100.0), Volts::ZERO)
-                .unwrap();
+            ckt.capacitor(
+                mid,
+                DynamicCircuit::GROUND,
+                Farads::from_nano(100.0),
+                Volts::ZERO,
+            )
+            .unwrap();
             ckt.resistor(mid, vout, Ohms::from_kilo(10.0)).unwrap();
-            ckt.capacitor(vout, DynamicCircuit::GROUND, Farads::from_nano(100.0), Volts::ZERO)
-                .unwrap();
+            ckt.capacitor(
+                vout,
+                DynamicCircuit::GROUND,
+                Farads::from_nano(100.0),
+                Volts::ZERO,
+            )
+            .unwrap();
             let trace = ckt
-                .run_probe(vout, "two", Seconds::from_milli(1.0), Seconds::from_micro(10.0))
+                .run_probe(
+                    vout,
+                    "two",
+                    Seconds::from_milli(1.0),
+                    Seconds::from_micro(10.0),
+                )
                 .unwrap();
             trace.value_at(Seconds::from_milli(1.0)).unwrap()
         };
-        assert!(two_pole < one_pole, "two-pole {two_pole} vs one-pole {one_pole}");
+        assert!(
+            two_pole < one_pole,
+            "two-pole {two_pole} vs one-pole {one_pole}"
+        );
         assert!(two_pole > 0.1, "but it does move");
     }
 
@@ -419,8 +468,8 @@ mod tests {
         use crate::sample_hold::{SampleHold, SampleHoldConfig};
 
         // Behavioural block: one 10 ms sampling step of a 5.44 V input.
-        let mut sh = SampleHold::new(SampleHoldConfig::paper_configuration(0.298).unwrap())
-            .unwrap();
+        let mut sh =
+            SampleHold::new(SampleHoldConfig::paper_configuration(0.298).unwrap()).unwrap();
         sh.step(Volts::new(5.44), true, Seconds::from_milli(10.0));
         let behavioural = sh.hold_voltage().value();
 
@@ -433,8 +482,13 @@ mod tests {
         ckt.voltage_source(drive, DynamicCircuit::GROUND, Volts::new(5.44 * 0.298))
             .unwrap();
         ckt.resistor(drive, hold, Ohms::from_kilo(3.0)).unwrap(); // 2k buffer + 1k switch
-        ckt.capacitor(hold, DynamicCircuit::GROUND, Farads::from_micro(1.0), Volts::ZERO)
-            .unwrap();
+        ckt.capacitor(
+            hold,
+            DynamicCircuit::GROUND,
+            Farads::from_micro(1.0),
+            Volts::ZERO,
+        )
+        .unwrap();
         for _ in 0..1000 {
             ckt.step(Seconds::from_micro(10.0)).unwrap();
         }

@@ -35,8 +35,9 @@ fn bench_node_hour(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("1h_focv_1s_steps", |b| {
         b.iter(|| {
-            let mut sim = NodeSimulation::new(SimConfig::default_for(presets::sanyo_am1815()).unwrap())
-                .expect("valid config");
+            let mut sim =
+                NodeSimulation::new(SimConfig::default_for(presets::sanyo_am1815()).unwrap())
+                    .expect("valid config");
             let mut tracker = FocvSampleHold::paper_prototype().expect("valid tracker");
             sim.run(&mut tracker, black_box(&trace), Seconds::new(1.0))
                 .expect("run succeeds")

@@ -23,11 +23,8 @@ fn bench_eq2_analyzer(c: &mut Criterion) {
     for period in [60.0, 600.0] {
         group.bench_function(format!("{period}s_window_86401pts"), |b| {
             b.iter(|| {
-                sampling_error::worst_case_mean_error(
-                    black_box(&trace),
-                    Seconds::new(period),
-                )
-                .expect("valid analysis")
+                sampling_error::worst_case_mean_error(black_box(&trace), Seconds::new(period))
+                    .expect("valid analysis")
             })
         });
     }

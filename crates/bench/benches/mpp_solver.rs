@@ -34,7 +34,10 @@ fn bench_mpp_solve(c: &mut Criterion) {
     let mut group = c.benchmark_group("pv/mpp");
     for lux in [200.0, 1000.0, 50_000.0] {
         group.bench_with_input(BenchmarkId::from_parameter(lux as u64), &lux, |b, &lux| {
-            b.iter(|| cell.mpp(black_box(Lux::new(lux))).expect("solver converges"))
+            b.iter(|| {
+                cell.mpp(black_box(Lux::new(lux)))
+                    .expect("solver converges")
+            })
         });
     }
     group.finish();

@@ -7,8 +7,8 @@
 //! `BENCH_pv_cache.json`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use eh_pv::{presets, CachedPvSurface, PvCell};
 use eh_core::{FocvMpptSystem, SystemConfig};
+use eh_pv::{presets, CachedPvSurface, PvCell};
 use eh_units::{Lux, Seconds, Volts};
 
 fn run_system(warmed: &PvCell, cache: bool) {

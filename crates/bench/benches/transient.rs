@@ -27,10 +27,9 @@ fn bench_astable_fine_steps(c: &mut Criterion) {
 
 fn bench_sample_hold_pulse(c: &mut Criterion) {
     c.bench_function("analog/sample_hold_pulse_cycle", |b| {
-        let mut sh = SampleHold::new(
-            SampleHoldConfig::paper_configuration(0.298).expect("valid config"),
-        )
-        .expect("valid config");
+        let mut sh =
+            SampleHold::new(SampleHoldConfig::paper_configuration(0.298).expect("valid config"))
+                .expect("valid config");
         b.iter(|| {
             sh.step(black_box(Volts::new(5.44)), true, Seconds::from_milli(39.0));
             sh.step(black_box(Volts::ZERO), false, Seconds::new(69.0))
@@ -47,7 +46,8 @@ fn bench_netlist_solve(c: &mut Criterion) {
                 .expect("valid element");
             for _ in 0..20 {
                 let n = net.node();
-                net.resistor(prev, n, Ohms::from_kilo(10.0)).expect("valid element");
+                net.resistor(prev, n, Ohms::from_kilo(10.0))
+                    .expect("valid element");
                 net.resistor(n, Netlist::GROUND, Ohms::from_kilo(47.0))
                     .expect("valid element");
                 prev = n;

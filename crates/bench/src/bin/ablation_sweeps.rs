@@ -43,7 +43,12 @@ struct FlickerProbe {
 impl Stepper for FlickerProbe {
     type Error = SimError;
 
-    fn step(&mut self, t: Seconds, dt: Seconds, _input: &StepInput) -> Result<StepOutput, SimError> {
+    fn step(
+        &mut self,
+        t: Seconds,
+        dt: Seconds,
+        _input: &StepInput,
+    ) -> Result<StepOutput, SimError> {
         // ±17 mV of 100 Hz ripple on Voc (a few % of lamp flicker
         // through the cell's logarithmic response).
         let v = 5.44 + 0.017 * (2.0 * std::f64::consts::PI * 100.0 * t.value()).sin();
@@ -82,9 +87,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Seconds::from_milli(39.0),
             Volts::new(3.3) * Amps::from_micro(8.0),
         )?;
-        let mut sim = NodeSimulation::new(
-            SimConfig::default_for(cached_cell.clone())?.with_pv_cache(true),
-        )?;
+        let mut sim =
+            NodeSimulation::new(SimConfig::default_for(cached_cell.clone())?.with_pv_cache(true))?;
         let report = sim.run(&mut tracker, &mobile, Seconds::new(5.0))?;
         Ok(vec![
             fmt(period_s, 0),
@@ -108,7 +112,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "{}",
         render_table(
-            &["hold period (s)", "Ē Voc (mV)", "net day energy", "samples/day"],
+            &[
+                "hold period (s)",
+                "Ē Voc (mV)",
+                "net day energy",
+                "samples/day"
+            ],
             &rows
         )
     );
@@ -146,7 +155,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect::<Result<Vec<_>, _>>()?;
     println!(
         "{}",
-        render_table(&["k trim", "gross energy (30 min @1 klux)", "% of ideal MPP"], &rows)
+        render_table(
+            &["k trim", "gross energy (30 min @1 klux)", "% of ideal MPP"],
+            &rows
+        )
     );
     println!("The optimum sits near the cell's true k; the curve is flat near the");
     println!("top (the paper's <1 % loss argument) and falls away for bad trims.");
@@ -183,7 +195,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "{}",
         render_table(
-            &["hold capacitor", "τ_ins (s)", "droop / 69 s (mV)", "PV op-point shift (mV)"],
+            &[
+                "hold capacitor",
+                "τ_ins (s)",
+                "droop / 69 s (mV)",
+                "PV op-point shift (mV)"
+            ],
             &rows
         )
     );
@@ -231,29 +248,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = profiles::constant(Lux::new(200.0), Seconds::from_hours(1.0));
     let budgets = vec![2.0, 8.0, 42.0, 150.0, 600.0];
     let rows = sweep_runner()
-        .run(budgets, |_, overhead_ua| -> Result<Vec<String>, NodeError> {
-            let mut tracker = FocvSampleHold::new(
-                0.596,
-                Seconds::new(69.0),
-                Seconds::from_milli(39.0),
-                Watts::new(3.3 * overhead_ua * 1e-6),
-            )?;
-            let mut sim = NodeSimulation::new(
-                SimConfig::default_for(cached_cell.clone())?.with_pv_cache(true),
-            )?;
-            let report = sim.run(&mut tracker, &trace, Seconds::new(1.0))?;
-            Ok(vec![
-                fmt(overhead_ua, 0),
-                format!("{}", report.net_energy()),
-                if report.is_net_positive() { "yes".into() } else { "NO".into() },
-            ])
-        })
+        .run(
+            budgets,
+            |_, overhead_ua| -> Result<Vec<String>, NodeError> {
+                let mut tracker = FocvSampleHold::new(
+                    0.596,
+                    Seconds::new(69.0),
+                    Seconds::from_milli(39.0),
+                    Watts::new(3.3 * overhead_ua * 1e-6),
+                )?;
+                let mut sim = NodeSimulation::new(
+                    SimConfig::default_for(cached_cell.clone())?.with_pv_cache(true),
+                )?;
+                let report = sim.run(&mut tracker, &trace, Seconds::new(1.0))?;
+                Ok(vec![
+                    fmt(overhead_ua, 0),
+                    format!("{}", report.net_energy()),
+                    if report.is_net_positive() {
+                        "yes".into()
+                    } else {
+                        "NO".into()
+                    },
+                ])
+            },
+        )
         .into_iter()
         .collect::<Result<Vec<_>, _>>()?;
     println!(
         "{}",
         render_table(
-            &["tracker draw (µA @3.3 V)", "net energy (1 h @200 lux)", "net-positive?"],
+            &[
+                "tracker draw (µA @3.3 V)",
+                "net energy (1 h @200 lux)",
+                "net-positive?"
+            ],
             &rows
         )
     );

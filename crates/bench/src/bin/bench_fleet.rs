@@ -8,26 +8,43 @@
 //! tracker comparison over a smaller replayed population closes the
 //! report.
 //!
+//! A metrics pass re-runs the reference fleet with
+//! [`FleetSpec::obs`] enabled: the merged metric store must be
+//! bit-identical at 1/2/4 workers, its energy ledger must balance the
+//! summed closed-loop node accounting within 1e-9 relative, and the
+//! wall-clock overhead of metrics-on vs metrics-off is recorded (never
+//! gated) in the JSON.
+//!
 //! Worker counts beyond the machine's `available_parallelism` cannot
 //! speed anything up; the JSON records the host parallelism so scaling
 //! numbers from a single-core container are read for what they are.
 //!
 //! Run with `cargo run -q --release -p eh-bench --bin bench_fleet`
-//! (accepts `--workers N` / `EH_WORKERS` to set the top worker count).
+//! (accepts `--workers N` / `EH_WORKERS` to set the top worker count,
+//! and `--smoke` for the fast CI profile: one small fleet size on a
+//! coarse grid, same code paths and assertions, no timing claims).
 
 use std::time::Instant;
 
-use eh_bench::{banner, fmt, render_table, sweep_runner};
+use eh_bench::{banner, fmt, render_table, smoke_mode, sweep_runner};
 use eh_fleet::{compare_trackers_over_fleet, FleetReport, FleetRunner, FleetSpec};
-use eh_units::Seconds;
+use eh_units::{Joules, Seconds};
 
 /// Fleet sizes for the scaling sweep.
 const SIZES: [u32; 3] = [100, 1000, 10_000];
 /// The fleet size the determinism assertion and drill-down use.
 const REFERENCE_SIZE: u32 = 1000;
+/// Smoke-profile fleet size (also the smoke reference size).
+const SMOKE_SIZE: u32 = 100;
 
-fn day_spec(nodes: u32) -> FleetSpec {
-    FleetSpec::mixed_indoor_outdoor(nodes, 2011).expect("reference spec is valid")
+fn day_spec(nodes: u32, smoke: bool) -> FleetSpec {
+    let mut spec = FleetSpec::mixed_indoor_outdoor(nodes, 2011).expect("reference spec is valid");
+    if smoke {
+        // 10-minute grid: same physics and code paths, ~1/10 the steps.
+        spec.trace_decimate = 600;
+        spec.dt = Seconds::new(600.0);
+    }
+    spec
 }
 
 fn percentile_row(report: &FleetReport) -> (f64, f64, f64) {
@@ -39,12 +56,22 @@ fn percentile_row(report: &FleetReport) -> (f64, f64, f64) {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let host = std::thread::available_parallelism().map_or(1, usize::from);
+    let smoke = smoke_mode();
     let max_workers = sweep_runner().workers();
     let mut worker_counts = vec![1usize, 2, 4, max_workers];
     worker_counts.sort_unstable();
     worker_counts.dedup();
+    let (sizes, reference_size): (Vec<u32>, u32) = if smoke {
+        (vec![SMOKE_SIZE], SMOKE_SIZE)
+    } else {
+        (SIZES.to_vec(), REFERENCE_SIZE)
+    };
 
-    banner("Fleet scaling — mixed indoor/outdoor day, 1-minute grid");
+    if smoke {
+        banner("Fleet scaling — SMOKE profile, 10-minute grid (no timing claims)");
+    } else {
+        banner("Fleet scaling — mixed indoor/outdoor day, 1-minute grid");
+    }
     println!(
         "host parallelism {host}, worker counts {worker_counts:?}, shard size {}",
         FleetRunner::DEFAULT_SHARD_SIZE
@@ -53,8 +80,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut scaling: Vec<(u32, usize, f64, f64)> = Vec::new();
     let mut reference_reports: Vec<(usize, FleetReport)> = Vec::new();
     let mut rows = Vec::new();
-    for &nodes in &SIZES {
-        let spec = day_spec(nodes);
+    for &nodes in &sizes {
+        let spec = day_spec(nodes, smoke);
         for &workers in &worker_counts {
             let runner = FleetRunner::new(workers);
             let t0 = Instant::now();
@@ -69,7 +96,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 fmt(elapsed, 3),
                 fmt(rate, 1),
             ]);
-            if nodes == REFERENCE_SIZE {
+            if nodes == reference_size {
                 reference_reports.push((workers, report));
             }
         }
@@ -79,7 +106,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         render_table(&["nodes", "workers", "seconds", "nodes/sec"], &rows)
     );
 
-    banner("Determinism — 1000 nodes, bit-identical at every worker count");
+    banner(&format!(
+        "Determinism — {reference_size} nodes, bit-identical at every worker count"
+    ));
     let (_, reference) = &reference_reports[0];
     for (workers, report) in &reference_reports[1..] {
         assert_eq!(
@@ -94,8 +123,68 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let worst = reference.worst_node().expect("non-empty fleet");
     println!("{reference}");
 
-    banner("Tracker comparison over one replayed 200-node population");
-    let mut cmp_spec = day_spec(200);
+    banner(&format!(
+        "Metrics — {reference_size} nodes with the eh-obs recorder enabled"
+    ));
+    let mut obs_spec = day_spec(reference_size, smoke);
+    obs_spec.obs = true;
+    let mut obs_worker_counts = vec![1usize, 2, 4];
+    obs_worker_counts.retain(|w| worker_counts.contains(w));
+    let mut obs_reports: Vec<(usize, f64, FleetReport)> = Vec::new();
+    for &workers in &obs_worker_counts {
+        let t0 = Instant::now();
+        let report = FleetRunner::new(workers).run(&obs_spec)?;
+        obs_reports.push((workers, t0.elapsed().as_secs_f64(), report));
+    }
+    let (_, obs_secs_1w, obs_ref) = &obs_reports[0];
+    for (workers, _, report) in &obs_reports[1..] {
+        assert_eq!(
+            report.metrics, obs_ref.metrics,
+            "{workers}-worker merged metrics diverged from the 1-worker reference"
+        );
+    }
+    let metrics = obs_ref
+        .metrics
+        .as_ref()
+        .expect("obs-enabled fleet carries a merged metric store");
+    // Conservation: the four-bucket ledger vs the independently summed
+    // per-node closed-loop accounting (overhead + losses + load served).
+    let closed_loop: f64 = obs_ref
+        .outcomes
+        .iter()
+        .map(|o| {
+            o.report.overhead_energy.value()
+                + o.report.loss_energy.value()
+                + o.report.load_served.value()
+        })
+        .sum();
+    let ledger_rel_err = metrics.ledger().relative_error(Joules::new(closed_loop));
+    assert!(
+        ledger_rel_err < 1e-9,
+        "fleet ledger drifts from closed-loop totals: {ledger_rel_err:.3e}"
+    );
+    // Overhead is measured against the metrics-off run at 1 worker and
+    // recorded, never gated: CI containers make timing gates flaky.
+    let plain_secs_1w = scaling
+        .iter()
+        .find(|(n, w, _, _)| *n == reference_size && *w == 1)
+        .map(|(_, _, s, _)| *s)
+        .expect("reference size measured at 1 worker");
+    let obs_overhead_pct = (obs_secs_1w / plain_secs_1w.max(1e-12) - 1.0) * 100.0;
+    let obs_workers_checked: Vec<usize> = obs_reports.iter().map(|(w, _, _)| *w).collect();
+    println!(
+        "workers {obs_workers_checked:?}: merged metric stores bit-identical\n\
+         ledger vs closed-loop rel error {ledger_rel_err:.3e} (bound 1e-9)\n\
+         wall overhead vs metrics-off at 1 worker: {} % (recorded, not gated)",
+        fmt(obs_overhead_pct, 1)
+    );
+    println!("{}", metrics.to_table());
+
+    let cmp_size = if smoke { 50 } else { 200 };
+    banner(&format!(
+        "Tracker comparison over one replayed {cmp_size}-node population"
+    ));
+    let mut cmp_spec = day_spec(cmp_size, false);
     cmp_spec.trace_decimate = 600; // 10-minute grid keeps 8 trackers tractable
     cmp_spec.dt = Seconds::new(600.0);
     let cmp_runner = FleetRunner::new(max_workers);
@@ -134,13 +223,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rate_at = |workers: usize| {
         scaling
             .iter()
-            .find(|(n, w, _, _)| *n == REFERENCE_SIZE && *w == workers)
+            .find(|(n, w, _, _)| *n == reference_size && *w == workers)
             .map(|(_, _, _, r)| *r)
             .expect("reference size measured at every worker count")
     };
     let speedup = rate_at(*worker_counts.last().expect("non-empty")) / rate_at(1);
     println!(
-        "\n1000-node speedup x{} from 1 to {} workers on a {host}-core host",
+        "\n{reference_size}-node speedup x{} from 1 to {} workers on a {host}-core host",
         fmt(speedup, 2),
         worker_counts.last().expect("non-empty")
     );
@@ -169,20 +258,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         r#"{{
   "bench": "fleet",
   "command": "cargo run -q --release -p eh-bench --bin bench_fleet",
-  "scenario": "FleetSpec::mixed_indoor_outdoor, seed 2011, 1-minute trace grid, dt 60 s, shard size {shard}",
+  "scenario": "FleetSpec::mixed_indoor_outdoor, seed 2011, {grid}, shard size {shard}",
+  "smoke": {smoke},
   "host_parallelism": {host},
   "host_note": "worker counts beyond host_parallelism cannot add speed; on a 1-core host speedups of ~1.0 are the honest expectation",
   "worker_counts": {workers:?},
   "scaling": [
 {scaling_rows}
   ],
-  "speedup_1_to_max_workers_at_1000_nodes": {speedup:.3},
+  "speedup_1_to_max_workers_at_reference_size": {speedup:.3},
   "determinism": {{
     "nodes": {ref_size},
     "worker_counts_checked": {checked:?},
     "bit_identical": true
   }},
-  "reference_fleet_1000": {{
+  "observability": {{
+    "nodes": {ref_size},
+    "worker_counts_checked": {obs_workers_checked:?},
+    "merged_metrics_bit_identical": true,
+    "ledger_rel_error_vs_closed_loop": {ledger_rel_err:.6e},
+    "ledger_rel_error_bound": 1e-9,
+    "wall_overhead_pct_vs_metrics_off_1_worker": {obs_overhead_pct:.2},
+    "wall_overhead_note": "recorded only, never gated; container timing is too noisy for a CI gate",
+    "metrics": {metrics_json}
+  }},
+  "reference_fleet": {{
+    "nodes": {ref_size},
     "net_energy_p5_j": {p5:.6},
     "net_energy_p50_j": {p50:.6},
     "net_energy_p95_j": {p95:.6},
@@ -191,15 +292,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     "net_negative": {negative},
     "worst_node": {{ "id": {worst_id}, "placement": "{worst_place}", "net_j": {worst_net:.6} }}
   }},
-  "tracker_comparison_200_nodes": [
+  "tracker_comparison": {{
+    "nodes": {cmp_size},
+    "rows": [
 {cmp_rows}
-  ]
+    ]
+  }}
 }}
 "#,
+        grid = if smoke {
+            "10-minute trace grid, dt 600 s (smoke)"
+        } else {
+            "1-minute trace grid, dt 60 s"
+        },
         shard = FleetRunner::DEFAULT_SHARD_SIZE,
         workers = worker_counts,
         scaling_rows = scaling_json.join(",\n"),
-        ref_size = REFERENCE_SIZE,
+        ref_size = reference_size,
+        metrics_json = metrics.to_json(),
         brown = reference.brown_out_count(),
         cold = reference.cold_start_failures(),
         negative = reference.net_negative_count(),

@@ -15,11 +15,14 @@
 //!
 //! and writes the numbers to `BENCH_pv_cache.json` at the repo root.
 //!
-//! Run with `cargo run -q --release -p eh-bench --bin bench_pv_cache`.
+//! Run with `cargo run -q --release -p eh-bench --bin bench_pv_cache`
+//! (accepts `--smoke` for the fast CI profile: one repetition, fewer
+//! validation probes and shorter runs — same assertions, no timing
+//! claims).
 
 use std::time::{Duration, Instant};
 
-use eh_bench::{banner, fmt};
+use eh_bench::{banner, fmt, smoke_mode};
 use eh_core::baselines::FocvSampleHold;
 use eh_core::{FocvMpptSystem, RunReport, SystemConfig};
 use eh_env::profiles;
@@ -50,7 +53,11 @@ fn best_of<T>(reps: usize, mut job: impl FnMut() -> T) -> (Duration, T) {
 /// A closed-loop circuit run; when caching, `warmed`'s already-built
 /// surface is shared into the system (clones of a warmed cell share the
 /// table) so the timed region holds lookups only, not the table build.
-fn system_run(warmed: &PvCell, cache: bool) -> Result<RunReport, Box<dyn std::error::Error>> {
+fn system_run(
+    warmed: &PvCell,
+    cache: bool,
+    duration: Seconds,
+) -> Result<RunReport, Box<dyn std::error::Error>> {
     let mut cfg = SystemConfig::paper_prototype()?;
     cfg.pv_cache = cache;
     if cache {
@@ -58,11 +65,15 @@ fn system_run(warmed: &PvCell, cache: bool) -> Result<RunReport, Box<dyn std::er
     }
     cfg.cold_start.set_rail_voltage(Volts::new(3.3));
     let mut sys = FocvMpptSystem::new(cfg)?;
-    Ok(sys.run_constant(Lux::new(1000.0), Seconds::new(600.0), Seconds::new(0.05))?)
+    Ok(sys.run_constant(Lux::new(1000.0), duration, Seconds::new(0.05))?)
 }
 
-fn node_run(warmed: &PvCell, cache: bool) -> Result<NodeReport, Box<dyn std::error::Error>> {
-    let trace = profiles::office_desk_mixed(2011).decimate(5)?;
+fn node_run(
+    warmed: &PvCell,
+    cache: bool,
+    decimate: usize,
+) -> Result<NodeReport, Box<dyn std::error::Error>> {
+    let trace = profiles::office_desk_mixed(2011).decimate(decimate)?;
     let cell = if cache {
         warmed.clone()
     } else {
@@ -71,7 +82,7 @@ fn node_run(warmed: &PvCell, cache: bool) -> Result<NodeReport, Box<dyn std::err
     let cfg = SimConfig::default_for(cell)?.with_pv_cache(cache);
     let mut sim = NodeSimulation::new(cfg)?;
     let mut tracker = FocvSampleHold::paper_prototype()?;
-    Ok(sim.run(&mut tracker, &trace, Seconds::new(5.0))?)
+    Ok(sim.run(&mut tracker, &trace, Seconds::new(decimate as f64))?)
 }
 
 fn rel_diff(a: f64, b: f64) -> f64 {
@@ -79,17 +90,28 @@ fn rel_diff(a: f64, b: f64) -> f64 {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = smoke_mode();
+    // The smoke profile (CI) keeps every assertion but shrinks the
+    // timed work; its timings are not comparable to full-profile runs.
+    let (reps, lux_probes, v_probes) = if smoke {
+        (1, 16, 33)
+    } else {
+        (REPS, LUX_PROBES, V_PROBES)
+    };
+    let sys_duration = Seconds::new(if smoke { 120.0 } else { 600.0 });
+    let node_decimate = if smoke { 60 } else { 5 };
+
     banner("PV operating-point cache — build cost and measured error");
     let cell = presets::sanyo_am1815();
-    let (build_time, surface) = best_of(REPS, || {
+    let (build_time, surface) = best_of(reps, || {
         CachedPvSurface::build(cell.model(), cell.temperature()).expect("surface builds")
     });
     let (n_lux, n_v) = CachedPvSurface::grid_size();
     let (lux_lo, lux_hi) = CachedPvSurface::lux_domain();
-    let max_rel_err = surface.validate_against_exact(LUX_PROBES, V_PROBES)?;
+    let max_rel_err = surface.validate_against_exact(lux_probes, v_probes)?;
     println!(
         "table {n_lux}x{n_v} over {lux_lo}..{lux_hi}: built in {build_time:?}, \
-         worst |dI|/Isc over {LUX_PROBES}x{V_PROBES} off-grid probes = {max_rel_err:.3e} \
+         worst |dI|/Isc over {lux_probes}x{v_probes} off-grid probes = {max_rel_err:.3e} \
          (documented bound 1.0e-3)"
     );
     assert!(
@@ -97,11 +119,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "measured error {max_rel_err:.3e} breaks the documented bound"
     );
 
-    banner("Closed-loop circuit: FocvMpptSystem, 600 s @ 1000 lux, dt 50 ms");
+    banner(&format!(
+        "Closed-loop circuit: FocvMpptSystem, {} s @ 1000 lux, dt 50 ms",
+        sys_duration.value()
+    ));
     let warmed = presets::sanyo_am1815().with_cache(true);
     warmed.cached()?;
-    let (exact_t, exact) = best_of(REPS, || system_run(&warmed, false).expect("exact run"));
-    let (cached_t, cached) = best_of(REPS, || system_run(&warmed, true).expect("cached run"));
+    let (exact_t, exact) = best_of(reps, || {
+        system_run(&warmed, false, sys_duration).expect("exact run")
+    });
+    let (cached_t, cached) = best_of(reps, || {
+        system_run(&warmed, true, sys_duration).expect("cached run")
+    });
     let sys_speedup = exact_t.as_secs_f64() / cached_t.as_secs_f64().max(1e-12);
     let k_diff = (exact.measured_k.value() - cached.measured_k.value()).abs();
     let stored_rel = rel_diff(cached.stored_energy.value(), exact.stored_energy.value());
@@ -115,11 +144,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert_eq!(exact.pulses, cached.pulses, "pulse counts must agree");
     assert!(k_diff < 1e-3, "measured k diverged: {k_diff:.3e}");
-    assert!(stored_rel < 5e-3, "stored energy diverged: {stored_rel:.3e}");
+    assert!(
+        stored_rel < 5e-3,
+        "stored energy diverged: {stored_rel:.3e}"
+    );
 
-    banner("Node day: NodeSimulation, seeded office day, dt 5 s");
-    let (nexact_t, nexact) = best_of(REPS, || node_run(&warmed, false).expect("exact run"));
-    let (ncached_t, ncached) = best_of(REPS, || node_run(&warmed, true).expect("cached run"));
+    banner(&format!(
+        "Node day: NodeSimulation, seeded office day, dt {node_decimate} s"
+    ));
+    let (nexact_t, nexact) = best_of(reps, || {
+        node_run(&warmed, false, node_decimate).expect("exact run")
+    });
+    let (ncached_t, ncached) = best_of(reps, || {
+        node_run(&warmed, true, node_decimate).expect("cached run")
+    });
     let node_speedup = nexact_t.as_secs_f64() / ncached_t.as_secs_f64().max(1e-12);
     let gross_rel = rel_diff(ncached.gross_energy.value(), nexact.gross_energy.value());
     println!(
@@ -140,17 +178,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         r#"{{
   "bench": "pv_cache",
   "command": "cargo run -q --release -p eh-bench --bin bench_pv_cache",
+  "smoke": {smoke},
   "surface": {{
     "grid_lux": {n_lux},
     "grid_v": {n_v},
     "lux_domain": [{lo}, {hi}],
     "build_ms": {build_ms:.3},
-    "validation_probes": [{LUX_PROBES}, {V_PROBES}],
+    "validation_probes": [{lux_probes}, {v_probes}],
     "max_rel_current_error": {max_rel_err:.6e},
     "documented_error_bound": 1e-3
   }},
   "closed_loop_system": {{
-    "scenario": "FocvMpptSystem run_constant, 1000 lux, 600 s, dt 0.05 s",
+    "scenario": "FocvMpptSystem run_constant, 1000 lux, {sys_secs} s, dt 0.05 s",
     "exact_ms": {se_ms:.3},
     "cached_ms": {sc_ms:.3},
     "speedup": {sys_speedup:.2},
@@ -160,7 +199,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     "stored_energy_rel_diff": {stored_rel:.6e}
   }},
   "node_day": {{
-    "scenario": "NodeSimulation, office_desk_mixed(2011) decimate 5, dt 5 s",
+    "scenario": "NodeSimulation, office_desk_mixed(2011) decimate {node_decimate}, dt {node_decimate} s",
     "exact_ms": {ne_ms:.3},
     "cached_ms": {nc_ms:.3},
     "speedup": {node_speedup:.2},
@@ -180,6 +219,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 "#,
         lo = lux_lo.value(),
         hi = lux_hi.value(),
+        sys_secs = sys_duration.value(),
         build_ms = build_time.as_secs_f64() * 1e3,
         se_ms = exact_t.as_secs_f64() * 1e3,
         sc_ms = cached_t.as_secs_f64() * 1e3,

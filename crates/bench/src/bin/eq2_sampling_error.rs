@@ -42,8 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Map the worse (semi-mobile) Voc error to MPP error and
         // efficiency loss, as §II-B does.
         let mpp_err = focv::mpp_error_from_voc_error(Volts::new(m.mean_error), k);
-        let loss =
-            focv::efficiency_loss_for_voltage_error(&am1815, Lux::new(500.0), mpp_err)?;
+        let loss = focv::efficiency_loss_for_voltage_error(&am1815, Lux::new(500.0), mpp_err)?;
         rows.push(vec![
             fmt(d.period.value(), 0),
             fmt(d.mean_error * 1e3, 2),
@@ -70,11 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mobile_60 = sampling_error::worst_case_mean_error(&mobile, Seconds::new(60.0))?;
     let mpp_err_desk = focv::mpp_error_from_voc_error(Volts::new(desk_60), k);
     let mpp_err_mobile = focv::mpp_error_from_voc_error(Volts::new(mobile_60), k);
-    let loss = focv::efficiency_loss_for_voltage_error(
-        &am1815,
-        Lux::new(500.0),
-        mpp_err_mobile,
-    )?;
+    let loss = focv::efficiency_loss_for_voltage_error(&am1815, Lux::new(500.0), mpp_err_mobile)?;
 
     banner("§II-B headline numbers (1-minute period)");
     println!(

@@ -13,10 +13,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     banner("§IV-B — cold start across light levels (dead system, 10 min budget)");
 
     let mut rows = Vec::new();
-    for lux in [1.0, 2.0, 5.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 5000.0] {
+    for lux in [
+        1.0, 2.0, 5.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 5000.0,
+    ] {
         let mut sys = FocvMpptSystem::new(SystemConfig::paper_prototype()?)?;
-        let report =
-            sys.run_constant(Lux::new(lux), Seconds::from_minutes(10.0), Seconds::new(0.1))?;
+        let report = sys.run_constant(
+            Lux::new(lux),
+            Seconds::from_minutes(10.0),
+            Seconds::new(0.1),
+        )?;
         let sustained = report.stored_energy.value() > 1e-6;
         rows.push(vec![
             fmt(lux, 0),
@@ -54,12 +59,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     banner("§IV-B — metrology overhead fraction at 200 lux");
     let mut sys = FocvMpptSystem::new(SystemConfig::paper_prototype()?)?;
-    let report = sys.run_constant(Lux::new(200.0), Seconds::from_minutes(10.0), Seconds::new(0.05))?;
+    let report = sys.run_constant(
+        Lux::new(200.0),
+        Seconds::from_minutes(10.0),
+        Seconds::new(0.05),
+    )?;
     let avg = report.average_metrology_current;
     let metrology_power = avg.value() * 3.3;
     let cell = sys.config().cell.clone();
     let mpp = cell.mpp(Lux::new(200.0))?;
-    println!("metrology draw     : {} ({} µW at 3.3 V)", avg, fmt(metrology_power * 1e6, 1));
+    println!(
+        "metrology draw     : {} ({} µW at 3.3 V)",
+        avg,
+        fmt(metrology_power * 1e6, 1)
+    );
     println!("cell MPP at 200 lx : {}", mpp.power);
     println!(
         "fraction           : {} % (paper: < 20 %)",

@@ -46,14 +46,25 @@ fn run_scenario(
                 format!("{}", r.summary.overhead_energy),
                 format!("{}", r.summary.net_energy),
                 fmt(r.summary.efficiency_vs_oracle().as_percent(), 1),
-                if r.summary.is_net_positive() { "yes".into() } else { "NO".into() },
+                if r.summary.is_net_positive() {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
             ]
         })
         .collect();
     println!(
         "{}",
         render_table(
-            &["tracker", "gross", "overhead", "net", "vs oracle %", "net-positive?"],
+            &[
+                "tracker",
+                "gross",
+                "overhead",
+                "net",
+                "vs oracle %",
+                "net-positive?"
+            ],
             &rows
         )
     );

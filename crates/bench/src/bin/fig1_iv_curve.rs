@@ -48,7 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 fmt(p.voltage.value(), 3),
                 fmt(p.current.as_micro(), 1),
                 fmt(p.power.as_micro(), 1),
-                if near_mpp { "← MPP region".into() } else { String::new() },
+                if near_mpp {
+                    "← MPP region".into()
+                } else {
+                    String::new()
+                },
             ]
         })
         .collect();

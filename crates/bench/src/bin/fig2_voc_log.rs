@@ -40,16 +40,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let office_voc = voc_trace(&cell, &office_lux);
     println!(
         "Voc over the day: {}",
-        sparkline(&office_voc.values().iter().step_by(10).copied().collect::<Vec<_>>())
+        sparkline(
+            &office_voc
+                .values()
+                .iter()
+                .step_by(10)
+                .copied()
+                .collect::<Vec<_>>()
+        )
     );
-    println!("{}", render_table(&["time", "Voc (V)"], &hourly_rows(&office_voc)));
+    println!(
+        "{}",
+        render_table(&["time", "Voc (V)"], &hourly_rows(&office_voc))
+    );
 
     // The features the paper points at:
     let night = office_voc.value_at(Seconds::from_hours(3.0)).unwrap_or(0.0);
     let morning = office_voc.value_at(Seconds::from_hours(9.0)).unwrap_or(0.0);
-    let before_off = office_voc.value_at(Seconds::from_hours(18.4)).unwrap_or(0.0);
-    let after_off = office_voc.value_at(Seconds::from_hours(18.6)).unwrap_or(0.0);
-    println!("sunrise step  : {} V → {} V (03:00 → 09:00)", fmt(night, 2), fmt(morning, 2));
+    let before_off = office_voc
+        .value_at(Seconds::from_hours(18.4))
+        .unwrap_or(0.0);
+    let after_off = office_voc
+        .value_at(Seconds::from_hours(18.6))
+        .unwrap_or(0.0);
+    println!(
+        "sunrise step  : {} V → {} V (03:00 → 09:00)",
+        fmt(night, 2),
+        fmt(morning, 2)
+    );
     println!(
         "lights-off    : {} V → {} V (18:24 → 18:36) — the sharp evening edge of Fig. 2",
         fmt(before_off, 2),
@@ -61,7 +79,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let weekend_voc = voc_trace(&cell, &weekend_lux);
     println!(
         "Voc over the day: {}",
-        sparkline(&weekend_voc.values().iter().step_by(10).copied().collect::<Vec<_>>())
+        sparkline(
+            &weekend_voc
+                .values()
+                .iter()
+                .step_by(10)
+                .copied()
+                .collect::<Vec<_>>()
+        )
     );
     println!(
         "span: {} V … {} V (only the daylight leak moves it)",
@@ -74,10 +99,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mobile_voc = voc_trace(&cell, &mobile_lux);
     println!(
         "Voc over the day: {}",
-        sparkline(&mobile_voc.values().iter().step_by(10).copied().collect::<Vec<_>>())
+        sparkline(
+            &mobile_voc
+                .values()
+                .iter()
+                .step_by(10)
+                .copied()
+                .collect::<Vec<_>>()
+        )
     );
-    let lunch = mobile_voc.value_at(Seconds::from_hours(12.5)).unwrap_or(0.0);
-    let desk = mobile_voc.value_at(Seconds::from_hours(10.0)).unwrap_or(0.0);
+    let lunch = mobile_voc
+        .value_at(Seconds::from_hours(12.5))
+        .unwrap_or(0.0);
+    let desk = mobile_voc
+        .value_at(Seconds::from_hours(10.0))
+        .unwrap_or(0.0);
     println!(
         "outdoor lunch pushes Voc from {} V (desk) to {} V — the log-law in action",
         fmt(desk, 2),

@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .into_iter()
         .filter(|t| *t > rise)
         .collect();
-    let fall = falls.first().copied().unwrap_or(rise + Seconds::from_milli(39.0));
+    let fall = falls
+        .first()
+        .copied()
+        .unwrap_or(rise + Seconds::from_milli(39.0));
     println!(
         "PULSE width measured from the trace: {} (paper: 39 ms)",
         fall - rise
@@ -53,19 +56,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         held_samples.push(h);
         rows.push(vec![
             format!("{:+.1}", (t - rise).as_milli()),
-            if p > 1.65 { "HIGH".into() } else { "low".into() },
+            if p > 1.65 {
+                "HIGH".into()
+            } else {
+                "low".into()
+            },
             fmt(h, 4),
             fmt(v, 3),
         ]);
     }
     println!(
         "{}",
-        render_table(&["t−rise (ms)", "PULSE", "HELD_SAMPLE (V)", "PV_IN (V)"], &rows)
+        render_table(
+            &["t−rise (ms)", "PULSE", "HELD_SAMPLE (V)", "PV_IN (V)"],
+            &rows
+        )
     );
-    println!("HELD_SAMPLE during the window: {}", sparkline(&held_samples));
+    println!(
+        "HELD_SAMPLE during the window: {}",
+        sparkline(&held_samples)
+    );
 
     // Ripple measurement, as the paper describes it.
-    let settled = held.value_at(rise - Seconds::from_milli(5.0)).unwrap_or(0.0);
+    let settled = held
+        .value_at(rise - Seconds::from_milli(5.0))
+        .unwrap_or(0.0);
     let min = held.min_in(rise, fall).unwrap_or(settled);
     let max = held.max_in(rise, fall).unwrap_or(settled);
     let ripple = (max - settled).max(settled - min);

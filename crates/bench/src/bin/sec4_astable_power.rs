@@ -90,14 +90,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = recorder.trace;
     let highs = trace.high_durations(1.65);
     let rises = trace.rising_edges(1.65);
-    let mean_on: f64 =
-        highs.iter().map(|d| d.as_milli()).sum::<f64>() / highs.len().max(1) as f64;
+    let mean_on: f64 = highs.iter().map(|d| d.as_milli()).sum::<f64>() / highs.len().max(1) as f64;
     let mean_period = if rises.len() >= 2 {
         (rises.last().unwrap().value() - rises[0].value()) / (rises.len() - 1) as f64
     } else {
         f64::NAN
     };
-    println!("simulated ON period : {} ms (waveform measurement)", fmt(mean_on, 1));
+    println!(
+        "simulated ON period : {} ms (waveform measurement)",
+        fmt(mean_on, 1)
+    );
     println!("simulated period    : {} s", fmt(mean_period, 2));
 
     banner("§IV-A — astable + sample-and-hold current draw at 3.3 V");
@@ -117,10 +119,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let ledger = probe.ledger;
     let avg = ledger.average_current_elapsed();
-    println!(
-        "average combined draw: {} (paper measurement: 7.6 µA)",
-        avg
-    );
+    println!("average combined draw: {} (paper measurement: 7.6 µA)", avg);
     println!(
         "energy from 3.3 V bench supply over {}: {}",
         total,
@@ -145,7 +144,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "cell MPP power at 200 lux : {} µW (42 µA × 3.0 V)",
         fmt(cell_power * 1e6, 1)
     );
-    println!("metrology power           : {} µW", fmt(metrology_power * 1e6, 1));
+    println!(
+        "metrology power           : {} µW",
+        fmt(metrology_power * 1e6, 1)
+    );
     println!(
         "fraction                  : {} %  (paper: < 18 % at 200 lux, < 20 % in §IV-B)",
         fmt(100.0 * metrology_power / cell_power, 1)

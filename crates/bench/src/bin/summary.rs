@@ -130,7 +130,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         format!("{} % of harvest", fmt(100.0 * frac, 4)),
     ]);
 
-    println!("{}", render_table(&["quantity", "paper", "measured"], &rows));
+    println!(
+        "{}",
+        render_table(&["quantity", "paper", "measured"], &rows)
+    );
     println!("Full details: EXPERIMENTS.md; per-experiment binaries in crates/bench/src/bin/.");
     Ok(())
 }

@@ -82,7 +82,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "{}",
         render_table(
-            &["tracker", "gross", "overhead", "net", "uptime %", "store at end"],
+            &[
+                "tracker",
+                "gross",
+                "overhead",
+                "net",
+                "uptime %",
+                "store at end"
+            ],
             &rows
         )
     );
@@ -102,10 +109,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "{}",
         render_table(
-            &["tracker", "gross", "overhead", "net", "uptime %", "store at end"],
+            &[
+                "tracker",
+                "gross",
+                "overhead",
+                "net",
+                "uptime %",
+                "store at end"
+            ],
             &rows
         )
     );
+
+    banner("Metrics — where the week's energy went (FOCV, supercapacitor)");
+    // The same run again with the eh-obs recorder enabled: the ledger
+    // splits the week's consumption into the paper's circuit blocks.
+    // Observation is passive — the physics is bit-identical to the
+    // uninstrumented row above (eh-node tests assert this).
+    let mut tracker = FocvSampleHold::paper_prototype()?;
+    let cfg = SimConfig::default_for(cell.clone())?
+        .with_pv_cache(true)
+        .with_store(sc())
+        .with_load(DutyCycledLoad::typical_sensor_node()?)
+        .with_obs(true);
+    let report = NodeSimulation::new(cfg)?.run(&mut tracker, &trace, Seconds::new(10.0))?;
+    let metrics = report
+        .metrics
+        .expect("obs-enabled run carries a metric store");
+    println!("{}", metrics.to_table());
 
     println!("Reading: the harvest side is week-positive with either tracker (net");
     println!("≈140–150 J against a ~12 J weekly load+overhead demand), but storage");

@@ -34,12 +34,33 @@ where
     env_value.and_then(parse)
 }
 
+/// Returns whether a bare long flag (e.g. `--smoke`) is present in the
+/// arguments.
+pub fn parse_flag<I, S>(args: I, name: &str) -> bool
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    args.into_iter().any(|a| a.as_ref() == name)
+}
+
+/// Whether this invocation asked for the CI smoke profile (`--smoke`):
+/// the same code paths and assertions at a fraction of the problem
+/// size, so a push gets end-to-end coverage without bench-scale
+/// wall-clock. Smoke runs never gate on timing.
+pub fn smoke_mode() -> bool {
+    parse_flag(std::env::args().skip(1), "--smoke")
+}
+
 /// The sweep runner every experiment binary should use: sized by
 /// `--workers N` / `--workers=N` on the command line, else the
 /// `EH_WORKERS` environment variable, else the machine's available
 /// parallelism.
 pub fn sweep_runner() -> SweepRunner {
-    match parse_workers(std::env::args().skip(1), std::env::var("EH_WORKERS").ok().as_deref()) {
+    match parse_workers(
+        std::env::args().skip(1),
+        std::env::var("EH_WORKERS").ok().as_deref(),
+    ) {
         Some(n) => SweepRunner::new(n),
         None => SweepRunner::auto(),
     }
@@ -138,13 +159,12 @@ mod tests {
 
     #[test]
     fn table_alignment() {
-        let t = render_table(
-            &["a", "long header"],
-            &[vec!["xxxxxx".into(), "1".into()]],
-        );
+        let t = render_table(&["a", "long header"], &[vec!["xxxxxx".into(), "1".into()]]);
         let lines: Vec<&str> = t.lines().collect();
         // All rows are equally wide.
-        assert!(lines.windows(2).all(|w| w[0].chars().count() == w[1].chars().count()));
+        assert!(lines
+            .windows(2)
+            .all(|w| w[0].chars().count() == w[1].chars().count()));
         assert!(t.contains("long header"));
     }
 
@@ -177,6 +197,14 @@ mod tests {
         assert_eq!(parse_workers(["--workers"], None), None);
         assert_eq!(parse_workers(Vec::<String>::new(), Some("lots")), None);
         assert_eq!(parse_workers(Vec::<String>::new(), None), None);
+    }
+
+    #[test]
+    fn flag_detection() {
+        assert!(parse_flag(["--smoke"], "--smoke"));
+        assert!(parse_flag(["--workers", "4", "--smoke"], "--smoke"));
+        assert!(!parse_flag(["--smoked"], "--smoke"));
+        assert!(!parse_flag(Vec::<String>::new(), "--smoke"));
     }
 
     #[test]

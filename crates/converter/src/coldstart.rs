@@ -12,6 +12,7 @@
 //! illumination cold-starts the system again — exactly the behaviour the
 //! paper validated down to 200 lux.
 
+use eh_obs::Recorder;
 use eh_units::{Amps, Farads, Seconds, Volts};
 
 use crate::error::ConverterError;
@@ -50,6 +51,8 @@ pub struct ColdStart {
     supervisor_current: Amps,
     v_c1: Volts,
     state: ColdStartState,
+    enable_events: u64,
+    dropout_events: u64,
 }
 
 impl ColdStart {
@@ -93,6 +96,8 @@ impl ColdStart {
             supervisor_current: Amps::from_micro(0.4),
             v_c1: Volts::ZERO,
             state: ColdStartState::Charging,
+            enable_events: 0,
+            dropout_events: 0,
         })
     }
 
@@ -183,7 +188,11 @@ impl ColdStart {
         load_current: Amps,
         dt: Seconds,
     ) -> ColdStartState {
-        let load = if self.rail_on() { load_current } else { Amps::ZERO };
+        let load = if self.rail_on() {
+            load_current
+        } else {
+            Amps::ZERO
+        };
         let net = charge_current - load - self.supervisor_current;
         let dv = (net * dt) / self.capacitance;
         self.v_c1 = (self.v_c1 + dv).clamp(Volts::ZERO, self.v_max);
@@ -195,12 +204,34 @@ impl ColdStart {
         match self.state {
             ColdStartState::Charging if self.v_c1 >= self.v_enable => {
                 self.state = ColdStartState::Running;
+                self.enable_events += 1;
             }
             ColdStartState::Running if self.v_c1 <= self.v_disable => {
                 self.state = ColdStartState::Charging;
+                self.dropout_events += 1;
             }
             _ => {}
         }
+    }
+
+    /// How many times the rail has turned on (the enable threshold was
+    /// crossed from below) since construction.
+    pub fn enable_events(&self) -> u64 {
+        self.enable_events
+    }
+
+    /// How many times the rail has collapsed (the dropout threshold was
+    /// crossed from above) since construction.
+    pub fn dropout_events(&self) -> u64 {
+        self.dropout_events
+    }
+
+    /// Folds the supervisor's event counters and present rail state into
+    /// a recorder. Counters are cumulative; call once per run.
+    pub fn observe<R: Recorder + ?Sized>(&self, recorder: &mut R) {
+        recorder.add_counter("coldstart.enable_events", self.enable_events);
+        recorder.add_counter("coldstart.dropout_events", self.dropout_events);
+        recorder.set_gauge("coldstart.rail_v", self.v_c1.value());
     }
 }
 
@@ -313,6 +344,22 @@ mod tests {
         assert_eq!(c.rail_voltage(), Volts::new(3.3));
         c.step(Amps::new(-10.0), Amps::ZERO, Seconds::new(10.0));
         assert_eq!(c.rail_voltage(), Volts::ZERO);
+    }
+
+    #[test]
+    fn threshold_crossings_are_counted_and_observable() {
+        let mut c = cs();
+        c.set_rail_voltage(Volts::new(2.5)); // enable
+        c.set_rail_voltage(Volts::new(1.0)); // dropout
+        c.set_rail_voltage(Volts::new(2.5)); // enable again
+        assert_eq!(c.enable_events(), 2);
+        assert_eq!(c.dropout_events(), 1);
+
+        let mut m = eh_obs::Metrics::new();
+        c.observe(&mut m);
+        assert_eq!(m.counter("coldstart.enable_events"), 2);
+        assert_eq!(m.counter("coldstart.dropout_events"), 1);
+        assert_eq!(m.gauge("coldstart.rail_v"), Some(2.5));
     }
 
     #[test]

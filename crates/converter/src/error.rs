@@ -38,6 +38,9 @@ mod tests {
             name: "peak_efficiency",
             value: 1.4,
         };
-        assert_eq!(e.to_string(), "invalid converter parameter peak_efficiency = 1.4");
+        assert_eq!(
+            e.to_string(),
+            "invalid converter parameter peak_efficiency = 1.4"
+        );
     }
 }

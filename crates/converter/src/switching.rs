@@ -239,7 +239,9 @@ mod tests {
         assert!(SwitchingStage::new(47e-6, 0.0, 1.5, 0.3, 1e-12, 1e-6).is_err());
         assert!(SwitchingStage::new(47e-6, 25e3, -1.0, 0.3, 1e-12, 1e-6).is_err());
         let s = stage();
-        assert!(s.operating_point(Volts::ZERO, Amps::new(1e-5), Volts::new(3.3)).is_err());
+        assert!(s
+            .operating_point(Volts::ZERO, Amps::new(1e-5), Volts::new(3.3))
+            .is_err());
         assert!(s
             .operating_point(Volts::new(3.0), Amps::new(-1.0), Volts::new(3.3))
             .is_err());
@@ -254,10 +256,7 @@ mod tests {
             .unwrap();
         assert_eq!(op.mode, ConductionMode::Discontinuous);
         let eta = op.efficiency(Volts::new(3.0) * Amps::from_micro(42.0));
-        assert!(
-            eta.value() > 0.6 && eta.value() < 0.95,
-            "indoor η = {eta}"
-        );
+        assert!(eta.value() > 0.6 && eta.value() < 0.95, "indoor η = {eta}");
     }
 
     #[test]

@@ -40,7 +40,10 @@ impl FixedVoltage {
                 value: overhead.value(),
             });
         }
-        Ok(Self { reference, overhead })
+        Ok(Self {
+            reference,
+            overhead,
+        })
     }
 
     /// Tuned for the AM-1815 indoors: pinned at 3.0 V (the datasheet

@@ -47,7 +47,10 @@ impl FocvSampleHold {
         overhead: Watts,
     ) -> Result<Self, CoreError> {
         if !(k.is_finite() && k > 0.0 && k < 1.0) {
-            return Err(CoreError::InvalidParameter { name: "k", value: k });
+            return Err(CoreError::InvalidParameter {
+                name: "k",
+                value: k,
+            });
         }
         if !(sample_period.value() > 0.0 && pulse_width.value() > 0.0) {
             return Err(CoreError::InvalidParameter {
@@ -107,10 +110,7 @@ impl FocvSampleHold {
     ///
     /// Rejects an offset outside `[0, sample_period)`.
     pub fn with_initial_phase(mut self, offset: Seconds) -> Result<Self, CoreError> {
-        if !(offset.value().is_finite()
-            && offset.value() >= 0.0
-            && offset < self.sample_period)
-        {
+        if !(offset.value().is_finite() && offset.value() >= 0.0 && offset < self.sample_period) {
             return Err(CoreError::InvalidParameter {
                 name: "initial_phase",
                 value: offset.value(),
@@ -209,13 +209,9 @@ mod tests {
             Watts::ZERO
         )
         .is_err());
-        assert!(FocvSampleHold::new(
-            0.6,
-            Seconds::new(1.0),
-            Seconds::new(2.0),
-            Watts::ZERO
-        )
-        .is_err());
+        assert!(
+            FocvSampleHold::new(0.6, Seconds::new(1.0), Seconds::new(2.0), Watts::ZERO).is_err()
+        );
     }
 
     #[test]

@@ -219,12 +219,18 @@ mod tests {
         let mut v = t.target();
         for _ in 0..600 {
             let obs = observe(&cell, v, Lux::new(500.0));
-            v = t.step(&obs, Seconds::from_milli(100.0)).target_voltage().unwrap();
+            v = t
+                .step(&obs, Seconds::from_milli(100.0))
+                .target_voltage()
+                .unwrap();
         }
         let settled_dim = v;
         for _ in 0..600 {
             let obs = observe(&cell, v, Lux::new(5000.0));
-            v = t.step(&obs, Seconds::from_milli(100.0)).target_voltage().unwrap();
+            v = t
+                .step(&obs, Seconds::from_milli(100.0))
+                .target_voltage()
+                .unwrap();
         }
         let mpp_bright = cell.mpp(Lux::new(5000.0)).unwrap().voltage;
         assert!(

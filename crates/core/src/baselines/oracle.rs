@@ -62,7 +62,9 @@ mod tests {
         };
         let c = oracle.step(&obs, Seconds::new(1.0));
         let mpp = cell.mpp(Lux::new(1000.0)).unwrap();
-        assert!((c.target_voltage().expect("connected").value() - mpp.voltage.value()).abs() < 1e-9);
+        assert!(
+            (c.target_voltage().expect("connected").value() - mpp.voltage.value()).abs() < 1e-9
+        );
         assert_eq!(oracle.overhead_power(), Watts::ZERO);
     }
 

@@ -139,13 +139,10 @@ mod tests {
 
     #[test]
     fn validation() {
-        assert!(PerturbObserve::new(
-            Volts::ZERO,
-            Seconds::new(0.1),
-            Volts::new(2.5),
-            Watts::ZERO
-        )
-        .is_err());
+        assert!(
+            PerturbObserve::new(Volts::ZERO, Seconds::new(0.1), Volts::new(2.5), Watts::ZERO)
+                .is_err()
+        );
         assert!(PerturbObserve::new(
             Volts::new(0.05),
             Seconds::ZERO,

@@ -38,7 +38,10 @@ impl Photodetector {
         overhead: Watts,
     ) -> Result<Self, CoreError> {
         if !(k.is_finite() && k > 0.0 && k < 1.0) {
-            return Err(CoreError::InvalidParameter { name: "k", value: k });
+            return Err(CoreError::InvalidParameter {
+                name: "k",
+                value: k,
+            });
         }
         if !(slope.value().is_finite() && slope.value() > 0.0) {
             return Err(CoreError::InvalidParameter {
@@ -135,9 +138,7 @@ mod tests {
 
     #[test]
     fn validation() {
-        assert!(
-            Photodetector::new(Volts::new(3.0), Volts::ZERO, 0.6, 1.0, Watts::ZERO).is_err()
-        );
+        assert!(Photodetector::new(Volts::new(3.0), Volts::ZERO, 0.6, 1.0, Watts::ZERO).is_err());
         assert!(
             Photodetector::new(Volts::new(3.0), Volts::new(0.3), 0.6, 0.0, Watts::ZERO).is_err()
         );

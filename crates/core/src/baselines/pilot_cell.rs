@@ -29,7 +29,10 @@ impl PilotCell {
     /// Rejects `k` outside `(0, 1)` or negative overhead.
     pub fn new(pilot: PvCell, k: f64, overhead: Watts) -> Result<Self, CoreError> {
         if !(k.is_finite() && k > 0.0 && k < 1.0) {
-            return Err(CoreError::InvalidParameter { name: "k", value: k });
+            return Err(CoreError::InvalidParameter {
+                name: "k",
+                value: k,
+            });
         }
         if !(overhead.value().is_finite() && overhead.value() >= 0.0) {
             return Err(CoreError::InvalidParameter {
@@ -60,10 +63,7 @@ impl MpptController for PilotCell {
         // The pilot cell sees the same light as the main module; its
         // open-circuit voltage is continuously available.
         let lux = obs.ambient_lux.unwrap_or_default();
-        let voc = self
-            .pilot
-            .open_circuit_voltage(lux)
-            .unwrap_or(Volts::ZERO);
+        let voc = self.pilot.open_circuit_voltage(lux).unwrap_or(Volts::ZERO);
         if voc.value() <= 0.0 {
             return TrackerCommand::measure();
         }
@@ -107,7 +107,10 @@ mod tests {
     fn tracks_continuously_without_disconnecting() {
         let mut t = PilotCell::literature_default(presets::sanyo_am1815()).unwrap();
         let c = t.step(&obs(1000.0), Seconds::new(1.0));
-        assert!(c.is_connect(), "pilot cell never interrupts the main module");
+        assert!(
+            c.is_connect(),
+            "pilot cell never interrupts the main module"
+        );
         // Target ≈ k·Voc(1000 lx) ≈ 0.596 · 5.44 ≈ 3.24 V.
         assert!((c.target_voltage().expect("connected").value() - 0.596 * 5.44).abs() < 0.1);
     }
@@ -115,8 +118,14 @@ mod tests {
     #[test]
     fn follows_light_changes_immediately() {
         let mut t = PilotCell::literature_default(presets::sanyo_am1815()).unwrap();
-        let dim = t.step(&obs(200.0), Seconds::new(1.0)).target_voltage().expect("connected");
-        let bright = t.step(&obs(5000.0), Seconds::new(1.0)).target_voltage().expect("connected");
+        let dim = t
+            .step(&obs(200.0), Seconds::new(1.0))
+            .target_voltage()
+            .expect("connected");
+        let bright = t
+            .step(&obs(5000.0), Seconds::new(1.0))
+            .target_voltage()
+            .expect("connected");
         assert!(bright > dim);
     }
 

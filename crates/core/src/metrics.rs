@@ -141,12 +141,7 @@ mod tests {
     #[test]
     fn tracking_table_produces_table1_band() {
         let base = SystemConfig::paper_prototype().unwrap();
-        let rows = tracking_accuracy_table(
-            &base,
-            &[Lux::new(200.0), Lux::new(1000.0)],
-            1,
-        )
-        .unwrap();
+        let rows = tracking_accuracy_table(&base, &[Lux::new(200.0), Lux::new(1000.0)], 1).unwrap();
         assert_eq!(rows.len(), 2);
         for row in &rows {
             let k = row.k.as_percent();

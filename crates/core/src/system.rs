@@ -6,6 +6,7 @@ use eh_analog::sample_hold::{SampleHold, SampleHoldConfig};
 use eh_analog::{CurrentLedger, Trace, TracePolicy};
 use eh_converter::{ColdStart, InputRegulatedConverter};
 use eh_env::TimeSeries;
+use eh_obs::{EnergyBucket, Metrics, Recorder};
 use eh_pv::{presets, PvCell};
 use eh_sim::{drive, Light, StepInput, StepOutput, Stepper};
 use eh_units::{Amps, Coulombs, Joules, Lux, Ratio, Seconds, Volts};
@@ -45,6 +46,10 @@ pub struct SystemConfig {
     /// Memory policy applied to recorded traces: full fidelity, fixed
     /// decimation, or a hard sample-count capacity for day-scale runs.
     pub trace_policy: TracePolicy,
+    /// Whether to collect deterministic metrics (counters, spans, the
+    /// per-bucket energy ledger) into an [`eh_obs::Metrics`] store. Off
+    /// by default: uninstrumented runs pay only a branch per segment.
+    pub obs: bool,
 }
 
 impl SystemConfig {
@@ -73,6 +78,7 @@ impl SystemConfig {
             record_traces: false,
             trace_policy: TracePolicy::Full,
             pv_cache: false,
+            obs: false,
         })
     }
 
@@ -181,6 +187,7 @@ pub struct FocvMpptSystem {
     last_pv_voltage: Volts,
     last_lux: Lux,
     traces: Option<SystemTraces>,
+    metrics: Option<Box<Metrics>>,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -236,6 +243,7 @@ impl FocvMpptSystem {
             last_pv_voltage: Volts::ZERO,
             last_lux: Lux::ZERO,
             traces,
+            metrics: config.obs.then(Box::default),
             config,
         })
     }
@@ -296,6 +304,20 @@ impl FocvMpptSystem {
         self.traces.as_ref().map(|t| &t.active)
     }
 
+    /// The metric store, when [`SystemConfig::obs`] is enabled.
+    pub fn metrics(&self) -> Option<&Metrics> {
+        self.metrics.as_deref()
+    }
+
+    /// Takes the metric store out of the system (for folding into
+    /// reports), first folding in the cold-start supervisor's cumulative
+    /// event counters; subsequent steps run uninstrumented.
+    pub fn take_metrics(&mut self) -> Option<Metrics> {
+        let mut m = self.metrics.take().map(|b| *b)?;
+        self.cold_start.observe(&mut m);
+        Some(m)
+    }
+
     /// Fault injection: forces the held sample to an arbitrary (possibly
     /// wrong) value, as a glitched switch or disturbed hold capacitor
     /// would. The system should recover at its next PULSE.
@@ -317,8 +339,8 @@ impl FocvMpptSystem {
         if voc.value() <= 0.0 {
             return Ok(Volts::ZERO);
         }
-        let r_total = self.sample_hold.config().divider.top()
-            + self.sample_hold.config().divider.bottom();
+        let r_total =
+            self.sample_hold.config().divider.top() + self.sample_hold.config().divider.bottom();
         let g = |v: Volts| -> Result<f64, CoreError> {
             Ok(self.cell.current_at(v, lux)?.value() - (v / r_total).value())
         };
@@ -376,12 +398,14 @@ impl FocvMpptSystem {
                 if self.cold_start_time.is_none() {
                     self.cold_start_time = Some(self.time);
                 }
+                self.metrics.add_counter("core.rail_up", 1);
             }
             // Rail collapse: the astable dies with the rail, so PULSE is no
             // longer high — forget the edge state, or the power-up PULSE
             // after recovery would be miscounted as no rising edge.
             if !rail_on && self.rail_was_on {
                 self.pulse_was_high = false;
+                self.metrics.add_counter("core.rail_collapse", 1);
             }
             self.rail_was_on = rail_on;
 
@@ -415,10 +439,16 @@ impl FocvMpptSystem {
                 traces
                     .held_sample
                     .record(self.time, self.sample_hold.held_sample().value());
-                traces.pv_voltage.record(self.time, self.last_pv_voltage.value());
+                traces
+                    .pv_voltage
+                    .record(self.time, self.last_pv_voltage.value());
                 traces.active.record(
                     self.time,
-                    if self.sample_hold.is_active() { 1.0 } else { 0.0 },
+                    if self.sample_hold.is_active() {
+                        1.0
+                    } else {
+                        0.0
+                    },
                 );
             }
         }
@@ -453,6 +483,11 @@ impl FocvMpptSystem {
         // nothing draws supply current.
         let _ = self.sample_hold.step(Volts::ZERO, false, seg);
         self.last_pv_voltage = knee;
+        if let Some(m) = self.metrics.as_deref_mut() {
+            let mut s = eh_obs::span!("core.cold_start");
+            s.add_time(seg);
+            s.finish(m);
+        }
         Ok(SystemState::ColdStarting)
     }
 
@@ -472,8 +507,13 @@ impl FocvMpptSystem {
             if self.first_pulse_time.is_none() {
                 self.first_pulse_time = Some(self.time);
             }
+            self.metrics.add_counter("core.pulses", 1);
         }
         self.pulse_was_high = pulse;
+
+        // Conversion losses this segment (converter dissipation plus the
+        // series MOSFET), tracked for the metric ledger.
+        let mut seg_loss = Joules::ZERO;
 
         let astable_step = self.astable.step(seg);
         let (state, sh_charge, harvest_energy) = if pulse {
@@ -486,9 +526,7 @@ impl FocvMpptSystem {
         } else {
             let sh = self.sample_hold.step(Volts::ZERO, false, seg);
             if sh.active {
-                let v_ref = Volts::new(
-                    self.sample_hold.held_sample().value() / self.config.alpha,
-                );
+                let v_ref = Volts::new(self.sample_hold.held_sample().value() / self.config.alpha);
                 let voc = self.cell.open_circuit_voltage(lux)?;
                 let v_op = v_ref.min(voc);
                 let i_pv = if v_op.value() > 0.0 {
@@ -503,9 +541,9 @@ impl FocvMpptSystem {
                     .config
                     .series_switch
                     .channel_resistance(self.cold_start.rail_voltage());
-                let switch_loss =
-                    eh_units::Watts::new(i_pv.value() * i_pv.value() * ron.value());
+                let switch_loss = eh_units::Watts::new(i_pv.value() * i_pv.value() * ron.value());
                 self.switch_loss_energy += switch_loss * seg;
+                seg_loss = harvest.losses * seg + switch_loss * seg;
                 self.pv_energy += harvest.input_power * seg;
                 self.last_pv_voltage = if harvest.input_power.value() > 0.0 {
                     v_op
@@ -527,9 +565,40 @@ impl FocvMpptSystem {
         // Metrology accounting.
         self.ledger
             .accumulate("astable", astable_step.supply_charge / seg, seg);
-        self.ledger.accumulate("sample-and-hold", sh_charge / seg, seg);
+        self.ledger
+            .accumulate("sample-and-hold", sh_charge / seg, seg);
         let load_q = astable_step.supply_charge + sh_charge;
         *metrology += load_q;
+
+        // Metric attribution: supply charges convert to energy at the
+        // configured metrology supply voltage — the same convention
+        // `CurrentLedger::energy_from_supply` uses, so the bucket sums
+        // can be checked against the closed-loop ledger. The converter's
+        // delivered energy lands in the load bucket (the core layer has
+        // no node load; storage is its delivery point).
+        if let Some(m) = self.metrics.as_deref_mut() {
+            let vdd = self.config.astable.supply_voltage;
+            m.charge(
+                EnergyBucket::Astable,
+                Joules::new(astable_step.supply_charge.value() * vdd.value()),
+            );
+            m.charge(
+                EnergyBucket::SampleHold,
+                Joules::new(sh_charge.value() * vdd.value()),
+            );
+            m.charge(EnergyBucket::ConverterSwitching, seg_loss);
+            m.charge(EnergyBucket::Load, harvest_energy);
+            if pulse {
+                let mut s = eh_obs::span!("core.sampling");
+                s.add_time(seg);
+                s.finish(m);
+            } else if state == SystemState::Harvesting {
+                let mut s = eh_obs::span!("core.harvesting");
+                s.add_time(seg);
+                s.add_energy(harvest_energy);
+                s.finish(m);
+            }
+        }
 
         // Rail maintenance: harvested energy tops the rail up first, the
         // surplus goes to storage.
@@ -545,8 +614,7 @@ impl FocvMpptSystem {
                 * self.cold_start.capacitance().value(),
         );
         let used_for_rail = avail_q.min(load_q + top_up_needed);
-        self.cold_start
-            .step(used_for_rail / seg, load_q / seg, seg);
+        self.cold_start.step(used_for_rail / seg, load_q / seg, seg);
         let surplus = Joules::new((avail_q - used_for_rail).value() * v_rail.value());
         *stored += surplus;
         self.stored_energy += surplus;
@@ -619,9 +687,18 @@ impl FocvMpptSystem {
 impl Stepper for FocvMpptSystem {
     type Error = CoreError;
 
-    fn step(&mut self, _t: Seconds, dt: Seconds, input: &StepInput) -> Result<StepOutput, CoreError> {
+    fn step(
+        &mut self,
+        _t: Seconds,
+        dt: Seconds,
+        input: &StepInput,
+    ) -> Result<StepOutput, CoreError> {
         FocvMpptSystem::step(self, input.lux, dt)?;
         Ok(StepOutput::full(dt))
+    }
+
+    fn recorder(&mut self) -> Option<&mut Metrics> {
+        self.metrics.as_deref_mut()
     }
 }
 
@@ -673,7 +750,10 @@ mod tests {
         let report = sys
             .run_constant(Lux::new(200.0), Seconds::new(120.0), Seconds::new(0.05))
             .unwrap();
-        assert!(report.cold_start_time.is_some(), "must cold start at 200 lux");
+        assert!(
+            report.cold_start_time.is_some(),
+            "must cold start at 200 lux"
+        );
         assert!(report.pulses >= 1);
     }
 
@@ -723,10 +803,7 @@ mod tests {
             .run_constant(Lux::new(1000.0), Seconds::new(300.0), Seconds::new(0.02))
             .unwrap();
         let avg = report.average_metrology_current.as_micro();
-        assert!(
-            (6.5..8.6).contains(&avg),
-            "metrology average = {avg} µA"
-        );
+        assert!((6.5..8.6).contains(&avg), "metrology average = {avg} µA");
     }
 
     #[test]
@@ -751,7 +828,10 @@ mod tests {
         let report = sys
             .run_constant(Lux::new(0.5), Seconds::new(300.0), Seconds::new(0.1))
             .unwrap();
-        assert!(report.cold_start_time.is_none(), "0.5 lux must not cold start");
+        assert!(
+            report.cold_start_time.is_none(),
+            "0.5 lux must not cold start"
+        );
         assert_eq!(report.pulses, 0);
         assert_eq!(report.stored_energy, Joules::ZERO);
     }
@@ -872,7 +952,10 @@ mod tests {
         let mut last = Volts::ZERO;
         let mut t = 0.0;
         while t < 150.0 {
-            last = sys.step(Lux::new(1000.0), Seconds::new(0.05)).unwrap().rail_voltage;
+            last = sys
+                .step(Lux::new(1000.0), Seconds::new(0.05))
+                .unwrap()
+                .rail_voltage;
             t += 0.05;
         }
         assert!(
@@ -921,6 +1004,93 @@ mod tests {
             rel < 0.02,
             "stored energy depends on C1 size: {small} J vs {paper} J (rel {rel:.3})"
         );
+    }
+
+    #[test]
+    fn metrics_are_off_by_default_and_opt_in() {
+        let sys = charged_system();
+        assert!(sys.metrics().is_none(), "obs must be opt-in");
+
+        let mut cfg = SystemConfig::paper_prototype().unwrap();
+        cfg.obs = true;
+        let mut sys = FocvMpptSystem::new(cfg).unwrap();
+        let report = sys
+            .run_constant(Lux::new(1000.0), Seconds::new(150.0), Seconds::new(0.05))
+            .unwrap();
+        let m = sys.take_metrics().expect("obs enabled");
+        assert!(sys.metrics().is_none(), "take_metrics empties the slot");
+
+        // Counters agree with the closed-loop report.
+        assert_eq!(m.counter("core.pulses"), report.pulses);
+        assert_eq!(m.counter("core.rail_up"), 1);
+        assert_eq!(m.counter("coldstart.enable_events"), 1);
+        // Sampling span: a 39 ms dwell per pulse (the first pulse after
+        // an astable reset charges its timing cap from 0 V and runs
+        // ln 3 / ln 2 ≈ 1.58× longer).
+        let sampling = m.span_stats("core.sampling").expect("pulses fired");
+        let floor = report.pulses as f64 * 0.039;
+        let t_sampling = sampling.sim_time().value();
+        assert!(
+            t_sampling >= floor - 2e-3 && t_sampling <= floor + 0.03,
+            "sampling time {t_sampling} vs {} pulses x 39 ms",
+            report.pulses
+        );
+        // Cold start span covers the time before the rail came up.
+        let cs = m
+            .span_stats("core.cold_start")
+            .expect("system cold started");
+        let t_cs = report.cold_start_time.unwrap().value();
+        assert!((cs.sim_time().value() - t_cs).abs() < 0.2);
+    }
+
+    #[test]
+    fn metrology_buckets_conserve_against_the_current_ledger() {
+        // Two-path invariant: the metric ledger charges the astable and
+        // S&H buckets segment by segment at the supply voltage; the
+        // closed-loop CurrentLedger accumulates the same charges as
+        // currents and converts once at the end. The groupings (and thus
+        // the float rounding) differ, so agreement is a real check.
+        let mut cfg = SystemConfig::paper_prototype().unwrap();
+        cfg.obs = true;
+        cfg.cold_start.set_rail_voltage(Volts::new(3.3));
+        let mut sys = FocvMpptSystem::new(cfg).unwrap();
+        sys.run_constant(Lux::new(1000.0), Seconds::new(300.0), Seconds::new(0.02))
+            .unwrap();
+        let closed_loop = sys
+            .ledger()
+            .energy_from_supply(sys.config().astable.supply_voltage);
+        let m = sys.metrics().unwrap();
+        let metrology = m.ledger().energy(eh_obs::EnergyBucket::Astable)
+            + m.ledger().energy(eh_obs::EnergyBucket::SampleHold);
+        let rel = (metrology.value() - closed_loop.value()).abs()
+            / closed_loop.value().max(f64::MIN_POSITIVE);
+        assert!(
+            rel < 1e-9,
+            "metrology buckets {} J vs closed loop {} J (rel {rel:.3e})",
+            metrology,
+            closed_loop
+        );
+        // The converter path also booked losses and deliveries.
+        assert!(
+            m.ledger()
+                .energy(eh_obs::EnergyBucket::ConverterSwitching)
+                .value()
+                > 0.0
+        );
+        assert!(m.ledger().energy(eh_obs::EnergyBucket::Load).value() > 0.0);
+    }
+
+    #[test]
+    fn metrics_do_not_change_physics() {
+        let run = |obs: bool| {
+            let mut cfg = SystemConfig::paper_prototype().unwrap();
+            cfg.obs = obs;
+            cfg.cold_start.set_rail_voltage(Volts::new(3.3));
+            let mut sys = FocvMpptSystem::new(cfg).unwrap();
+            sys.run_constant(Lux::new(1000.0), Seconds::new(150.0), Seconds::new(0.05))
+                .unwrap()
+        };
+        assert_eq!(run(false), run(true), "observation must be passive");
     }
 
     #[test]

@@ -142,8 +142,12 @@ mod tests {
     #[test]
     fn warmup_ramp() {
         let l = office_lamp();
-        let just_on = l.illuminance(Seconds::from_hours(8.0) + Seconds::new(0.5)).value();
-        let warm = l.illuminance(Seconds::from_hours(8.0) + Seconds::new(20.0)).value();
+        let just_on = l
+            .illuminance(Seconds::from_hours(8.0) + Seconds::new(0.5))
+            .value();
+        let warm = l
+            .illuminance(Seconds::from_hours(8.0) + Seconds::new(20.0))
+            .value();
         assert!(just_on < warm);
         assert!((warm - 400.0).abs() < 0.1);
     }
@@ -154,10 +158,7 @@ mod tests {
             .unwrap()
             .with_interval(Seconds::from_hours(1.0), Seconds::from_hours(2.0))
             .unwrap();
-        assert_eq!(
-            l.illuminance(Seconds::from_hours(1.0)).value(),
-            250.0
-        );
+        assert_eq!(l.illuminance(Seconds::from_hours(1.0)).value(), 250.0);
     }
 
     #[test]

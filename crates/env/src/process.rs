@@ -111,7 +111,11 @@ impl RandomTelegraph {
 
     /// Advances by `dt` seconds and returns the (possibly flipped) state.
     pub fn step(&mut self, dt: f64) -> bool {
-        let rate = if self.state { self.rate_down } else { self.rate_up };
+        let rate = if self.state {
+            self.rate_down
+        } else {
+            self.rate_up
+        };
         let p_flip = 1.0 - (-rate * dt).exp();
         if self.rng.gen::<f64>() < p_flip {
             self.state = !self.state;

@@ -115,8 +115,8 @@ pub fn desk_weekend_blinds_closed(seed: u64) -> TimeSeries {
 pub fn semi_mobile_friday(seed: u64) -> TimeSeries {
     let solar = SolarDay::uk_summer().expect("valid constants");
     let office = office_desk_mixed(seed);
-    let mut cloud = OrnsteinUhlenbeck::new(0.0, 900.0, 0.8, seed.wrapping_add(7))
-        .expect("valid constants");
+    let mut cloud =
+        OrnsteinUhlenbeck::new(0.0, 900.0, 0.8, seed.wrapping_add(7)).expect("valid constants");
     let home_lamp = Lamp::new(Lux::new(180.0), Seconds::new(1.0))
         .expect("valid constants")
         .with_interval(Seconds::from_hours(19.0), Seconds::from_hours(23.0))
@@ -136,8 +136,7 @@ pub fn semi_mobile_friday(seed: u64) -> TimeSeries {
             solar.illuminance(t).value() * 0.55 * cloud_factor
         } else if t.value() >= leave_work.value() {
             // Evening at home: lamp plus a trickle of dusk light.
-            home_lamp.illuminance(t).value()
-                + solar.illuminance(t).value() * 0.004 * cloud_factor
+            home_lamp.illuminance(t).value() + solar.illuminance(t).value() * 0.004 * cloud_factor
         } else {
             office.sample(n).unwrap_or(0.0)
         };

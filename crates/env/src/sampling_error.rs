@@ -172,7 +172,10 @@ mod tests {
                 count += 1;
             }
             let naive = sum / count as f64;
-            assert!((fast - naive).abs() < 1e-12, "window {w}: {fast} vs {naive}");
+            assert!(
+                (fast - naive).abs() < 1e-12,
+                "window {w}: {fast} vs {naive}"
+            );
         }
     }
 
@@ -182,11 +185,7 @@ mod tests {
             .map(|i| (i as f64 * 0.05).sin() + 0.3 * (i as f64 * 0.013).cos())
             .collect();
         let s = series_of(values);
-        let sweep = period_sweep(
-            &s,
-            [2.0, 5.0, 20.0, 100.0, 500.0].map(Seconds::new),
-        )
-        .unwrap();
+        let sweep = period_sweep(&s, [2.0, 5.0, 20.0, 100.0, 500.0].map(Seconds::new)).unwrap();
         for pair in sweep.windows(2) {
             assert!(
                 pair[1].mean_error >= pair[0].mean_error - 1e-12,

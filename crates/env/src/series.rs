@@ -59,9 +59,7 @@ impl TimeSeries {
         if n == 0 {
             return Err(EnvError::SeriesTooShort { have: 0, need: 1 });
         }
-        let values = (0..n)
-            .map(|i| f(start + dt * i as f64))
-            .collect();
+        let values = (0..n).map(|i| f(start + dt * i as f64)).collect();
         Self::new(start, dt, values)
     }
 
@@ -134,7 +132,10 @@ impl TimeSeries {
 
     /// Maximum sample value.
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Arithmetic mean of the samples.

@@ -183,10 +183,14 @@ mod tests {
     fn winter_dimmer_and_shorter() {
         let summer = SolarDay::uk_summer().unwrap();
         let winter = SolarDay::uk_winter().unwrap();
-        assert!(winter.illuminance(Seconds::from_hours(12.0)).value()
-            < summer.illuminance(Seconds::from_hours(13.0)).value());
-        assert!(winter.sunset().value() - winter.sunrise().value()
-            < summer.sunset().value() - summer.sunrise().value());
+        assert!(
+            winter.illuminance(Seconds::from_hours(12.0)).value()
+                < summer.illuminance(Seconds::from_hours(13.0)).value()
+        );
+        assert!(
+            winter.sunset().value() - winter.sunrise().value()
+                < summer.sunset().value() - summer.sunrise().value()
+        );
     }
 
     #[test]

@@ -57,11 +57,8 @@ pub fn sequence(kinds: &[DayKind], base_seed: u64) -> Result<TimeSeries, EnvErro
             None => trace,
             Some(acc) => {
                 // Drop the duplicated midnight sample at the joint.
-                let tail = TimeSeries::new(
-                    Seconds::ZERO,
-                    trace.dt(),
-                    trace.values()[1..].to_vec(),
-                )?;
+                let tail =
+                    TimeSeries::new(Seconds::ZERO, trace.dt(), trace.values()[1..].to_vec())?;
                 acc.concat(&tail)?
             }
         });
@@ -126,7 +123,9 @@ mod tests {
         let week = office_week(5).unwrap();
         // Saturday noon (day 6) is far dimmer than Monday noon.
         let monday = week.value_at(Seconds::from_hours(12.0)).unwrap();
-        let saturday = week.value_at(Seconds::from_hours(5.0 * 24.0 + 12.0)).unwrap();
+        let saturday = week
+            .value_at(Seconds::from_hours(5.0 * 24.0 + 12.0))
+            .unwrap();
         assert!(saturday < monday * 0.5, "sat {saturday} vs mon {monday}");
     }
 

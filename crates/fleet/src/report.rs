@@ -10,6 +10,7 @@
 use std::fmt;
 
 use eh_node::NodeReport;
+use eh_obs::Metrics;
 use eh_sim::Mergeable;
 use eh_units::Joules;
 
@@ -85,15 +86,25 @@ pub struct FleetReport {
     pub tracker: String,
     /// Per-node outcomes, in fleet (input) order.
     pub outcomes: Vec<NodeOutcome>,
+    /// The fleet-wide metric store: every node's [`Metrics`] folded in
+    /// fleet order, when [`crate::FleetSpec::obs`] was enabled. Hoisted
+    /// out of the per-node reports at [`FleetReport::single`] so the
+    /// outcome vector stays lean.
+    pub metrics: Option<Metrics>,
 }
 
 impl FleetReport {
     /// A single-node report — the unit [`Mergeable`] folds over.
-    pub fn single(name: &str, outcome: NodeOutcome) -> Self {
+    ///
+    /// Moves the node's metric store (if any) out of the per-node
+    /// report and into the fleet-level aggregate.
+    pub fn single(name: &str, mut outcome: NodeOutcome) -> Self {
+        let metrics = outcome.report.metrics.take();
         Self {
             name: name.to_owned(),
             tracker: outcome.report.tracker.clone(),
             outcomes: vec![outcome],
+            metrics,
         }
     }
 
@@ -104,7 +115,12 @@ impl FleetReport {
 
     /// Net-energy percentiles across the fleet, in joules.
     pub fn net_energy_percentiles(&self) -> Option<Percentiles> {
-        Percentiles::of(self.outcomes.iter().map(|o| o.net_energy().value()).collect())
+        Percentiles::of(
+            self.outcomes
+                .iter()
+                .map(|o| o.net_energy().value())
+                .collect(),
+        )
     }
 
     /// Tracker-overhead percentiles across the fleet, in joules.
@@ -155,12 +171,23 @@ impl FleetReport {
 impl Mergeable for FleetReport {
     fn merge(&mut self, other: Self) {
         self.outcomes.extend(other.outcomes);
+        match (self.metrics.as_mut(), other.metrics) {
+            (Some(mine), Some(theirs)) => mine.merge_from(theirs),
+            (None, Some(theirs)) => self.metrics = Some(theirs),
+            _ => {}
+        }
     }
 }
 
 impl fmt::Display for FleetReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "fleet `{}` — {} nodes, tracker: {}", self.name, self.nodes(), self.tracker)?;
+        writeln!(
+            f,
+            "fleet `{}` — {} nodes, tracker: {}",
+            self.name,
+            self.nodes(),
+            self.tracker
+        )?;
         if let Some(p) = self.net_energy_percentiles() {
             writeln!(
                 f,
@@ -193,6 +220,19 @@ impl fmt::Display for FleetReport {
                 w.report.measurements
             )?;
         }
+        if let Some(m) = self.metrics.as_ref() {
+            let ledger = m.ledger();
+            if !ledger.is_empty() {
+                writeln!(
+                    f,
+                    "  energy ledger: astable {:.4} J, sample/hold {:.4} J, switching {:.4} J, load {:.4} J",
+                    ledger.energy(eh_obs::EnergyBucket::Astable).value(),
+                    ledger.energy(eh_obs::EnergyBucket::SampleHold).value(),
+                    ledger.energy(eh_obs::EnergyBucket::ConverterSwitching).value(),
+                    ledger.energy(eh_obs::EnergyBucket::Load).value(),
+                )?;
+            }
+        }
         Ok(())
     }
 }
@@ -215,7 +255,9 @@ mod tests {
                 load_demand: Joules::new(1.0),
                 load_served: Joules::new(served),
                 final_store_energy: Joules::ZERO,
+                loss_energy: Joules::ZERO,
                 measurements: 10,
+                metrics: None,
             },
         }
     }
@@ -281,5 +323,37 @@ mod tests {
         let s = report(&[0, 1, 2]).to_string();
         assert!(s.contains("3 nodes"));
         assert!(s.contains("worst node #0"));
+    }
+
+    #[test]
+    fn single_hoists_metrics_and_merge_folds_them() {
+        use eh_obs::Recorder as _;
+
+        let with_metrics = |id: u32, count: u64| {
+            let mut o = outcome(id, 1.0, 1.0);
+            let mut m = Metrics::default();
+            m.add_counter("node.measurements", count);
+            o.report.metrics = Some(m);
+            o
+        };
+
+        let mut r = FleetReport::single("test", with_metrics(0, 3));
+        assert!(
+            r.outcomes[0].report.metrics.is_none(),
+            "single() must move the store out of the per-node report"
+        );
+        r.merge(FleetReport::single("test", with_metrics(1, 4)));
+        r.merge(FleetReport::single("test", outcome(2, 1.0, 1.0)));
+        let m = r.metrics.as_ref().expect("fleet store present");
+        assert_eq!(m.counter("node.measurements"), 7);
+        assert_eq!(r.nodes(), 3);
+
+        // A metrics-less left side adopts the right side's store.
+        let mut bare = FleetReport::single("test", outcome(3, 1.0, 1.0));
+        bare.merge(FleetReport::single("test", with_metrics(4, 5)));
+        assert_eq!(
+            bare.metrics.as_ref().unwrap().counter("node.measurements"),
+            5
+        );
     }
 }

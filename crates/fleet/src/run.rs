@@ -148,6 +148,7 @@ impl FleetRunner {
                 load: spec.load.clone(),
                 store: spec.store.build()?,
                 pv_cache: spec.pv_cache,
+                obs: spec.obs,
             };
             let report = NodeSimulation::new(config)?.run(tracker.as_mut(), &trace, spec.dt)?;
             Ok(FleetReport::single(
@@ -161,9 +162,17 @@ impl FleetRunner {
             ))
         };
 
-        self.runner
+        let mut report = self
+            .runner
             .run_merged(population, self.shard_size, simulate)
-            .expect("validated specs have at least one node")
+            .expect("validated specs have at least one node")?;
+        // Fleet-scope counters are folded after the merge so they are
+        // recorded exactly once regardless of sharding.
+        if let Some(m) = report.metrics.as_mut() {
+            use eh_obs::Recorder as _;
+            m.add_counter("fleet.nodes", report.outcomes.len() as u64);
+        }
+        Ok(report)
     }
 }
 
@@ -220,6 +229,50 @@ mod tests {
             spread / scale < 0.05,
             "golden fleet spread {spread:.3e} vs median {scale:.3e}"
         );
+    }
+
+    #[test]
+    fn obs_fleet_metrics_merge_worker_invariant_and_conserve() {
+        let mut spec = small_spec();
+        spec.obs = true;
+        let one = FleetRunner::new(1).run(&spec).unwrap();
+        let two = FleetRunner::new(2).run(&spec).unwrap();
+        let m = one
+            .metrics
+            .as_ref()
+            .expect("obs spec carries a fleet store");
+        assert_eq!(
+            one.metrics, two.metrics,
+            "merged metrics depend on worker count"
+        );
+        assert_eq!(m.counter("fleet.nodes"), 24);
+        assert_eq!(
+            m.counter("node.measurements"),
+            one.outcomes
+                .iter()
+                .map(|o| o.report.measurements)
+                .sum::<u64>()
+        );
+        // The fleet ledger must balance the summed closed-loop node
+        // accounting: overhead + conversion losses + load served.
+        let closed_loop: f64 = one
+            .outcomes
+            .iter()
+            .map(|o| {
+                o.report.overhead_energy.value()
+                    + o.report.loss_energy.value()
+                    + o.report.load_served.value()
+            })
+            .sum();
+        let rel = m
+            .ledger()
+            .relative_error(eh_units::Joules::new(closed_loop));
+        assert!(
+            rel < 1e-9,
+            "fleet ledger drifts from closed loop: {rel:.3e}"
+        );
+        // Per-node reports stay lean: every store was hoisted out.
+        assert!(one.outcomes.iter().all(|o| o.report.metrics.is_none()));
     }
 
     #[test]

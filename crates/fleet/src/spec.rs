@@ -273,6 +273,9 @@ pub struct FleetSpec {
     /// Whether node simulations answer PV queries from the shared
     /// memoized surface.
     pub pv_cache: bool,
+    /// Whether every node simulation collects deterministic metrics,
+    /// folded into the aggregate [`crate::FleetReport`]'s store.
+    pub obs: bool,
 }
 
 impl FleetSpec {
@@ -299,6 +302,7 @@ impl FleetSpec {
             dt: Seconds::new(60.0),
             trace_decimate: 60,
             pv_cache: true,
+            obs: false,
         })
     }
 

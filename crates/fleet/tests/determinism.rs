@@ -32,7 +32,10 @@ fn report_is_bit_identical_across_shard_sizes() {
     let spec = spec();
     let reference = FleetRunner::new(4).with_shard_size(1).run(&spec).unwrap();
     for shard in [7, 32, 1000] {
-        let report = FleetRunner::new(4).with_shard_size(shard).run(&spec).unwrap();
+        let report = FleetRunner::new(4)
+            .with_shard_size(shard)
+            .run(&spec)
+            .unwrap();
         assert_eq!(report, reference, "shard size {shard} diverged");
     }
 }
@@ -46,10 +49,7 @@ fn derived_statistics_inherit_the_determinism() {
     assert_eq!(a.overhead_percentiles(), b.overhead_percentiles());
     assert_eq!(a.brown_out_count(), b.brown_out_count());
     assert_eq!(a.cold_start_failures(), b.cold_start_failures());
-    assert_eq!(
-        a.worst_node().map(|w| w.id),
-        b.worst_node().map(|w| w.id)
-    );
+    assert_eq!(a.worst_node().map(|w| w.id), b.worst_node().map(|w| w.id));
 }
 
 #[test]

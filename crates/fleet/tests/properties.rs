@@ -1,9 +1,11 @@
 //! Property tests: every drawn node stays inside the spec's declared
-//! tolerance budget, for any budget and any seed.
+//! tolerance budget, for any budget and any seed; merged fleet metrics
+//! are invariant under the worker count and shard size.
 
 use eh_core::baselines::FocvSampleHold;
 use eh_core::MpptController;
-use eh_fleet::{FleetSpec, Placement, Tolerances};
+use eh_fleet::{FleetRunner, FleetSpec, Placement, Tolerances};
+use eh_units::Seconds;
 use proptest::prelude::*;
 
 proptest! {
@@ -77,6 +79,34 @@ proptest! {
             prop_assert!(tracker.pulse_width() < tracker.sample_period());
             prop_assert!(tracker.overhead_power().as_micro() < 30.0);
         }
+    }
+
+    /// The merged metric store of a multi-worker run equals the
+    /// single-worker store bit for bit, for any worker count, shard
+    /// size and seed — the eh-obs determinism contract at fleet scale.
+    /// The shard size must match between the runs: it fixes the
+    /// floating-point fold grouping, which is part of the result's
+    /// identity (worker count is not).
+    #[test]
+    fn merged_metrics_are_worker_invariant(
+        workers in 2..6usize,
+        shard in 1..9usize,
+        seed in 0..1024u64,
+    ) {
+        let mut spec = FleetSpec::mixed_indoor_outdoor(8, seed).expect("valid spec");
+        spec.trace_decimate = 3600; // 1-hour grid: contract, not physics
+        spec.dt = Seconds::new(3600.0);
+        spec.obs = true;
+        let reference = FleetRunner::new(1)
+            .with_shard_size(shard)
+            .run(&spec)
+            .expect("single-worker run");
+        let parallel = FleetRunner::new(workers)
+            .with_shard_size(shard)
+            .run(&spec)
+            .expect("multi-worker run");
+        prop_assert!(reference.metrics.is_some(), "obs run must carry metrics");
+        prop_assert_eq!(reference.metrics, parallel.metrics);
     }
 
     /// The population is a pure function of the spec for any seed, and

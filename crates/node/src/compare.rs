@@ -55,11 +55,7 @@ pub fn compare_trackers(
         let report = sim.run(*tracker, trace, dt)?;
         out.push(TrackerComparison {
             name: report.tracker.clone(),
-            summary: HarvestSummary::new(
-                report.gross_energy,
-                report.overhead_energy,
-                oracle_gross,
-            ),
+            summary: HarvestSummary::new(report.gross_energy, report.overhead_energy, oracle_gross),
             report,
         });
     }

@@ -60,7 +60,11 @@ mod tests {
     #[test]
     fn three_day_run_reports_daily() {
         let trace = week::sequence(
-            &[DayKind::Office, DayKind::SemiMobile, DayKind::WeekendBlindsClosed],
+            &[
+                DayKind::Office,
+                DayKind::SemiMobile,
+                DayKind::WeekendBlindsClosed,
+            ],
             7,
         )
         .unwrap()
@@ -93,10 +97,7 @@ mod tests {
 
     #[test]
     fn windows_cover_the_whole_trace() {
-        let trace = eh_env::profiles::constant(
-            eh_units::Lux::new(500.0),
-            Seconds::from_hours(5.0),
-        );
+        let trace = eh_env::profiles::constant(eh_units::Lux::new(500.0), Seconds::from_hours(5.0));
         let mut sim =
             NodeSimulation::new(SimConfig::default_for(presets::sanyo_am1815()).unwrap()).unwrap();
         let mut tracker = FocvSampleHold::paper_prototype().unwrap();

@@ -24,6 +24,9 @@ pub enum NodeError {
         /// The rejected value.
         value: f64,
     },
+    /// An observability invariant failed (e.g. the energy ledger's
+    /// conservation check against the closed-loop totals).
+    Obs(eh_obs::ObsError),
 }
 
 impl fmt::Display for NodeError {
@@ -35,6 +38,7 @@ impl fmt::Display for NodeError {
             NodeError::InvalidParameter { name, value } => {
                 write!(f, "invalid simulation parameter {name} = {value}")
             }
+            NodeError::Obs(e) => write!(f, "observability: {e}"),
         }
     }
 }
@@ -46,7 +50,14 @@ impl Error for NodeError {
             NodeError::Pv(e) => Some(e),
             NodeError::Env(e) => Some(e),
             NodeError::InvalidParameter { .. } => None,
+            NodeError::Obs(e) => Some(e),
         }
+    }
+}
+
+impl From<eh_obs::ObsError> for NodeError {
+    fn from(e: eh_obs::ObsError) -> Self {
+        NodeError::Obs(e)
     }
 }
 

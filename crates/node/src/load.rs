@@ -91,7 +91,11 @@ impl DutyCycledLoad {
         Self::new(vec![
             LoadPhase::new("sleep", Watts::from_micro(5.0), Seconds::new(30.0))?,
             LoadPhase::new("sense", Watts::from_milli(3.0), Seconds::from_milli(50.0))?,
-            LoadPhase::new("transmit", Watts::from_milli(60.0), Seconds::from_milli(5.0))?,
+            LoadPhase::new(
+                "transmit",
+                Watts::from_milli(60.0),
+                Seconds::from_milli(5.0),
+            )?,
         ])
     }
 
@@ -224,6 +228,9 @@ mod tests {
 
     #[test]
     fn zero_dt_demand() {
-        assert_eq!(load().energy_demand(Seconds::new(3.0), Seconds::ZERO), Joules::ZERO);
+        assert_eq!(
+            load().energy_demand(Seconds::new(3.0), Seconds::ZERO),
+            Joules::ZERO
+        );
     }
 }

@@ -1,5 +1,6 @@
 //! Run reports.
 
+use eh_obs::Metrics;
 use eh_units::{Joules, Ratio, Seconds};
 
 /// Result of a closed-loop node run with one tracker.
@@ -20,8 +21,13 @@ pub struct NodeReport {
     pub load_served: Joules,
     /// Energy left in the store at the end.
     pub final_store_energy: Joules,
+    /// Energy dissipated in the conversion path (converter losses).
+    pub loss_energy: Joules,
     /// Number of open-circuit measurement interruptions.
     pub measurements: u64,
+    /// The run's metric store, when [`crate::SimConfig::obs`] was
+    /// enabled; `None` for uninstrumented runs.
+    pub metrics: Option<Metrics>,
 }
 
 impl NodeReport {
@@ -57,7 +63,9 @@ mod tests {
             load_demand: Joules::new(demand),
             load_served: Joules::new(served),
             final_store_energy: Joules::ZERO,
+            loss_energy: Joules::ZERO,
             measurements: 0,
+            metrics: None,
         }
     }
 

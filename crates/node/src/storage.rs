@@ -232,8 +232,8 @@ impl EnergyStore for Battery {
         if energy.value() <= 0.0 {
             return Joules::ZERO;
         }
-        let absorbed = (energy.value() * self.charge_efficiency)
-            .min(self.capacity.value() - self.level);
+        let absorbed =
+            (energy.value() * self.charge_efficiency).min(self.capacity.value() - self.level);
         self.level += absorbed;
         Joules::new(absorbed)
     }

@@ -1,0 +1,75 @@
+//! Error type for the observability crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by observability primitives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum ObsError {
+    /// A constructor parameter was invalid (e.g. histogram bounds that
+    /// are empty, non-finite, or not strictly increasing).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value (NaN when the problem is structural).
+        value: f64,
+    },
+    /// The energy ledger's bucket sum disagrees with the independently
+    /// accumulated closed-loop total beyond the requested tolerance.
+    ConservationViolation {
+        /// Sum of the four ledger buckets, in joules.
+        ledger_total_j: f64,
+        /// The closed-loop total the ledger was checked against, in
+        /// joules.
+        closed_loop_total_j: f64,
+        /// The symmetric relative error between the two.
+        relative_error: f64,
+        /// The tolerance the check was run with.
+        tolerance: f64,
+    },
+}
+
+impl fmt::Display for ObsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObsError::InvalidParameter { name, value } => {
+                write!(f, "invalid observability parameter {name} = {value}")
+            }
+            ObsError::ConservationViolation {
+                ledger_total_j,
+                closed_loop_total_j,
+                relative_error,
+                tolerance,
+            } => write!(
+                f,
+                "energy ledger violates conservation: buckets sum to {ledger_total_j} J \
+                 but the closed loop accumulated {closed_loop_total_j} J \
+                 (relative error {relative_error:.3e} > tolerance {tolerance:.3e})"
+            ),
+        }
+    }
+}
+
+impl Error for ObsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = ObsError::InvalidParameter {
+            name: "bounds",
+            value: f64::NAN,
+        };
+        assert!(e.to_string().contains("bounds"));
+        let e = ObsError::ConservationViolation {
+            ledger_total_j: 1.0,
+            closed_loop_total_j: 2.0,
+            relative_error: 0.5,
+            tolerance: 1e-9,
+        };
+        assert!(e.to_string().contains("conservation"));
+    }
+}

@@ -1,0 +1,162 @@
+//! The recording trait and its no-op default.
+
+use eh_units::Joules;
+
+use crate::ledger::EnergyBucket;
+use crate::span::Span;
+
+/// Something that can absorb metric events.
+///
+/// [`Metrics`](crate::Metrics) is the real sink; [`NoopRecorder`]
+/// discards everything; and the blanket impls for `Box<R>` and
+/// `Option<R>` let hot paths hold an `Option<Box<Metrics>>` and record
+/// through it directly — with observability off, every call is a single
+/// `None` branch.
+pub trait Recorder {
+    /// Whether events are actually being kept. Instrumented code may
+    /// consult this to skip preparing expensive inputs.
+    fn enabled(&self) -> bool;
+
+    /// Adds `delta` to the named monotonic counter.
+    fn add_counter(&mut self, name: &'static str, delta: u64);
+
+    /// Sets the named gauge to `value` (last write wins; non-finite
+    /// values are discarded).
+    fn set_gauge(&mut self, name: &'static str, value: f64);
+
+    /// Records `value` into the named fixed-bucket histogram, creating
+    /// it over `bounds` on first use. Returns whether the value was
+    /// binned (`false` for non-finite values, invalid bounds, or a
+    /// disabled recorder).
+    fn observe(&mut self, name: &'static str, bounds: &[f64], value: f64) -> bool;
+
+    /// Folds a finished [`Span`] into the per-name span stats.
+    fn record_span(&mut self, span: Span);
+
+    /// Adds energy to one bucket of the run's
+    /// [`EnergyLedger`](crate::EnergyLedger).
+    fn charge(&mut self, bucket: EnergyBucket, energy: Joules);
+}
+
+/// A recorder that discards everything — the cheap default for
+/// uninstrumented runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn add_counter(&mut self, _name: &'static str, _delta: u64) {}
+
+    fn set_gauge(&mut self, _name: &'static str, _value: f64) {}
+
+    fn observe(&mut self, _name: &'static str, _bounds: &[f64], _value: f64) -> bool {
+        false
+    }
+
+    fn record_span(&mut self, _span: Span) {}
+
+    fn charge(&mut self, _bucket: EnergyBucket, _energy: Joules) {}
+}
+
+impl<R: Recorder + ?Sized> Recorder for Box<R> {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    fn add_counter(&mut self, name: &'static str, delta: u64) {
+        (**self).add_counter(name, delta);
+    }
+
+    fn set_gauge(&mut self, name: &'static str, value: f64) {
+        (**self).set_gauge(name, value);
+    }
+
+    fn observe(&mut self, name: &'static str, bounds: &[f64], value: f64) -> bool {
+        (**self).observe(name, bounds, value)
+    }
+
+    fn record_span(&mut self, span: Span) {
+        (**self).record_span(span);
+    }
+
+    fn charge(&mut self, bucket: EnergyBucket, energy: Joules) {
+        (**self).charge(bucket, energy);
+    }
+}
+
+/// `None` is a no-op recorder; `Some(r)` forwards to `r`. This is the
+/// "pay only a branch" contract: instrumented structs hold
+/// `Option<Box<Metrics>>` and record unconditionally.
+impl<R: Recorder> Recorder for Option<R> {
+    fn enabled(&self) -> bool {
+        self.as_ref().is_some_and(Recorder::enabled)
+    }
+
+    fn add_counter(&mut self, name: &'static str, delta: u64) {
+        if let Some(r) = self {
+            r.add_counter(name, delta);
+        }
+    }
+
+    fn set_gauge(&mut self, name: &'static str, value: f64) {
+        if let Some(r) = self {
+            r.set_gauge(name, value);
+        }
+    }
+
+    fn observe(&mut self, name: &'static str, bounds: &[f64], value: f64) -> bool {
+        match self {
+            Some(r) => r.observe(name, bounds, value),
+            None => false,
+        }
+    }
+
+    fn record_span(&mut self, span: Span) {
+        if let Some(r) = self {
+            r.record_span(span);
+        }
+    }
+
+    fn charge(&mut self, bucket: EnergyBucket, energy: Joules) {
+        if let Some(r) = self {
+            r.charge(bucket, energy);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use crate::span;
+
+    #[test]
+    fn noop_discards_everything() {
+        let mut r = NoopRecorder;
+        assert!(!r.enabled());
+        r.add_counter("a", 1);
+        r.set_gauge("g", 2.0);
+        assert!(!r.observe("h", &[1.0], 0.5));
+        span!("s").finish(&mut r);
+        r.charge(EnergyBucket::Load, Joules::new(1.0));
+    }
+
+    #[test]
+    fn option_recorder_pays_only_a_branch_when_none() {
+        let mut r: Option<Box<Metrics>> = None;
+        assert!(!r.enabled());
+        r.add_counter("a", 1);
+        assert!(!r.observe("h", &[1.0], 0.5));
+
+        let mut r: Option<Box<Metrics>> = Some(Box::default());
+        assert!(r.enabled());
+        r.add_counter("a", 2);
+        r.charge(EnergyBucket::Astable, Joules::new(1.0));
+        let m = r.unwrap();
+        assert_eq!(m.counter("a"), 2);
+        assert_eq!(m.ledger().total(), Joules::new(1.0));
+    }
+}

@@ -1,0 +1,113 @@
+//! Spans: named scopes that attribute simulated time and energy.
+
+use eh_units::{Joules, Seconds};
+
+use crate::recorder::Recorder;
+
+/// One named scope of simulated activity.
+///
+/// A span accumulates **simulated** seconds and joules — never wall
+/// time — so a run's span report is a pure function of the scenario and
+/// bit-identical at any worker count. Spans are keyed by `&'static str`
+/// names; finishing a span folds it into the recorder's per-name
+/// [`SpanStats`](crate::SpanStats).
+///
+/// ```
+/// use eh_obs::{span, Metrics, Recorder};
+/// use eh_units::{Joules, Seconds};
+///
+/// let mut m = Metrics::new();
+/// let mut pulse = span!("pulse");
+/// pulse.add_time(Seconds::from_milli(39.0));
+/// pulse.add_energy(Joules::new(1e-6));
+/// pulse.finish(&mut m);
+/// assert_eq!(m.span_stats("pulse").unwrap().count, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Span {
+    name: &'static str,
+    sim_time: f64,
+    energy: f64,
+}
+
+impl Span {
+    /// Opens a span. Prefer the [`span!`](crate::span) macro at call
+    /// sites.
+    pub fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            sim_time: 0.0,
+            energy: 0.0,
+        }
+    }
+
+    /// The span's static name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Attributes simulated time to the span; non-finite durations are
+    /// ignored.
+    pub fn add_time(&mut self, dt: Seconds) {
+        if dt.value().is_finite() {
+            self.sim_time += dt.value();
+        }
+    }
+
+    /// Attributes simulated energy to the span; non-finite amounts are
+    /// ignored.
+    pub fn add_energy(&mut self, e: Joules) {
+        if e.value().is_finite() {
+            self.energy += e.value();
+        }
+    }
+
+    /// Simulated time attributed so far.
+    pub fn sim_time(&self) -> Seconds {
+        Seconds::new(self.sim_time)
+    }
+
+    /// Simulated energy attributed so far.
+    pub fn energy(&self) -> Joules {
+        Joules::new(self.energy)
+    }
+
+    /// Closes the span, folding it into `recorder`'s stats for this
+    /// span name.
+    pub fn finish<R: Recorder + ?Sized>(self, recorder: &mut R) {
+        recorder.record_span(self);
+    }
+}
+
+/// Opens a [`Span`] with a static name: `let s = span!("pulse");`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::Span::new($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_time_and_energy() {
+        let mut s = span!("test");
+        s.add_time(Seconds::new(1.5));
+        s.add_time(Seconds::new(0.5));
+        s.add_energy(Joules::new(2.0));
+        assert_eq!(s.name(), "test");
+        assert_eq!(s.sim_time(), Seconds::new(2.0));
+        assert_eq!(s.energy(), Joules::new(2.0));
+    }
+
+    #[test]
+    fn non_finite_attribution_is_ignored() {
+        let mut s = span!("test");
+        s.add_time(Seconds::new(f64::NAN));
+        s.add_energy(Joules::new(f64::INFINITY));
+        assert_eq!(s.sim_time(), Seconds::ZERO);
+        assert_eq!(s.energy(), Joules::ZERO);
+    }
+}

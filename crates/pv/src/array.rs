@@ -401,7 +401,10 @@ mod tests {
     fn uniform_string_power_scales_with_length() {
         let lux = Lux::new(1000.0);
         let p1 = presets::sanyo_am1815().mpp(lux).unwrap().power;
-        let p3 = uniform_string(3).global_mpp(lux, Kelvin::STC).unwrap().power;
+        let p3 = uniform_string(3)
+            .global_mpp(lux, Kelvin::STC)
+            .unwrap()
+            .power;
         let ratio = p3.value() / p1.value();
         assert!((ratio - 3.0).abs() < 0.1, "power ratio {ratio}");
     }
@@ -422,7 +425,10 @@ mod tests {
     #[test]
     fn shaded_string_loses_power() {
         let lux = Lux::new(1000.0);
-        let clean = uniform_string(3).global_mpp(lux, Kelvin::STC).unwrap().power;
+        let clean = uniform_string(3)
+            .global_mpp(lux, Kelvin::STC)
+            .unwrap()
+            .power;
         let shaded = SeriesString::new(
             vec![
                 StringElement::new(presets::sanyo_am1815(), 1.0).unwrap(),
@@ -436,7 +442,10 @@ mod tests {
         .unwrap()
         .power;
         assert!(shaded < clean);
-        assert!(shaded.value() > 0.3 * clean.value(), "bypass keeps most power");
+        assert!(
+            shaded.value() > 0.3 * clean.value(),
+            "bypass keeps most power"
+        );
     }
 
     #[test]
@@ -498,7 +507,10 @@ mod tests {
     #[test]
     fn parallel_bank_power_scales() {
         let lux = Lux::new(1000.0);
-        let p1 = uniform_string(1).global_mpp(lux, Kelvin::STC).unwrap().power;
+        let p1 = uniform_string(1)
+            .global_mpp(lux, Kelvin::STC)
+            .unwrap()
+            .power;
         let bank = ParallelBank::new(vec![uniform_string(1), uniform_string(1)]).unwrap();
         let p2 = bank.global_mpp(lux, Kelvin::STC).unwrap().power;
         let ratio = p2.value() / p1.value();

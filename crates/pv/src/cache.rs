@@ -359,7 +359,11 @@ impl CachedPvSurface {
     ///
     /// Rejects zero probe counts as [`PvError::InvalidParameter`];
     /// propagates exact-solver errors.
-    pub fn validate_against_exact(&self, lux_probes: usize, v_probes: usize) -> Result<f64, PvError> {
+    pub fn validate_against_exact(
+        &self,
+        lux_probes: usize,
+        v_probes: usize,
+    ) -> Result<f64, PvError> {
         if lux_probes == 0 || v_probes == 0 {
             return Err(PvError::InvalidParameter {
                 name: "probes",
@@ -371,7 +375,10 @@ impl CachedPvSurface {
             // Offset by half a probe step so probes land between nodes.
             let frac = (a as f64 + 0.5) / lux_probes as f64;
             let lux = Lux::new((self.ln_min + (LUX_MAX / LUX_MIN).ln() * frac).exp());
-            let isc_exact = self.model.short_circuit_current(lux, self.temperature)?.value();
+            let isc_exact = self
+                .model
+                .short_circuit_current(lux, self.temperature)?
+                .value();
             if isc_exact <= 0.0 {
                 continue;
             }

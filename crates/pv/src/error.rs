@@ -57,7 +57,10 @@ mod tests {
             name: "series_resistance",
             value: -1.0,
         };
-        assert_eq!(e.to_string(), "invalid PV model parameter series_resistance = -1");
+        assert_eq!(
+            e.to_string(),
+            "invalid PV model parameter series_resistance = -1"
+        );
         let e = PvError::SolveFailed { what: "voc" };
         assert_eq!(e.to_string(), "PV voc solve failed to converge");
         let e = PvError::OutOfRange {

@@ -224,8 +224,8 @@ pub fn fit_cell(
         for p in voc_points {
             match cell.open_circuit_voltage(p.illuminance) {
                 Ok(voc) => {
-                    let rel =
-                        (voc.value() - p.open_circuit_voltage.value()) / p.open_circuit_voltage.value();
+                    let rel = (voc.value() - p.open_circuit_voltage.value())
+                        / p.open_circuit_voltage.value();
                     cost += opts.voc_weight * rel * rel;
                 }
                 Err(_) => return 1e9,
@@ -253,9 +253,8 @@ pub fn fit_cell(
     let mut worst = 0.0f64;
     for p in voc_points {
         let voc = cell.open_circuit_voltage(p.illuminance)?;
-        let rel = ((voc.value() - p.open_circuit_voltage.value())
-            / p.open_circuit_voltage.value())
-        .abs();
+        let rel =
+            ((voc.value() - p.open_circuit_voltage.value()) / p.open_circuit_voltage.value()).abs();
         worst = worst.max(rel);
     }
     let _ = Kelvin::STC; // fits are at the reference temperature
@@ -356,7 +355,11 @@ mod tests {
             current_amps: true_mpp.current.value(),
         };
         let result = fit_cell(&voc_points, mpp, &FitOptions::default()).unwrap();
-        assert!(result.worst_voc_error < 0.01, "worst = {}", result.worst_voc_error);
+        assert!(
+            result.worst_voc_error < 0.01,
+            "worst = {}",
+            result.worst_voc_error
+        );
         // k of the refit matches the truth's k within a few points.
         let refit_k = PvCell::new(result.model)
             .mpp(Lux::new(1000.0))

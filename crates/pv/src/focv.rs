@@ -100,9 +100,7 @@ pub fn efficiency_loss_for_voltage_error(
     let p_lo = cell.power_at(lo, lux)?;
     let p_hi = cell.power_at(hi.min(mpp.open_circuit_voltage), lux)?;
     let worst = p_lo.min(p_hi);
-    Ok(Ratio::new(
-        (1.0 - (worst / mpp.power)).clamp(0.0, 1.0),
-    ))
+    Ok(Ratio::new((1.0 - (worst / mpp.power)).clamp(0.0, 1.0)))
 }
 
 /// Converts an error in the *open-circuit voltage* estimate to the error

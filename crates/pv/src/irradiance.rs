@@ -135,10 +135,7 @@ mod tests {
         let cell = presets::sanyo_am1815();
         let eta = conversion_efficiency(&cell, Lux::new(1000.0), LightSource::Fluorescent).unwrap();
         // a-Si under indoor light: a few percent.
-        assert!(
-            eta.value() > 0.005 && eta.value() < 0.25,
-            "eta = {eta}"
-        );
+        assert!(eta.value() > 0.005 && eta.value() < 0.25, "eta = {eta}");
         assert_eq!(
             conversion_efficiency(&cell, Lux::ZERO, LightSource::Daylight).unwrap(),
             Ratio::ZERO

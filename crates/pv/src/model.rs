@@ -255,7 +255,9 @@ impl SingleDiodeModel {
     /// Photocurrent at the given illuminance and temperature.
     pub fn photocurrent(&self, lux: Lux, t: Kelvin) -> Amps {
         let dt = t.value() - self.reference_temperature.value();
-        Amps::new(self.photocurrent_per_lux * lux.value() * (1.0 + self.photocurrent_temp_coeff * dt))
+        Amps::new(
+            self.photocurrent_per_lux * lux.value() * (1.0 + self.photocurrent_temp_coeff * dt),
+        )
     }
 
     /// Effective shunt resistance at the given illuminance (photo-shunt).
@@ -522,7 +524,13 @@ mod tests {
             .ideality(-1.0)
             .build()
             .unwrap_err();
-        assert!(matches!(err, PvError::InvalidParameter { name: "ideality", .. }));
+        assert!(matches!(
+            err,
+            PvError::InvalidParameter {
+                name: "ideality",
+                ..
+            }
+        ));
         let err = SingleDiodeModel::builder("bad")
             .saturation_current_amps(0.0)
             .build()
@@ -534,8 +542,17 @@ mod tests {
                 ..
             }
         ));
-        let err = SingleDiodeModel::builder("bad").junctions(0).build().unwrap_err();
-        assert!(matches!(err, PvError::InvalidParameter { name: "junctions", .. }));
+        let err = SingleDiodeModel::builder("bad")
+            .junctions(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PvError::InvalidParameter {
+                name: "junctions",
+                ..
+            }
+        ));
         let err = SingleDiodeModel::builder("bad")
             .series_resistance_ohms(f64::NAN)
             .build()
@@ -556,7 +573,9 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(m.series_resistance(), Ohms::ZERO);
-        assert!(m.current_at(Volts::new(1.0), Lux::new(500.0), Kelvin::STC).is_ok());
+        assert!(m
+            .current_at(Volts::new(1.0), Lux::new(500.0), Kelvin::STC)
+            .is_ok());
     }
 
     #[test]
@@ -603,16 +622,25 @@ mod tests {
                 .unwrap()
                 .value();
             let rel = (voc - voc_paper).abs() / voc_paper;
-            assert!(rel < 0.02, "Voc({lux} lx) = {voc:.3} vs paper {voc_paper} (rel {rel:.3})");
+            assert!(
+                rel < 0.02,
+                "Voc({lux} lx) = {voc:.3} vs paper {voc_paper} (rel {rel:.3})"
+            );
         }
     }
 
     #[test]
     fn voc_grows_logarithmically() {
         let m = am1815_like();
-        let v1 = m.open_circuit_voltage(Lux::new(200.0), Kelvin::STC).unwrap();
-        let v2 = m.open_circuit_voltage(Lux::new(2000.0), Kelvin::STC).unwrap();
-        let v3 = m.open_circuit_voltage(Lux::new(20_000.0), Kelvin::STC).unwrap();
+        let v1 = m
+            .open_circuit_voltage(Lux::new(200.0), Kelvin::STC)
+            .unwrap();
+        let v2 = m
+            .open_circuit_voltage(Lux::new(2000.0), Kelvin::STC)
+            .unwrap();
+        let v3 = m
+            .open_circuit_voltage(Lux::new(20_000.0), Kelvin::STC)
+            .unwrap();
         let d12 = (v2 - v1).value();
         let d23 = (v3 - v2).value();
         // Per-decade increments should be similar (log law), within 40 %.
@@ -622,8 +650,12 @@ mod tests {
     #[test]
     fn isc_scales_linearly_with_lux() {
         let m = am1815_like();
-        let i1 = m.short_circuit_current(Lux::new(100.0), Kelvin::STC).unwrap();
-        let i2 = m.short_circuit_current(Lux::new(200.0), Kelvin::STC).unwrap();
+        let i1 = m
+            .short_circuit_current(Lux::new(100.0), Kelvin::STC)
+            .unwrap();
+        let i2 = m
+            .short_circuit_current(Lux::new(200.0), Kelvin::STC)
+            .unwrap();
         let ratio = i2.value() / i1.value();
         assert!((ratio - 2.0).abs() < 0.05, "ratio = {ratio}");
     }

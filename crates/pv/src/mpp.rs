@@ -180,20 +180,11 @@ mod tests {
             .mpp(lux)
             .unwrap()
             .fill_factor(csi.short_circuit_current(lux).unwrap());
-        assert!(
-            (0.25..0.55).contains(&ff_asi.value()),
-            "a-Si FF = {ff_asi}"
-        );
-        assert!(
-            (0.6..0.9).contains(&ff_csi.value()),
-            "c-Si FF = {ff_csi}"
-        );
+        assert!((0.25..0.55).contains(&ff_asi.value()), "a-Si FF = {ff_asi}");
+        assert!((0.6..0.9).contains(&ff_csi.value()), "c-Si FF = {ff_csi}");
         assert!(ff_csi.value() > ff_asi.value());
         // Degenerate input.
-        assert_eq!(
-            asi.mpp(lux).unwrap().fill_factor(Amps::ZERO),
-            Ratio::ZERO
-        );
+        assert_eq!(asi.mpp(lux).unwrap().fill_factor(Amps::ZERO), Ratio::ZERO);
     }
 
     #[test]

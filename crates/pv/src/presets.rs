@@ -110,7 +110,10 @@ mod tests {
         ] {
             let voc = cell.open_circuit_voltage(Lux::new(lux)).unwrap().value();
             let rel = (voc - voc_paper).abs() / voc_paper;
-            assert!(rel < 0.02, "Voc({lux}) = {voc:.3} vs {voc_paper} ({rel:.4})");
+            assert!(
+                rel < 0.02,
+                "Voc({lux}) = {voc:.3} vs {voc_paper} ({rel:.4})"
+            );
         }
     }
 

@@ -74,11 +74,7 @@ pub fn fixed_reference_worst_capture(
             value: 0.0,
         });
     }
-    let reference = cell
-        .clone()
-        .with_temperature(tune_at)
-        .mpp(lux)?
-        .voltage;
+    let reference = cell.clone().with_temperature(tune_at).mpp(lux)?.voltage;
     let mut worst: f64 = 1.0;
     for &t in span {
         let at_t = cell.clone().with_temperature(t);
@@ -179,13 +175,10 @@ mod tests {
     #[test]
     fn empty_span_rejected() {
         let cell = presets::sanyo_am1815();
-        assert!(fixed_reference_worst_capture(
-            &cell,
-            Lux::new(1000.0),
-            Celsius::new(25.0),
-            &[]
-        )
-        .is_err());
+        assert!(
+            fixed_reference_worst_capture(&cell, Lux::new(1000.0), Celsius::new(25.0), &[])
+                .is_err()
+        );
         assert!(focv_worst_capture(&cell, Lux::new(1000.0), 0.6, &[]).is_err());
     }
 }

@@ -81,7 +81,11 @@ fn dark_and_out_of_domain_match_exact_solver() {
     let (lo, hi) = CachedPvSurface::lux_domain();
     // Dark, dimmer-than-domain, and brighter-than-domain all fall back to
     // the exact solver, so agreement is bit-exact.
-    for lux in [Lux::ZERO, Lux::new(lo.value() / 3.0), Lux::new(hi.value() * 2.0)] {
+    for lux in [
+        Lux::ZERO,
+        Lux::new(lo.value() / 3.0),
+        Lux::new(hi.value() * 2.0),
+    ] {
         for v in [Volts::ZERO, Volts::new(1.0), Volts::new(4.0)] {
             assert_eq!(
                 surf.current_at(v, lux).unwrap(),
@@ -123,7 +127,9 @@ fn invalid_inputs_rejected_like_exact_solver() {
     let surf = surface();
     assert!(surf.current_at(Volts::new(-0.1), Lux::new(100.0)).is_err());
     assert!(surf.current_at(Volts::new(1.0), Lux::new(-5.0)).is_err());
-    assert!(surf.current_at(Volts::new(f64::NAN), Lux::new(100.0)).is_err());
+    assert!(surf
+        .current_at(Volts::new(f64::NAN), Lux::new(100.0))
+        .is_err());
     assert!(surf.open_circuit_voltage(Lux::new(f64::NAN)).is_err());
     assert!(cell.current_at(Volts::new(-0.1), Lux::new(100.0)).is_err());
 }
@@ -165,7 +171,10 @@ fn warm_cell_surface_respects_its_temperature() {
         let voc = surf.open_circuit_voltage(lux).unwrap().value();
         let v = Volts::new(voc * 0.55);
         let err = rel_err(&warm, &surf, v, lux);
-        assert!(err < CachedPvSurface::REL_CURRENT_ERROR_BOUND, "err {err:.2e} at {lux}");
+        assert!(
+            err < CachedPvSurface::REL_CURRENT_ERROR_BOUND,
+            "err {err:.2e} at {lux}"
+        );
     }
 }
 

@@ -17,6 +17,8 @@ pub struct Accumulator {
     pub load_demand: Joules,
     /// Energy the load actually received.
     pub load_served: Joules,
+    /// Energy dissipated in the conversion path (converter losses).
+    pub loss_energy: Joules,
     /// Number of open-circuit / short-circuit measurements taken.
     pub measurements: u64,
 }
@@ -41,6 +43,11 @@ impl Accumulator {
     pub fn add_load(&mut self, demand: Joules, served: Joules) {
         self.load_demand += demand;
         self.load_served += served;
+    }
+
+    /// Debits energy dissipated in the conversion path.
+    pub fn add_loss(&mut self, e: Joules) {
+        self.loss_energy += e;
     }
 
     /// Counts one measurement interruption (Voc or Isc).
@@ -74,9 +81,11 @@ mod tests {
         a.add_harvest(Joules::new(3.0));
         a.add_overhead(Joules::new(0.5));
         a.add_load(Joules::new(2.0), Joules::new(1.0));
+        a.add_loss(Joules::new(0.25));
         a.count_measurement();
         a.count_measurement();
         assert_eq!(a.net_energy(), Joules::new(2.5));
+        assert_eq!(a.loss_energy, Joules::new(0.25));
         assert_eq!(a.load_availability(), 0.5);
         assert_eq!(a.measurements, 2);
     }

@@ -45,6 +45,13 @@ pub fn drive<S: Stepper>(
     }
 
     let mut t = 0.0_f64;
+    // Loop statistics are accumulated in plain locals — integers and two
+    // f64 adds per step — and folded into the stepper's metric store (if
+    // any) once, after the loop. Simulated quantities only, so the
+    // numbers are identical no matter how the run is scheduled.
+    let mut steps = 0u64;
+    let mut dwell_steps = 0u64;
+    let mut dwell_time = 0.0_f64;
     while t < total {
         let planned = dt.value().min(total - t);
         let input = StepInput::new(light.lux_at(Seconds::new(t)));
@@ -55,7 +62,23 @@ pub fn drive<S: Stepper>(
         } else {
             planned
         };
+        steps += 1;
+        if advanced < planned {
+            dwell_steps += 1;
+            dwell_time += advanced;
+        }
         t += advanced;
+    }
+    if let Some(m) = stepper.recorder() {
+        use eh_obs::Recorder as _;
+        m.add_counter("engine.steps", steps);
+        m.add_counter("engine.dwell_steps", dwell_steps);
+        let mut drive_span = eh_obs::span!("engine.drive");
+        drive_span.add_time(Seconds::new(t));
+        drive_span.finish(m);
+        let mut dwell_span = eh_obs::span!("engine.dwell");
+        dwell_span.add_time(Seconds::new(dwell_time));
+        dwell_span.finish(m);
     }
     Ok(Seconds::new(t))
 }
@@ -187,7 +210,12 @@ mod tests {
     impl Stepper for Rogue {
         type Error = SimError;
 
-        fn step(&mut self, _t: Seconds, _dt: Seconds, _i: &StepInput) -> Result<StepOutput, SimError> {
+        fn step(
+            &mut self,
+            _t: Seconds,
+            _dt: Seconds,
+            _i: &StepInput,
+        ) -> Result<StepOutput, SimError> {
             Ok(StepOutput::dwell(Seconds::new(self.0)))
         }
     }
@@ -216,12 +244,17 @@ mod tests {
         // A single-sample trace has zero duration; driving it must be an
         // error like the constant-light case, not a silent 0 s no-op.
         let mut s = Rogue(1.0);
-        let one_sample =
-            TimeSeries::new(Seconds::ZERO, Seconds::new(1.0), vec![500.0]).unwrap();
+        let one_sample = TimeSeries::new(Seconds::ZERO, Seconds::new(1.0), vec![500.0]).unwrap();
         let light = Light::trace(&one_sample);
         let err = drive(&mut s, &light, Seconds::new(1.0));
         assert!(
-            matches!(err, Err(SimError::InvalidParameter { name: "duration", .. })),
+            matches!(
+                err,
+                Err(SimError::InvalidParameter {
+                    name: "duration",
+                    ..
+                })
+            ),
             "zero-duration trace must be rejected, got {err:?}"
         );
     }
@@ -247,8 +280,7 @@ mod tests {
 
     #[test]
     fn sub_sample_window_is_rejected() {
-        let trace =
-            TimeSeries::new(Seconds::ZERO, Seconds::new(1.0), vec![0.0, 1.0, 2.0]).unwrap();
+        let trace = TimeSeries::new(Seconds::ZERO, Seconds::new(1.0), vec![0.0, 1.0, 2.0]).unwrap();
         assert!(split_windows(&trace, Seconds::new(0.4)).is_err());
     }
 }

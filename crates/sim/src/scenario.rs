@@ -57,7 +57,12 @@ mod tests {
     impl Stepper for Counter {
         type Error = SimError;
 
-        fn step(&mut self, _t: Seconds, dt: Seconds, _i: &StepInput) -> Result<StepOutput, SimError> {
+        fn step(
+            &mut self,
+            _t: Seconds,
+            dt: Seconds,
+            _i: &StepInput,
+        ) -> Result<StepOutput, SimError> {
             self.0 += 1;
             Ok(StepOutput::full(dt))
         }

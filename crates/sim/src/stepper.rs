@@ -1,6 +1,7 @@
 //! The [`Stepper`] trait: the one contract every simulated system
 //! implements so the engine in [`crate::engine`] can drive it.
 
+use eh_obs::Metrics;
 use eh_units::{Lux, Seconds};
 
 use crate::error::SimError;
@@ -60,7 +61,22 @@ pub trait Stepper {
     type Error: From<SimError>;
 
     /// Advances the system by at most `dt`, returning the time consumed.
-    fn step(&mut self, t: Seconds, dt: Seconds, input: &StepInput) -> Result<StepOutput, Self::Error>;
+    fn step(
+        &mut self,
+        t: Seconds,
+        dt: Seconds,
+        input: &StepInput,
+    ) -> Result<StepOutput, Self::Error>;
+
+    /// The stepper's metric store, when observability is enabled.
+    ///
+    /// The engine uses this hook to fold its own loop statistics (step
+    /// counts, dwell time) into the same store the stepper records its
+    /// domain events into. The default is `None`: uninstrumented
+    /// steppers pay nothing.
+    fn recorder(&mut self) -> Option<&mut Metrics> {
+        None
+    }
 }
 
 #[cfg(test)]
@@ -70,7 +86,10 @@ mod tests {
     #[test]
     fn constructors_carry_the_duration() {
         assert_eq!(StepOutput::full(Seconds::new(0.02)).advanced.value(), 0.02);
-        assert_eq!(StepOutput::dwell(Seconds::new(0.039)).advanced.value(), 0.039);
+        assert_eq!(
+            StepOutput::dwell(Seconds::new(0.039)).advanced.value(),
+            0.039
+        );
         assert_eq!(StepInput::new(Lux::new(500.0)).lux.value(), 500.0);
     }
 }

@@ -149,7 +149,10 @@ impl SweepRunner {
 
     /// Runs every scenario to completion, returning `(label, result)`
     /// pairs in input order.
-    pub fn sweep<'a, S>(&self, scenarios: Vec<Scenario<'a, S>>) -> Vec<(String, Result<S, S::Error>)>
+    pub fn sweep<'a, S>(
+        &self,
+        scenarios: Vec<Scenario<'a, S>>,
+    ) -> Vec<(String, Result<S, S::Error>)>
     where
         S: Stepper + Send,
         S::Error: Send,

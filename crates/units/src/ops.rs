@@ -2,7 +2,9 @@
 
 use std::ops::{Div, Mul};
 
-use crate::quantity::{Amps, Coulombs, Farads, Hertz, Joules, Lux, Ohms, Ratio, Seconds, Volts, Watts};
+use crate::quantity::{
+    Amps, Coulombs, Farads, Hertz, Joules, Lux, Ohms, Ratio, Seconds, Volts, Watts,
+};
 
 /// Defines `Lhs * Rhs = Out` together with the commuted form.
 macro_rules! product {

@@ -140,13 +140,22 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs a parameterised benchmark within the group.
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
-        run_one(&format!("{}/{}", self.name, id.label), self.sample_size, |b| {
-            f(b, input);
-        });
+        run_one(
+            &format!("{}/{}", self.name, id.label),
+            self.sample_size,
+            |b| {
+                f(b, input);
+            },
+        );
         self
     }
 
@@ -194,9 +203,7 @@ mod tests {
     #[test]
     fn bencher_times_something() {
         let mut c = Criterion::default();
-        c.bench_function("noop_sum", |b| {
-            b.iter(|| (0..100u64).sum::<u64>())
-        });
+        c.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
         let mut g = c.benchmark_group("grp");
         g.sample_size(3)
             .bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {

@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nMPP at 200 lux: {} at {} (bench: 42.1 µA at 3.0 V)",
         m.current, m.voltage
     );
-    println!("FOCV factor k at 1 klux: {}", cell.mpp(Lux::new(1000.0))?.focv_factor());
+    println!(
+        "FOCV factor k at 1 klux: {}",
+        cell.mpp(Lux::new(1000.0))?.focv_factor()
+    );
     println!("\nDrop the printed parameters into SingleDiodeModel::builder() to make");
     println!("a preset for your own cell.");
     Ok(())

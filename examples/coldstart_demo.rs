@@ -27,10 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 };
                 println!(
                     "t = {:>7.2} s  rail = {}  held = {}  → {}",
-                    t,
-                    step.rail_voltage,
-                    step.held_sample,
-                    tag
+                    t, step.rail_voltage, step.held_sample, tag
                 );
                 last_state = Some(step.state);
             }

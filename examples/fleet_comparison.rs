@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = runner.run(&spec)?;
 
     println!("{report}");
-    for p in [Placement::WindowDesk, Placement::InteriorDesk, Placement::Outdoor] {
+    for p in [
+        Placement::WindowDesk,
+        Placement::InteriorDesk,
+        Placement::Outdoor,
+    ] {
         println!("  {:>2} × {}", report.placement_count(p), p.label());
     }
 

@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  PULSE operations      : {}", report.pulses);
     println!("  HELD_SAMPLE           : {}", report.final_held_sample);
     println!("  measured k            : {}", report.measured_k);
-    println!("  metrology draw        : {}", report.average_metrology_current);
+    println!(
+        "  metrology draw        : {}",
+        report.average_metrology_current
+    );
     println!("  energy to storage     : {}", report.stored_energy);
     Ok(())
 }

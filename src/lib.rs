@@ -17,6 +17,10 @@
 //!   [`sim::drive`] time-stepping with adaptive dwell, and the
 //!   deterministic [`sim::SweepRunner`] scenario fan-out.
 //! * [`node`] — closed-loop wireless-sensor-node simulations.
+//! * [`obs`] — opt-in deterministic observability: the
+//!   [`obs::Recorder`] metric sink, simulated-time spans, and the
+//!   four-bucket [`obs::EnergyLedger`] with its conservation
+//!   invariant.
 //! * [`fleet`] — deterministic fleet-scale simulation of heterogeneous
 //!   node populations: seeded [`fleet::FleetSpec`] instantiation,
 //!   sharded order-independent aggregation, tracker comparison over a
@@ -31,6 +35,7 @@ pub use eh_core as core;
 pub use eh_env as env;
 pub use eh_fleet as fleet;
 pub use eh_node as node;
+pub use eh_obs as obs;
 pub use eh_pv as pv;
 pub use eh_sim as sim;
 pub use eh_units as units;

@@ -54,7 +54,9 @@ fn full_system_runs_identically() {
 
 #[test]
 fn node_simulation_runs_identically() {
-    let trace = profiles::semi_mobile_friday(5).decimate(60).expect("decimate succeeds");
+    let trace = profiles::semi_mobile_friday(5)
+        .decimate(60)
+        .expect("decimate succeeds");
     let run = || {
         let mut sim = NodeSimulation::new(SimConfig::default_for(presets::sanyo_am1815()).unwrap())
             .expect("valid config");
@@ -122,7 +124,10 @@ fn cached_sweep_identical_at_any_worker_count() {
     let serial = SweepRunner::new(1).run(intensities.clone(), &job);
     for workers in [2, 4] {
         let parallel = SweepRunner::new(workers).run(intensities.clone(), &job);
-        assert_eq!(serial, parallel, "cached sweep diverged at {workers} workers");
+        assert_eq!(
+            serial, parallel,
+            "cached sweep diverged at {workers} workers"
+        );
     }
 }
 
@@ -154,7 +159,10 @@ fn dwell_accounting_advances_by_actual_dwell() {
         }
     }
 
-    let mut stepper = DwellEveryFifth { steps: 0, advanced: 0.0 };
+    let mut stepper = DwellEveryFifth {
+        steps: 0,
+        advanced: 0.0,
+    };
     let total = drive(
         &mut stepper,
         &Light::constant(Lux::new(500.0), Seconds::new(1.0)),

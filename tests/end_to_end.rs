@@ -25,7 +25,10 @@ fn manual_signal_chain() {
     let voc = cell.open_circuit_voltage(lux).expect("solver converges");
 
     // One PULSE: sample the open-circuit voltage.
-    assert!(astable.output_high(), "astable powers up in the PULSE state");
+    assert!(
+        astable.output_high(),
+        "astable powers up in the PULSE state"
+    );
     let step = sh.step(voc, true, Seconds::from_milli(39.0));
     assert!(step.active);
     let held = step.held_sample;
@@ -59,20 +62,26 @@ fn manual_cold_start_chain() {
         cs.step(i.max(Amps::ZERO), Amps::ZERO, Seconds::new(0.05));
         t += 0.05;
     }
-    assert_eq!(cs.state(), ColdStartState::Running, "400 lux must start in 30 s");
+    assert_eq!(
+        cs.state(),
+        ColdStartState::Running,
+        "400 lux must start in 30 s"
+    );
     assert!(t < 5.0, "cold start took {t} s at 400 lux");
 }
 
 /// The automated system walks through all of its states on a light step.
 #[test]
 fn system_state_machine_traversal() {
-    let mut sys = FocvMpptSystem::new(SystemConfig::paper_prototype().expect("valid"))
-        .expect("valid system");
+    let mut sys =
+        FocvMpptSystem::new(SystemConfig::paper_prototype().expect("valid")).expect("valid system");
     let mut seen_cold = false;
     let mut seen_sampling = false;
     let mut seen_harvesting = false;
     for _ in 0..4000 {
-        let step = sys.step(Lux::new(600.0), Seconds::new(0.02)).expect("step succeeds");
+        let step = sys
+            .step(Lux::new(600.0), Seconds::new(0.02))
+            .expect("step succeeds");
         match step.state {
             SystemState::ColdStarting => seen_cold = true,
             SystemState::Sampling => seen_sampling = true,
@@ -103,7 +112,9 @@ fn energy_conservation() {
         report.pv_energy
     );
     // And the extraction is bounded by MPP power times duration.
-    let mpp = presets::sanyo_am1815().mpp(Lux::new(2000.0)).expect("solver converges");
+    let mpp = presets::sanyo_am1815()
+        .mpp(Lux::new(2000.0))
+        .expect("solver converges");
     assert!(report.pv_energy.value() <= mpp.power.value() * 250.0 * 1.01);
 }
 
@@ -111,11 +122,17 @@ fn energy_conservation() {
 #[test]
 fn full_system_over_dynamic_trace() {
     let trace = profiles::office_desk_mixed(3)
-        .decimate(600,)
+        .decimate(600)
         .expect("decimate succeeds"); // 10-minute grid for speed
-    let mut sys = FocvMpptSystem::new(SystemConfig::paper_prototype().expect("valid"))
-        .expect("valid system");
-    let report = sys.run_trace(&trace, Seconds::new(2.0)).expect("run succeeds");
-    assert!(report.pulses > 100, "a lit day has many PULSEs, got {}", report.pulses);
+    let mut sys =
+        FocvMpptSystem::new(SystemConfig::paper_prototype().expect("valid")).expect("valid system");
+    let report = sys
+        .run_trace(&trace, Seconds::new(2.0))
+        .expect("run succeeds");
+    assert!(
+        report.pulses > 100,
+        "a lit day has many PULSEs, got {}",
+        report.pulses
+    );
     assert!(report.stored_energy.value() > 0.0);
 }

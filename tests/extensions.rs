@@ -87,12 +87,10 @@ fn sizing_matches_simulation() {
     let hours = 8.0;
     // The module's survival figure inverts to the total draw: 1 J lasts
     // 1/draw seconds, so the night costs hours·3600·draw joules.
-    let one_joule_lasts = sizing::dark_survival(Joules::new(1.0), &load, &tracker)
-        .expect("valid draw");
+    let one_joule_lasts =
+        sizing::dark_survival(Joules::new(1.0), &load, &tracker).expect("valid draw");
     let predicted = hours * 3600.0 / one_joule_lasts.value();
-    let direct = (load.average_power().value() + tracker.overhead_power().value())
-        * hours
-        * 3600.0;
+    let direct = (load.average_power().value() + tracker.overhead_power().value()) * hours * 3600.0;
     assert!((predicted - direct).abs() < 1e-9 * direct);
 
     // Simulate the same 8 h of darkness and measure the overhead+load
@@ -103,7 +101,9 @@ fn sizing_matches_simulation() {
         .with_load(load);
     let mut sim = NodeSimulation::new(cfg).expect("valid sim");
     let mut t = FocvSampleHold::paper_prototype().expect("valid tracker");
-    let report = sim.run(&mut t, &trace, Seconds::new(10.0)).expect("run succeeds");
+    let report = sim
+        .run(&mut t, &trace, Seconds::new(10.0))
+        .expect("run succeeds");
     let consumed = report.overhead_energy.value() + report.load_demand.value();
     let rel = (consumed - predicted).abs() / predicted;
     assert!(rel < 0.2, "sizing vs sim mismatch {rel:.3}");
@@ -114,7 +114,11 @@ fn sizing_matches_simulation() {
 #[test]
 fn endurance_three_days() {
     let trace = week::sequence(
-        &[DayKind::Office, DayKind::WeekendBlindsClosed, DayKind::Office],
+        &[
+            DayKind::Office,
+            DayKind::WeekendBlindsClosed,
+            DayKind::Office,
+        ],
         99,
     )
     .expect("valid sequence")

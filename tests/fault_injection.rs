@@ -24,7 +24,10 @@ fn corrupted_sample_recovers_within_one_period() {
     // Glitch: the hold capacitor is disturbed to nonsense.
     sys.inject_held_sample(Volts::new(0.4));
     let step = sys.step(lux, Seconds::new(1.0)).expect("step succeeds");
-    assert!((step.held_sample.value() - 0.4).abs() < 0.05, "glitch visible");
+    assert!(
+        (step.held_sample.value() - 0.4).abs() < 0.05,
+        "glitch visible"
+    );
 
     // Within one full hold period the system resamples and recovers.
     sys.run_constant(lux, Seconds::new(70.0), Seconds::new(0.05))
@@ -94,7 +97,8 @@ fn rail_collapse_mid_pulse_still_counts_recovery_pulse() {
 
     // The rail dies while PULSE is high (hard brown-out mid-sample).
     sys.collapse_rail();
-    sys.step(Lux::ZERO, Seconds::new(1.0)).expect("step succeeds");
+    sys.step(Lux::ZERO, Seconds::new(1.0))
+        .expect("step succeeds");
 
     // Light returns: the system cold-starts and the astable fires its
     // power-up PULSE again — that pulse must be counted as a fresh edge.
@@ -115,10 +119,15 @@ fn stale_setpoint_after_light_step_down() {
     let mut sys = charged_system();
     sys.run_constant(Lux::new(5000.0), Seconds::new(75.0), Seconds::new(0.05))
         .expect("run succeeds");
-    let bright_held = sys.report(Lux::new(5000.0)).expect("report").final_held_sample;
+    let bright_held = sys
+        .report(Lux::new(5000.0))
+        .expect("report")
+        .final_held_sample;
 
     // Light collapses to 200 lux: held sample is stale for < one period.
-    let step = sys.step(Lux::new(200.0), Seconds::new(1.0)).expect("step succeeds");
+    let step = sys
+        .step(Lux::new(200.0), Seconds::new(1.0))
+        .expect("step succeeds");
     assert!(
         (step.held_sample.value() - bright_held.value()).abs() < 0.01,
         "held must be stale immediately after the step"

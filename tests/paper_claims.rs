@@ -56,9 +56,8 @@ fn claim_table1_k_band() {
 /// PULSE quickly.
 #[test]
 fn claim_cold_start_at_200_lux() {
-    let mut sys =
-        FocvMpptSystem::new(SystemConfig::paper_prototype().expect("valid prototype"))
-            .expect("valid system");
+    let mut sys = FocvMpptSystem::new(SystemConfig::paper_prototype().expect("valid prototype"))
+        .expect("valid system");
     let report = sys
         .run_constant(Lux::new(200.0), Seconds::new(60.0), Seconds::new(0.05))
         .expect("run succeeds");
@@ -69,7 +68,10 @@ fn claim_cold_start_at_200_lux() {
         (t_pulse - t_start).value() < 1.0,
         "first PULSE should follow the rail immediately"
     );
-    assert!(report.stored_energy.value() > 0.0, "must harvest at 200 lux");
+    assert!(
+        report.stored_energy.value() > 0.0,
+        "must harvest at 200 lux"
+    );
 }
 
 /// §II-B claim: with a 1-minute sampling period the worst-case mean Voc
@@ -124,7 +126,10 @@ fn claim_indoor_superiority() {
         .iter()
         .find(|r| r.name.contains("sample-and-hold"))
         .expect("FOCV row");
-    let po_row = rows.iter().find(|r| r.name.contains("perturb")).expect("P&O row");
+    let po_row = rows
+        .iter()
+        .find(|r| r.name.contains("perturb"))
+        .expect("P&O row");
     assert!(focv_row.summary.is_net_positive());
     assert!(!po_row.summary.is_net_positive());
     assert!(
@@ -155,7 +160,11 @@ fn claim_pulse_timing() {
         .expect("run succeeds");
     let pulse = sys.pulse_trace().expect("tracing enabled");
     let rises = pulse.rising_edges(1.65);
-    assert!(rises.len() >= 3, "need at least 3 pulses, got {}", rises.len());
+    assert!(
+        rises.len() >= 3,
+        "need at least 3 pulses, got {}",
+        rises.len()
+    );
     let period = (rises[2] - rises[1]).value();
     assert!((period - 69.04).abs() < 0.5, "PULSE period {period} s");
     for width in pulse.high_durations(1.65) {
@@ -179,6 +188,9 @@ fn full_day_closed_loop_smoke() {
     let report = sim
         .run(&mut tracker, &day, Seconds::new(30.0))
         .expect("run succeeds");
-    assert!(report.gross_energy.value() > 1.0, "a lit office day yields joules");
+    assert!(
+        report.gross_energy.value() > 1.0,
+        "a lit office day yields joules"
+    );
     assert!(report.is_net_positive());
 }
