@@ -1,19 +1,29 @@
 //! Benchmark — fleet-scale simulation throughput and determinism.
 //!
 //! Runs the reference mixed indoor/outdoor fleet (day-scale light,
-//! 1-minute grid) at several sizes and worker counts, recording
-//! nodes/sec into `BENCH_fleet.json`, and asserts the eh-fleet
-//! determinism contract on the way: the 1000-node fleet must produce
-//! **bit-identical** [`FleetReport`]s at 1, 2 and 4 workers. A compact
-//! tracker comparison over a smaller replayed population closes the
-//! report.
+//! 1-minute grid) at several sizes and worker counts through the
+//! selected execution engines, recording nodes/sec into
+//! `BENCH_fleet.json`, and asserts the eh-fleet determinism contract on
+//! the way: the 1000-node fleet must produce **bit-identical**
+//! [`FleetReport`]s at 1, 2 and 4 workers — and, when both engines run,
+//! the batch engine's reports must be bit-identical to the per-node
+//! engine's. A compact tracker comparison over a smaller replayed
+//! population closes the report.
+//!
+//! Timings are **engine-only**: the shared fleet inputs (population,
+//! base traces, warmed PV surfaces) are prepared once per size via
+//! [`FleetContext`] outside the timed region, so the nodes/sec column
+//! measures the simulation engines rather than setup. The batch engine
+//! additionally runs a 100k-node fleet (full profile only) to
+//! demonstrate fleet scale beyond what the per-node engine can sweep in
+//! bench time.
 //!
 //! A metrics pass re-runs the reference fleet with
 //! [`FleetSpec::obs`] enabled: the merged metric store must be
-//! bit-identical at 1/2/4 workers, its energy ledger must balance the
-//! summed closed-loop node accounting within 1e-9 relative, and the
-//! wall-clock overhead of metrics-on vs metrics-off is recorded (never
-//! gated) in the JSON.
+//! bit-identical at 1/2/4 workers (per engine, and across engines), its
+//! energy ledger must balance the summed closed-loop node accounting
+//! within 1e-9 relative, and the wall-clock overhead of metrics-on vs
+//! metrics-off is recorded (never gated) in the JSON.
 //!
 //! Worker counts beyond the machine's `available_parallelism` cannot
 //! speed anything up; the JSON records the host parallelism so scaling
@@ -21,17 +31,24 @@
 //!
 //! Run with `cargo run -q --release -p eh-bench --bin bench_fleet`
 //! (accepts `--workers N` / `EH_WORKERS` to set the top worker count,
+//! `--engine per-node|batch|both` / `EH_ENGINE` to pick the engines,
 //! and `--smoke` for the fast CI profile: one small fleet size on a
-//! coarse grid, same code paths and assertions, no timing claims).
+//! coarse grid, both engines, same code paths and assertions, no timing
+//! claims).
 
 use std::time::Instant;
 
-use eh_bench::{banner, fmt, render_table, smoke_mode, sweep_runner};
-use eh_fleet::{compare_trackers_over_fleet, FleetReport, FleetRunner, FleetSpec};
+use eh_bench::{banner, engine_choice, fmt, render_table, smoke_mode, sweep_runner};
+use eh_fleet::{
+    compare_trackers_over_fleet_with, Engine, FleetContext, FleetReport, FleetRunner, FleetSpec,
+    TrackerKind,
+};
 use eh_units::{Joules, Seconds};
 
-/// Fleet sizes for the scaling sweep.
+/// Fleet sizes for the scaling sweep (every selected engine).
 const SIZES: [u32; 3] = [100, 1000, 10_000];
+/// Extra fleet size only the batch engine sweeps (full profile).
+const BATCH_ONLY_SIZE: u32 = 100_000;
 /// The fleet size the determinism assertion and drill-down use.
 const REFERENCE_SIZE: u32 = 1000;
 /// Smoke-profile fleet size (also the smoke reference size).
@@ -57,6 +74,7 @@ fn percentile_row(report: &FleetReport) -> (f64, f64, f64) {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let host = std::thread::available_parallelism().map_or(1, usize::from);
     let smoke = smoke_mode();
+    let engines = engine_choice().engines();
     let max_workers = sweep_runner().workers();
     let mut worker_counts = vec![1usize, 2, 4, max_workers];
     worker_counts.sort_unstable();
@@ -66,81 +84,139 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     } else {
         (SIZES.to_vec(), REFERENCE_SIZE)
     };
+    let run_batch_only = !smoke && engines.contains(&Engine::Batch);
 
     if smoke {
         banner("Fleet scaling — SMOKE profile, 10-minute grid (no timing claims)");
     } else {
         banner("Fleet scaling — mixed indoor/outdoor day, 1-minute grid");
     }
+    let engine_labels: Vec<&str> = engines.iter().map(|e| e.label()).collect();
     println!(
-        "host parallelism {host}, worker counts {worker_counts:?}, shard size {}",
+        "host parallelism {host}, worker counts {worker_counts:?}, shard size {}, engines {engine_labels:?}\n\
+         timings are engine-only: shared inputs are prepared once per size outside the timed region",
         FleetRunner::DEFAULT_SHARD_SIZE
     );
 
-    let mut scaling: Vec<(u32, usize, f64, f64)> = Vec::new();
-    let mut reference_reports: Vec<(usize, FleetReport)> = Vec::new();
+    let mut scaling: Vec<(Engine, u32, usize, f64, f64)> = Vec::new();
+    let mut reference_reports: Vec<(Engine, usize, FleetReport)> = Vec::new();
     let mut rows = Vec::new();
-    for &nodes in &sizes {
+    let mut all_sizes = sizes.clone();
+    if run_batch_only {
+        all_sizes.push(BATCH_ONLY_SIZE);
+    }
+    for &nodes in &all_sizes {
+        let batch_only = !sizes.contains(&nodes);
         let spec = day_spec(nodes, smoke);
-        for &workers in &worker_counts {
-            let runner = FleetRunner::new(workers);
-            let t0 = Instant::now();
-            let report = runner.run(&spec)?;
-            let elapsed = t0.elapsed().as_secs_f64();
-            assert_eq!(report.nodes(), nodes as usize);
-            let rate = f64::from(nodes) / elapsed.max(1e-12);
-            scaling.push((nodes, workers, elapsed, rate));
-            rows.push(vec![
-                nodes.to_string(),
-                workers.to_string(),
-                fmt(elapsed, 3),
-                fmt(rate, 1),
-            ]);
-            if nodes == reference_size {
-                reference_reports.push((workers, report));
+        let ctx = FleetContext::prepare(&spec)?;
+        for &engine in &engines {
+            if batch_only && engine != Engine::Batch {
+                continue;
+            }
+            for &workers in &worker_counts {
+                let runner = FleetRunner::new(workers);
+                let t0 = Instant::now();
+                let report = runner.run_engine_prepared(&ctx, TrackerKind::Focv, engine)?;
+                let elapsed = t0.elapsed().as_secs_f64();
+                assert_eq!(report.nodes(), nodes as usize);
+                let rate = f64::from(nodes) / elapsed.max(1e-12);
+                scaling.push((engine, nodes, workers, elapsed, rate));
+                rows.push(vec![
+                    engine.label().to_owned(),
+                    nodes.to_string(),
+                    workers.to_string(),
+                    fmt(elapsed, 3),
+                    fmt(rate, 1),
+                ]);
+                if nodes == reference_size {
+                    reference_reports.push((engine, workers, report));
+                }
             }
         }
     }
     println!(
         "{}",
-        render_table(&["nodes", "workers", "seconds", "nodes/sec"], &rows)
+        render_table(
+            &["engine", "nodes", "workers", "seconds", "nodes/sec"],
+            &rows
+        )
     );
 
     banner(&format!(
-        "Determinism — {reference_size} nodes, bit-identical at every worker count"
+        "Determinism — {reference_size} nodes, bit-identical at every worker count and engine"
     ));
-    let (_, reference) = &reference_reports[0];
-    for (workers, report) in &reference_reports[1..] {
+    let (_, _, reference) = &reference_reports[0];
+    for (engine, workers, report) in &reference_reports[1..] {
         assert_eq!(
-            report, reference,
-            "{workers}-worker fleet diverged from the 1-worker reference"
+            report,
+            reference,
+            "{workers}-worker {} fleet diverged from the reference",
+            engine.label()
         );
     }
-    let checked: Vec<usize> = reference_reports.iter().map(|(w, _)| *w).collect();
-    println!("workers {checked:?}: all FleetReports bit-identical");
+    let checked: Vec<String> = reference_reports
+        .iter()
+        .map(|(e, w, _)| format!("{}:{w}", e.label()))
+        .collect();
+    let cross_engine = engines.len() > 1;
+    println!("engine:workers {checked:?}: all FleetReports bit-identical");
+    if cross_engine {
+        println!("cross-engine: batch output is bit-identical to the per-node oracle");
+    }
 
     let (p5, p50, p95) = percentile_row(reference);
     let worst = reference.worst_node().expect("non-empty fleet");
     println!("{reference}");
+
+    // Engine-vs-engine headline: batch speedup over per-node at 1
+    // worker on the reference fleet (the ISSUE's ≥10x target).
+    let rate_of = |engine: Engine, workers: usize| {
+        scaling
+            .iter()
+            .find(|(e, n, w, _, _)| *e == engine && *n == reference_size && *w == workers)
+            .map(|(_, _, _, _, r)| *r)
+    };
+    let batch_speedup = match (rate_of(Engine::PerNode, 1), rate_of(Engine::Batch, 1)) {
+        (Some(per_node), Some(batch)) => {
+            let speedup = batch / per_node.max(1e-12);
+            println!(
+                "batch engine speedup over per-node at 1 worker: x{} ({} vs {} nodes/sec)",
+                fmt(speedup, 2),
+                fmt(batch, 1),
+                fmt(per_node, 1)
+            );
+            Some(speedup)
+        }
+        _ => None,
+    };
 
     banner(&format!(
         "Metrics — {reference_size} nodes with the eh-obs recorder enabled"
     ));
     let mut obs_spec = day_spec(reference_size, smoke);
     obs_spec.obs = true;
+    let obs_ctx = FleetContext::prepare(&obs_spec)?;
     let mut obs_worker_counts = vec![1usize, 2, 4];
     obs_worker_counts.retain(|w| worker_counts.contains(w));
-    let mut obs_reports: Vec<(usize, f64, FleetReport)> = Vec::new();
-    for &workers in &obs_worker_counts {
-        let t0 = Instant::now();
-        let report = FleetRunner::new(workers).run(&obs_spec)?;
-        obs_reports.push((workers, t0.elapsed().as_secs_f64(), report));
+    let mut obs_reports: Vec<(Engine, usize, f64, FleetReport)> = Vec::new();
+    for &engine in &engines {
+        for &workers in &obs_worker_counts {
+            let t0 = Instant::now();
+            let report = FleetRunner::new(workers).run_engine_prepared(
+                &obs_ctx,
+                TrackerKind::Focv,
+                engine,
+            )?;
+            obs_reports.push((engine, workers, t0.elapsed().as_secs_f64(), report));
+        }
     }
-    let (_, obs_secs_1w, obs_ref) = &obs_reports[0];
-    for (workers, _, report) in &obs_reports[1..] {
+    let (_, _, obs_secs_1w, obs_ref) = &obs_reports[0];
+    for (engine, workers, _, report) in &obs_reports[1..] {
         assert_eq!(
-            report.metrics, obs_ref.metrics,
-            "{workers}-worker merged metrics diverged from the 1-worker reference"
+            report.metrics,
+            obs_ref.metrics,
+            "{workers}-worker {} merged metrics diverged from the reference",
+            engine.label()
         );
     }
     let metrics = obs_ref
@@ -163,32 +239,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ledger_rel_err < 1e-9,
         "fleet ledger drifts from closed-loop totals: {ledger_rel_err:.3e}"
     );
-    // Overhead is measured against the metrics-off run at 1 worker and
-    // recorded, never gated: CI containers make timing gates flaky.
+    // Overhead is measured against the metrics-off run at 1 worker (same
+    // engine) and recorded, never gated: CI containers make timing gates
+    // flaky.
     let plain_secs_1w = scaling
         .iter()
-        .find(|(n, w, _, _)| *n == reference_size && *w == 1)
-        .map(|(_, _, s, _)| *s)
+        .find(|(e, n, w, _, _)| *e == engines[0] && *n == reference_size && *w == 1)
+        .map(|(_, _, _, s, _)| *s)
         .expect("reference size measured at 1 worker");
     let obs_overhead_pct = (obs_secs_1w / plain_secs_1w.max(1e-12) - 1.0) * 100.0;
-    let obs_workers_checked: Vec<usize> = obs_reports.iter().map(|(w, _, _)| *w).collect();
+    let obs_checked: Vec<String> = obs_reports
+        .iter()
+        .map(|(e, w, _, _)| format!("{}:{w}", e.label()))
+        .collect();
     println!(
-        "workers {obs_workers_checked:?}: merged metric stores bit-identical\n\
+        "engine:workers {obs_checked:?}: merged metric stores bit-identical\n\
          ledger vs closed-loop rel error {ledger_rel_err:.3e} (bound 1e-9)\n\
-         wall overhead vs metrics-off at 1 worker: {} % (recorded, not gated)",
+         wall overhead vs metrics-off at 1 worker ({}): {} % (recorded, not gated)",
+        engines[0].label(),
         fmt(obs_overhead_pct, 1)
     );
     println!("{}", metrics.to_table());
 
     let cmp_size = if smoke { 50 } else { 200 };
+    let cmp_engine = if engines.contains(&Engine::Batch) {
+        Engine::Batch
+    } else {
+        Engine::PerNode
+    };
     banner(&format!(
-        "Tracker comparison over one replayed {cmp_size}-node population"
+        "Tracker comparison over one replayed {cmp_size}-node population ({} engine)",
+        cmp_engine.label()
     ));
     let mut cmp_spec = day_spec(cmp_size, false);
     cmp_spec.trace_decimate = 600; // 10-minute grid keeps 8 trackers tractable
     cmp_spec.dt = Seconds::new(600.0);
     let cmp_runner = FleetRunner::new(max_workers);
-    let comparison = compare_trackers_over_fleet(&cmp_spec, &cmp_runner)?;
+    let comparison = compare_trackers_over_fleet_with(&cmp_spec, &cmp_runner, cmp_engine)?;
     let cmp_rows: Vec<Vec<String>> = comparison
         .iter()
         .map(|(kind, report)| {
@@ -220,25 +307,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Scaling headline: 1 worker vs the top worker count at the
     // reference size (honest numbers; ~1.0 expected on a 1-core host).
-    let rate_at = |workers: usize| {
-        scaling
-            .iter()
-            .find(|(n, w, _, _)| *n == reference_size && *w == workers)
-            .map(|(_, _, _, r)| *r)
-            .expect("reference size measured at every worker count")
-    };
-    let speedup = rate_at(*worker_counts.last().expect("non-empty")) / rate_at(1);
+    let top_workers = *worker_counts.last().expect("non-empty");
+    let worker_speedup = rate_of(engines[0], top_workers)
+        .expect("reference size measured at every worker count")
+        / rate_of(engines[0], 1).expect("reference size measured at 1 worker");
     println!(
-        "\n{reference_size}-node speedup x{} from 1 to {} workers on a {host}-core host",
-        fmt(speedup, 2),
-        worker_counts.last().expect("non-empty")
+        "\n{reference_size}-node speedup x{} from 1 to {top_workers} workers ({} engine) on a {host}-core host",
+        fmt(worker_speedup, 2),
+        engines[0].label()
     );
 
     let scaling_json: Vec<String> = scaling
         .iter()
-        .map(|(nodes, workers, secs, rate)| {
+        .map(|(engine, nodes, workers, secs, rate)| {
             format!(
-                r#"    {{ "nodes": {nodes}, "workers": {workers}, "seconds": {secs:.3}, "nodes_per_sec": {rate:.1} }}"#
+                r#"    {{ "engine": "{}", "nodes": {nodes}, "workers": {workers}, "seconds": {secs:.3}, "nodes_per_sec": {rate:.1} }}"#,
+                engine.label()
             )
         })
         .collect();
@@ -262,19 +346,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
   "smoke": {smoke},
   "host_parallelism": {host},
   "host_note": "worker counts beyond host_parallelism cannot add speed; on a 1-core host speedups of ~1.0 are the honest expectation",
+  "timing_note": "nodes_per_sec is engine-only: population, base traces and PV surfaces are prepared once per size outside the timed region",
+  "engines": {engine_labels:?},
   "worker_counts": {workers:?},
   "scaling": [
 {scaling_rows}
   ],
-  "speedup_1_to_max_workers_at_reference_size": {speedup:.3},
+  "batch_speedup_vs_per_node_at_1_worker_reference_size": {batch_speedup},
+  "speedup_1_to_max_workers_at_reference_size": {worker_speedup:.3},
   "determinism": {{
     "nodes": {ref_size},
-    "worker_counts_checked": {checked:?},
-    "bit_identical": true
+    "engine_worker_pairs_checked": {checked:?},
+    "bit_identical": true,
+    "cross_engine_bit_identical": {cross_engine_checked}
   }},
   "observability": {{
     "nodes": {ref_size},
-    "worker_counts_checked": {obs_workers_checked:?},
+    "engine_worker_pairs_checked": {obs_checked:?},
     "merged_metrics_bit_identical": true,
     "ledger_rel_error_vs_closed_loop": {ledger_rel_err:.6e},
     "ledger_rel_error_bound": 1e-9,
@@ -294,6 +382,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
   }},
   "tracker_comparison": {{
     "nodes": {cmp_size},
+    "engine": "{cmp_engine}",
     "rows": [
 {cmp_rows}
     ]
@@ -308,7 +397,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         shard = FleetRunner::DEFAULT_SHARD_SIZE,
         workers = worker_counts,
         scaling_rows = scaling_json.join(",\n"),
+        batch_speedup = batch_speedup
+            .map(|s| format!("{s:.3}"))
+            .unwrap_or_else(|| "null".to_owned()),
         ref_size = reference_size,
+        cross_engine_checked = if cross_engine { "true" } else { "null" },
         metrics_json = metrics.to_json(),
         brown = reference.brown_out_count(),
         cold = reference.cold_start_failures(),
@@ -317,6 +410,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         worst_place = worst.placement.label(),
         worst_net = worst.net_energy().value(),
         cmp_rows = comparison_json.join(",\n"),
+        cmp_engine = cmp_engine.label(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
     std::fs::write(path, json)?;

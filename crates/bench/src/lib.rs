@@ -52,6 +52,79 @@ pub fn smoke_mode() -> bool {
     parse_flag(std::env::args().skip(1), "--smoke")
 }
 
+/// Which fleet engines an experiment binary should exercise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// Only the per-node reference engine.
+    PerNode,
+    /// Only the struct-of-arrays batch engine.
+    Batch,
+    /// Both engines, side by side (the default: the bench then also
+    /// asserts their reports are bit-identical).
+    Both,
+}
+
+impl EngineChoice {
+    /// The fleet engines this choice selects, reference engine first.
+    pub fn engines(self) -> Vec<eh_fleet::Engine> {
+        match self {
+            EngineChoice::PerNode => vec![eh_fleet::Engine::PerNode],
+            EngineChoice::Batch => vec![eh_fleet::Engine::Batch],
+            EngineChoice::Both => vec![eh_fleet::Engine::PerNode, eh_fleet::Engine::Batch],
+        }
+    }
+
+    /// Stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineChoice::PerNode => "per-node",
+            EngineChoice::Batch => "batch",
+            EngineChoice::Both => "both",
+        }
+    }
+}
+
+/// Parses an engine selection from command-line arguments
+/// (`--engine per-node|batch|both` or `--engine=...`) and the
+/// `EH_ENGINE` environment variable; the command line wins. Unparsable
+/// values are ignored so a typo degrades to the default instead of a
+/// crash deep inside an experiment run.
+pub fn parse_engine<I, S>(args: I, env_value: Option<&str>) -> Option<EngineChoice>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let parse = |s: &str| match s.trim().to_ascii_lowercase().as_str() {
+        "both" | "all" => Some(EngineChoice::Both),
+        other => eh_fleet::Engine::parse(other).map(|e| match e {
+            eh_fleet::Engine::PerNode => EngineChoice::PerNode,
+            eh_fleet::Engine::Batch => EngineChoice::Batch,
+            _ => EngineChoice::Both,
+        }),
+    };
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        let arg = arg.as_ref();
+        if arg == "--engine" {
+            return args.next().and_then(|v| parse(v.as_ref()));
+        }
+        if let Some(v) = arg.strip_prefix("--engine=") {
+            return parse(v);
+        }
+    }
+    env_value.and_then(parse)
+}
+
+/// The engine selection for this invocation: `--engine` on the command
+/// line, else the `EH_ENGINE` environment variable, else both engines.
+pub fn engine_choice() -> EngineChoice {
+    parse_engine(
+        std::env::args().skip(1),
+        std::env::var("EH_ENGINE").ok().as_deref(),
+    )
+    .unwrap_or(EngineChoice::Both)
+}
+
 /// The sweep runner every experiment binary should use: sized by
 /// `--workers N` / `--workers=N` on the command line, else the
 /// `EH_WORKERS` environment variable, else the machine's available
@@ -197,6 +270,37 @@ mod tests {
         assert_eq!(parse_workers(["--workers"], None), None);
         assert_eq!(parse_workers(Vec::<String>::new(), Some("lots")), None);
         assert_eq!(parse_workers(Vec::<String>::new(), None), None);
+    }
+
+    #[test]
+    fn engine_override_resolution() {
+        // Command line beats the environment.
+        assert_eq!(
+            parse_engine(["--engine", "batch"], Some("per-node")),
+            Some(EngineChoice::Batch)
+        );
+        assert_eq!(
+            parse_engine(["--engine=per-node"], Some("batch")),
+            Some(EngineChoice::PerNode)
+        );
+        assert_eq!(
+            parse_engine(["--engine", "Both"], None),
+            Some(EngineChoice::Both)
+        );
+        // Environment fallback.
+        assert_eq!(
+            parse_engine(Vec::<String>::new(), Some("batch")),
+            Some(EngineChoice::Batch)
+        );
+        // Garbage degrades to None (default), never panics.
+        assert_eq!(parse_engine(["--engine", "warp"], None), None);
+        assert_eq!(parse_engine(Vec::<String>::new(), None), None);
+        // Selected engine lists are reference-first.
+        assert_eq!(
+            EngineChoice::Both.engines(),
+            vec![eh_fleet::Engine::PerNode, eh_fleet::Engine::Batch]
+        );
+        assert_eq!(EngineChoice::Batch.engines(), vec![eh_fleet::Engine::Batch]);
     }
 
     #[test]

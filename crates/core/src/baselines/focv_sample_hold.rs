@@ -145,6 +145,142 @@ impl FocvSampleHold {
     pub fn held_voc(&self) -> Option<Volts> {
         self.held_voc
     }
+
+    /// The lane-invariant part of this tracker, for batch stepping.
+    ///
+    /// A [`FocvKernel`] plus a [`FocvLane`] snapshot replays the exact
+    /// decision sequence of [`MpptController::step`] without dynamic
+    /// dispatch, so a batch engine can sweep thousands of lanes through
+    /// one monomorphic loop.
+    pub fn kernel(&self) -> FocvKernel {
+        FocvKernel {
+            k: self.k,
+            sample_period: self.sample_period,
+            overhead: self.overhead,
+        }
+    }
+
+    /// A snapshot of this tracker's mutable per-node state (including
+    /// the effect of [`FocvSampleHold::with_initial_phase`]), to pair
+    /// with [`FocvSampleHold::kernel`].
+    pub fn lane(&self) -> FocvLane {
+        FocvLane {
+            held_voc: self.held_voc,
+            since_sample: self.since_sample,
+            measuring: self.measuring,
+        }
+    }
+}
+
+/// The immutable parameters of a [`FocvSampleHold`] tracker, shared by
+/// every lane of a batch: the trimmed FOCV factor, the hold period, and
+/// the metrology overhead.
+///
+/// [`FocvKernel::step`] is an exact transcription of the tracker's
+/// [`MpptController::step`] state machine over an external [`FocvLane`],
+/// so batch engines stepping many lanes through one kernel produce
+/// bit-identical commands to the per-node tracker objects.
+///
+/// ```
+/// use eh_core::baselines::{FocvDecision, FocvSampleHold};
+/// use eh_units::{Seconds, Volts};
+///
+/// let tracker = FocvSampleHold::paper_prototype()?;
+/// let (kernel, mut lane) = (tracker.kernel(), tracker.lane());
+/// // The power-up PULSE fires on the first step, exactly as the
+/// // stateful tracker does.
+/// assert_eq!(kernel.step(&mut lane, None, Seconds::new(1.0)), FocvDecision::Measure);
+/// let d = kernel.step(&mut lane, Some(Volts::new(5.44)), Seconds::new(1.0));
+/// assert_eq!(d, FocvDecision::Connect(Volts::new(5.44) * kernel.k()));
+/// # Ok::<(), eh_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FocvKernel {
+    k: f64,
+    sample_period: Seconds,
+    overhead: Watts,
+}
+
+/// The mutable per-node state of one FOCV lane: the held `Voc` sample,
+/// the time since the last PULSE, and whether the module is currently
+/// disconnected for a measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FocvLane {
+    held_voc: Option<Volts>,
+    since_sample: Seconds,
+    measuring: bool,
+}
+
+impl FocvLane {
+    /// The currently held open-circuit voltage, if a sample exists.
+    pub fn held_voc(&self) -> Option<Volts> {
+        self.held_voc
+    }
+
+    /// Whether the lane is mid-measurement (module disconnected).
+    pub fn measuring(&self) -> bool {
+        self.measuring
+    }
+}
+
+/// What one kernel step decided for a lane — the batched counterpart of
+/// [`TrackerCommand`] restricted to what the FOCV tracker can emit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FocvDecision {
+    /// Hold the module at the given operating voltage.
+    Connect(Volts),
+    /// Disconnect the module and measure `Voc`.
+    Measure,
+}
+
+impl FocvKernel {
+    /// The trimmed FOCV factor.
+    pub fn k(&self) -> f64 {
+        self.k
+    }
+
+    /// The hold (sampling) period.
+    pub fn sample_period(&self) -> Seconds {
+        self.sample_period
+    }
+
+    /// The tracker's quiescent metrology overhead.
+    pub fn overhead_power(&self) -> Watts {
+        self.overhead
+    }
+
+    /// Advances one lane by `dt`, given the `Voc` measured during the
+    /// previous step's disconnect (if any). Exact transcription of
+    /// [`FocvSampleHold`]'s [`MpptController::step`].
+    #[inline]
+    pub fn step(
+        &self,
+        lane: &mut FocvLane,
+        voc_measurement: Option<Volts>,
+        dt: Seconds,
+    ) -> FocvDecision {
+        // Capture the measurement made during a disconnect step.
+        if lane.measuring {
+            if let Some(voc) = voc_measurement {
+                lane.held_voc = Some(voc);
+            }
+            lane.measuring = false;
+            lane.since_sample = Seconds::ZERO;
+        } else {
+            lane.since_sample += dt;
+        }
+
+        if lane.since_sample >= self.sample_period {
+            lane.measuring = true;
+            return FocvDecision::Measure;
+        }
+
+        match lane.held_voc {
+            Some(voc) => FocvDecision::Connect(voc * self.k),
+            // No valid sample yet (ACTIVE low): converter stays off.
+            None => FocvDecision::Measure,
+        }
+    }
 }
 
 impl MpptController for FocvSampleHold {
@@ -279,6 +415,83 @@ mod tests {
         assert!(t().with_initial_phase(Seconds::new(f64::NAN)).is_err());
         assert!(t().with_initial_phase(Seconds::ZERO).is_ok());
         assert!(t().with_initial_phase(Seconds::new(68.9)).is_ok());
+    }
+
+    /// Drives the dyn tracker and the kernel+lane pair through the same
+    /// (voc, dt) sequence and asserts every decision matches bitwise.
+    fn assert_kernel_tracks_the_tracker(mut t: FocvSampleHold, seq: &[(Option<f64>, f64)]) {
+        let kernel = t.kernel();
+        let mut lane = t.lane();
+        for (i, &(voc, dt)) in seq.iter().enumerate() {
+            let cmd = t.step(&obs(voc), Seconds::new(dt));
+            let decision = kernel.step(&mut lane, voc.map(Volts::new), Seconds::new(dt));
+            match decision {
+                FocvDecision::Connect(target) => {
+                    assert!(cmd.is_connect(), "step {i}: kernel connects, tracker not");
+                    assert_eq!(
+                        cmd.target_voltage().map(|v| v.value().to_bits()),
+                        Some(target.value().to_bits()),
+                        "step {i}: targets diverge"
+                    );
+                }
+                FocvDecision::Measure => {
+                    assert!(!cmd.is_connect(), "step {i}: kernel measures, tracker not");
+                }
+            }
+            assert_eq!(
+                lane.held_voc(),
+                t.held_voc(),
+                "step {i}: held samples diverge"
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_replays_the_tracker_bitwise() {
+        // Mixed dts (incl. the 39 ms dwell clamp and exact period hits),
+        // captures, a dropped capture (None while measuring), and long
+        // idle holds.
+        let seq: Vec<(Option<f64>, f64)> = vec![
+            (None, 1.0),
+            (Some(5.44), 0.039),
+            (None, 68.0),
+            (None, 0.961),
+            (None, 0.039), // measuring, but the capture is dropped
+            (Some(5.21), 10.0),
+            (None, 69.0),
+            (Some(4.9), 0.039),
+            (None, 600.0),
+            (Some(0.0), 0.039),
+            (None, 33.3),
+        ];
+        assert_kernel_tracks_the_tracker(FocvSampleHold::paper_prototype().unwrap(), &seq);
+    }
+
+    #[test]
+    fn kernel_replays_initial_phase_lanes() {
+        for offset in [0.0, 10.0, 68.9] {
+            let t = FocvSampleHold::paper_prototype()
+                .unwrap()
+                .with_initial_phase(Seconds::new(offset))
+                .unwrap();
+            let seq: Vec<(Option<f64>, f64)> = (0..160)
+                .map(|i| {
+                    let voc = (i % 7 == 3).then_some(5.0 + f64::from(i) * 0.01);
+                    (voc, if i % 5 == 0 { 0.039 } else { 1.0 })
+                })
+                .collect();
+            assert_kernel_tracks_the_tracker(t, &seq);
+        }
+    }
+
+    #[test]
+    fn kernel_exposes_the_tracker_parameters() {
+        let t = FocvSampleHold::paper_prototype().unwrap();
+        let kernel = t.kernel();
+        assert_eq!(kernel.k(), t.k());
+        assert_eq!(kernel.sample_period(), t.sample_period());
+        assert_eq!(kernel.overhead_power(), t.overhead_power());
+        assert!(!t.lane().measuring());
     }
 
     #[test]

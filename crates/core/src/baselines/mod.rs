@@ -22,7 +22,7 @@ mod photodetector;
 mod pilot_cell;
 
 pub use fixed_voltage::FixedVoltage;
-pub use focv_sample_hold::FocvSampleHold;
+pub use focv_sample_hold::{FocvDecision, FocvKernel, FocvLane, FocvSampleHold};
 pub use fractional_isc::FractionalIsc;
 pub use incremental_conductance::IncrementalConductance;
 pub use oracle::Oracle;

@@ -1,0 +1,439 @@
+//! The batch-stepped fleet engine.
+//!
+//! The per-node engine in [`crate::context::FleetContext::simulate_node`]
+//! pays a heavy toll per step: every PV lookup, tracker decision and
+//! store update goes through a `dyn` seam (`MpptController`,
+//! `EnergyStore`, `Box<dyn ...>`), and a `Connect` step asks the PV
+//! surface two separate questions (Voc, then operating current). This
+//! module advances a whole *shard* of nodes with all of those seams
+//! devirtualized into flat struct-of-arrays lane state:
+//!
+//! ```text
+//!        shard of NodeSpec (fleet order)
+//!            │ build lanes (SoA)
+//!            ▼
+//!  kernels[] lanes[] stores[] accs[] traces[] ...   ← one slot per node
+//!            │ visit lanes grouped by placement      (cache locality:
+//!            ▼                                        shared surface)
+//!  FocvLaneStepper ──eh_sim::drive──▶ NodeReport per lane
+//!            │ fold in ORIGINAL fleet order
+//!            ▼
+//!        FleetReport (bit-identical to the per-node engine)
+//! ```
+//!
+//! The fast lane exists for [`TrackerKind::Focv`] (the paper's
+//! technique, and the one fleets run by default): its tracker state
+//! machine is transcribed into the `Copy`-able
+//! [`FocvKernel`]/[`FocvLane`] pair, the store is the enum-dispatched
+//! [`ConcreteStore`], and a `Connect` step resolves Voc and operating
+//! current in one fused [`eh_pv::CachedPvSurface::connect_point`]
+//! lookup. Every floating-point operation happens in the same order and
+//! on the same values as the per-node oracle, so the resulting
+//! [`FleetReport`] is bit-identical — a contract enforced by the
+//! `batch_equivalence` test suite. All other tracker kinds fall back to
+//! folding the oracle per node inside the shard, which is equivalent by
+//! construction.
+//!
+//! Cold-start feasibility is batched too: the per-lane supervisor
+//! currents are evaluated in one [`eh_pv::CachedPvSurface::eval_many`]
+//! sweep per placement group (scalar fallback on error keeps per-lane
+//! error attribution).
+
+use eh_converter::InputRegulatedConverter;
+use eh_core::baselines::{FocvDecision, FocvKernel, FocvLane};
+use eh_env::TimeSeries;
+use eh_node::{ConcreteStore, DutyCycledLoad, EnergyStore, NodeError, NodeReport};
+use eh_obs::{EnergyBucket, Metrics, Recorder};
+use eh_pv::{CachedPvSurface, ConnectPoint, PvCell, PvError};
+use eh_sim::{drive, Accumulator, Light, Mergeable, StepInput, StepOutput, Stepper};
+use eh_units::{Amps, Joules, Lux, Seconds, Volts};
+
+use crate::compare::TrackerKind;
+use crate::context::FleetContext;
+use crate::error::FleetError;
+use crate::population::NodeSpec;
+use crate::report::{FleetReport, NodeOutcome};
+use crate::spec::{FleetSpec, Placement};
+
+/// Simulates one shard of nodes and folds their reports in fleet order —
+/// the batch-engine counterpart of the per-node shard fold inside
+/// [`eh_sim::SweepRunner::run_merged`].
+pub(crate) fn simulate_shard(
+    ctx: &FleetContext,
+    kind: TrackerKind,
+    nodes: Vec<NodeSpec>,
+) -> Result<FleetReport, FleetError> {
+    if kind == TrackerKind::Focv {
+        simulate_shard_focv(ctx, nodes)
+    } else {
+        // Compatibility lane: no batched transcription exists for this
+        // tracker, so fold the per-node oracle over the shard — the
+        // same sequential fold `run_merged` performs.
+        let mut merged: Option<Result<FleetReport, FleetError>> = None;
+        for node in nodes {
+            let single = ctx.simulate_node(kind, node);
+            match merged.as_mut() {
+                None => merged = Some(single),
+                Some(m) => m.merge(single),
+            }
+        }
+        merged.expect("shards are non-empty")
+    }
+}
+
+/// Per-lane constant state built from one [`NodeSpec`]: the
+/// devirtualized tracker (kernel + initial lane), the concrete store,
+/// and the tracker's report name.
+type LaneBuild = (FocvKernel, FocvLane, ConcreteStore, String);
+
+/// Builds one lane, replicating the per-node engine's error precedence:
+/// tracker construction, then store construction, then the
+/// `measurement_dwell` validation [`eh_node::NodeSimulation::new`]
+/// performs.
+fn build_lane(spec: &FleetSpec, node: &NodeSpec) -> Result<LaneBuild, FleetError> {
+    let tracker = node.tracker()?;
+    let store = spec.store.build_concrete()?;
+    let dwell = node.pulse_width;
+    if !(dwell.value().is_finite() && dwell.value() > 0.0) {
+        return Err(NodeError::InvalidParameter {
+            name: "measurement_dwell",
+            value: dwell.value(),
+        }
+        .into());
+    }
+    let name = eh_core::MpptController::name(&tracker).to_owned();
+    Ok((tracker.kernel(), tracker.lane(), store, name))
+}
+
+/// The FOCV fast lane: struct-of-arrays lane state, placement-grouped
+/// sweep, fleet-order fold.
+fn simulate_shard_focv(
+    ctx: &FleetContext,
+    nodes: Vec<NodeSpec>,
+) -> Result<FleetReport, FleetError> {
+    let spec = ctx.spec();
+    let n = nodes.len();
+    let converter = InputRegulatedConverter::paper_prototype()?;
+
+    // Stage 1 — lane-constant state, one slot per node in fleet order.
+    let mut traces: Vec<TimeSeries> = Vec::with_capacity(n);
+    let mut peaks: Vec<Lux> = Vec::with_capacity(n);
+    let mut builds: Vec<Option<Result<LaneBuild, FleetError>>> = Vec::with_capacity(n);
+    for node in &nodes {
+        let trace = node.perturbation.apply(ctx.base_trace(node.placement));
+        peaks.push(Lux::new(trace.max()));
+        traces.push(trace);
+        builds.push(Some(build_lane(spec, node)));
+    }
+
+    // Stage 2 — batched cold-start feasibility (same math and call
+    // sequence as the per-node engine: Voc at the node's own peak must
+    // clear the supervisor knee, and the current at the knee must
+    // out-supply the supervisor's quiescent draw).
+    let cold = cold_start_lanes(ctx, &nodes, &peaks);
+
+    // Stage 3 — drive the lanes, grouped by placement so consecutive
+    // lanes hit the same warmed PV surface. Results land back in their
+    // fleet-order slots.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| nodes[i].placement.index());
+    let mut sims: Vec<Option<Result<NodeReport, FleetError>>> = Vec::with_capacity(n);
+    sims.resize_with(n, || None);
+    for &i in &order {
+        let build = builds[i].take().expect("each lane is built exactly once");
+        let result = match build {
+            Err(e) => Err(e),
+            Ok((kernel, lane, store, name)) => {
+                let cell = ctx.cell(nodes[i].placement);
+                match LaneCell::resolve(cell, spec.pv_cache) {
+                    Err(e) => Err(e.into()),
+                    Ok(lane_cell) => {
+                        let stepper = FocvLaneStepper {
+                            kernel,
+                            lane,
+                            cell: lane_cell,
+                            converter: &converter,
+                            store,
+                            load: spec.load.as_ref(),
+                            measurement_dwell: nodes[i].pulse_width,
+                            acc: Accumulator::new(),
+                            last_voc: None,
+                            metrics: spec.obs.then(Box::default),
+                        };
+                        stepper
+                            .run(&traces[i], spec.dt, name)
+                            .map_err(FleetError::from)
+                    }
+                }
+            }
+        };
+        sims[i] = Some(result);
+    }
+
+    // Fold in fleet order with the same `Mergeable` semantics as the
+    // per-node engine: per node, the cold-start result is consulted
+    // before the simulation result; across nodes, the first error in
+    // fleet order wins.
+    let mut merged: Option<Result<FleetReport, FleetError>> = None;
+    for (i, node) in nodes.iter().enumerate() {
+        let sim = sims[i].take().expect("each lane is simulated exactly once");
+        let single = match (cold[i].clone(), sim) {
+            (Err(e), _) => Err(e),
+            (Ok(_), Err(e)) => Err(e),
+            (Ok(cold_start_ok), Ok(report)) => Ok(FleetReport::single(
+                &spec.name,
+                NodeOutcome {
+                    id: node.id,
+                    placement: node.placement,
+                    cold_start_ok,
+                    report,
+                },
+            )),
+        };
+        match merged.as_mut() {
+            None => merged = Some(single),
+            Some(m) => m.merge(single),
+        }
+    }
+    merged.expect("shards are non-empty")
+}
+
+/// Per-lane cold-start feasibility, batched.
+///
+/// Voc screening stays scalar (one lookup per lane); the follow-up
+/// supervisor-current evaluations of all Voc-passing lanes are swept in
+/// one [`CachedPvSurface::eval_many`] call per placement group. On an
+/// `eval_many` error the group falls back to scalar evaluation so the
+/// failure is attributed to the lane that caused it, exactly as the
+/// per-node engine would.
+fn cold_start_lanes(
+    ctx: &FleetContext,
+    nodes: &[NodeSpec],
+    peaks: &[Lux],
+) -> Vec<Result<bool, FleetError>> {
+    let knee = ctx.knee();
+    let quiescent = ctx.cold().supervisor_current();
+    let mut cold: Vec<Result<bool, FleetError>> = nodes
+        .iter()
+        .zip(peaks)
+        .map(|(node, &peak)| {
+            let cell = ctx.cell(node.placement);
+            cell.open_circuit_voltage(peak)
+                .map(|voc| voc > knee)
+                .map_err(FleetError::from)
+        })
+        .collect();
+
+    for p in Placement::ALL {
+        let candidates: Vec<usize> = (0..nodes.len())
+            .filter(|&i| nodes[i].placement == p && matches!(cold[i], Ok(true)))
+            .collect();
+        if candidates.is_empty() {
+            continue;
+        }
+        let cell = ctx.cell(p);
+        let swept = if ctx.spec().pv_cache {
+            cell.cached().ok().and_then(|surface| {
+                let mut v_lux = Vec::with_capacity(candidates.len() * 2);
+                for &i in &candidates {
+                    v_lux.push(knee.value());
+                    v_lux.push(peaks[i].value());
+                }
+                let mut out = vec![0.0; candidates.len()];
+                surface.eval_many(&v_lux, &mut out).ok()?;
+                Some(out)
+            })
+        } else {
+            None
+        };
+        match swept {
+            Some(out) => {
+                for (j, &i) in candidates.iter().enumerate() {
+                    cold[i] = Ok(Amps::new(out[j]) > quiescent);
+                }
+            }
+            // Scalar path: cache disabled, or the batched sweep failed
+            // and each lane re-evaluates to own its error.
+            None => {
+                for &i in &candidates {
+                    cold[i] = cell
+                        .current_at(knee, peaks[i])
+                        .map(|amps| amps > quiescent)
+                        .map_err(FleetError::from);
+                }
+            }
+        }
+    }
+    cold
+}
+
+/// A lane's view of its placement's PV cell, devirtualized.
+enum LaneCell<'a> {
+    /// The memoized surface: `Connect` steps use the fused
+    /// [`CachedPvSurface::connect_point`] lookup.
+    Cached(&'a CachedPvSurface),
+    /// The exact solver path (`pv_cache: false`), emulating
+    /// `connect_point` with the per-node engine's exact call sequence.
+    Exact(&'a PvCell),
+}
+
+impl<'a> LaneCell<'a> {
+    fn resolve(cell: &'a PvCell, pv_cache: bool) -> Result<Self, PvError> {
+        if pv_cache {
+            Ok(Self::Cached(cell.cached()?))
+        } else {
+            Ok(Self::Exact(cell))
+        }
+    }
+
+    #[inline]
+    fn open_circuit_voltage(&self, lux: Lux) -> Result<Volts, PvError> {
+        match self {
+            Self::Cached(surface) => surface.open_circuit_voltage(lux),
+            Self::Exact(cell) => cell.open_circuit_voltage(lux),
+        }
+    }
+
+    #[inline]
+    fn connect_point(&self, target: Volts, lux: Lux) -> Result<ConnectPoint, PvError> {
+        match self {
+            Self::Cached(surface) => surface.connect_point(target, lux),
+            Self::Exact(cell) => {
+                let voc = cell.open_circuit_voltage(lux)?;
+                let v_op = target.min(voc);
+                let current = if v_op.value() > 0.0 {
+                    Some(cell.current_at(v_op, lux)?)
+                } else {
+                    None
+                };
+                Ok(ConnectPoint { voc, v_op, current })
+            }
+        }
+    }
+}
+
+/// One batched FOCV lane as a steppable system: the per-node engine's
+/// `NodeStepper` with every `dyn` seam replaced by a concrete type, and
+/// the `Connect` PV double-lookup fused into one `connect_point` call.
+/// Every arithmetic operation matches the oracle's order and operands.
+struct FocvLaneStepper<'a> {
+    kernel: FocvKernel,
+    lane: FocvLane,
+    cell: LaneCell<'a>,
+    converter: &'a InputRegulatedConverter,
+    store: ConcreteStore,
+    load: Option<&'a DutyCycledLoad>,
+    measurement_dwell: Seconds,
+    acc: Accumulator,
+    last_voc: Option<Volts>,
+    metrics: Option<Box<Metrics>>,
+}
+
+impl FocvLaneStepper<'_> {
+    /// Drives the lane over its trace and assembles the [`NodeReport`]
+    /// exactly as [`eh_node::NodeSimulation::run`] does.
+    fn run(
+        mut self,
+        trace: &TimeSeries,
+        dt: Seconds,
+        tracker_name: String,
+    ) -> Result<NodeReport, NodeError> {
+        let light = Light::trace(trace);
+        drive(&mut self, &light, dt)?;
+        let acc = self.acc;
+        let mut metrics = self.metrics.take().map(|b| *b);
+        if let Some(m) = metrics.as_mut() {
+            m.add_counter("node.measurements", acc.measurements);
+            let closed_loop = acc.overhead_energy + acc.loss_energy + acc.load_served;
+            m.ledger().check_conservation(closed_loop, 1e-9)?;
+        }
+        Ok(NodeReport {
+            tracker: tracker_name,
+            duration: trace.duration(),
+            gross_energy: acc.gross_energy,
+            overhead_energy: acc.overhead_energy,
+            load_demand: acc.load_demand,
+            load_served: acc.load_served,
+            final_store_energy: self.store.stored_energy(),
+            loss_energy: acc.loss_energy,
+            measurements: acc.measurements,
+            metrics,
+        })
+    }
+}
+
+impl Stepper for FocvLaneStepper<'_> {
+    type Error = NodeError;
+
+    fn step(
+        &mut self,
+        t: Seconds,
+        dt: Seconds,
+        input: &StepInput,
+    ) -> Result<StepOutput, NodeError> {
+        let lux = input.lux;
+        let decision = self.kernel.step(&mut self.lane, self.last_voc.take(), dt);
+        let is_connect = matches!(decision, FocvDecision::Connect(_));
+        let actual = if is_connect {
+            dt
+        } else {
+            self.measurement_dwell.min(dt)
+        };
+
+        match decision {
+            FocvDecision::Connect(target) if target.value() > 0.0 => {
+                let point = self.cell.connect_point(target, lux)?;
+                if let Some(current) = point.current {
+                    let current = current.max(Amps::ZERO);
+                    let harvest = self.converter.harvest(point.v_op, current, actual);
+                    self.acc.add_harvest(harvest.output_energy);
+                    self.acc.add_loss(harvest.losses * actual);
+                    harvest.observe(actual, &mut self.metrics);
+                    self.store.deposit(harvest.output_energy);
+                }
+            }
+            FocvDecision::Connect(_) => {}
+            FocvDecision::Measure => {
+                let voc = self.cell.open_circuit_voltage(lux)?;
+                self.last_voc = Some(voc);
+                self.acc.count_measurement();
+            }
+        }
+
+        let overhead = self.kernel.overhead_power() * actual;
+        self.acc.add_overhead(overhead);
+        self.store.withdraw(overhead);
+
+        let mut served = Joules::ZERO;
+        if let Some(load) = self.load {
+            let demand = load.energy_demand(t, actual);
+            served = self.store.withdraw(demand);
+            self.acc.add_load(demand, served);
+        }
+
+        self.store.leak(actual);
+
+        if let Some(m) = self.metrics.as_deref_mut() {
+            let bucket = if is_connect {
+                EnergyBucket::Astable
+            } else {
+                EnergyBucket::SampleHold
+            };
+            m.charge(bucket, overhead);
+            m.charge(EnergyBucket::Load, served);
+            let mut span = if is_connect {
+                eh_obs::span!("node.harvesting")
+            } else {
+                eh_obs::span!("node.measuring")
+            };
+            span.add_time(actual);
+            span.finish(m);
+        }
+
+        Ok(StepOutput::dwell(actual))
+    }
+
+    fn recorder(&mut self) -> Option<&mut Metrics> {
+        self.metrics.as_deref_mut()
+    }
+}

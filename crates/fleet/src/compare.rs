@@ -130,9 +130,25 @@ pub fn compare_trackers_over_fleet(
     spec: &FleetSpec,
     runner: &FleetRunner,
 ) -> Result<Vec<(TrackerKind, FleetReport)>, FleetError> {
+    compare_trackers_over_fleet_with(spec, runner, crate::Engine::PerNode)
+}
+
+/// [`compare_trackers_over_fleet`] through an explicit execution
+/// engine. The shared fleet inputs (population, traces, warmed
+/// surfaces) are prepared once and reused across all tracker kinds.
+///
+/// # Errors
+///
+/// Propagates the first failing fleet run.
+pub fn compare_trackers_over_fleet_with(
+    spec: &FleetSpec,
+    runner: &FleetRunner,
+    engine: crate::Engine,
+) -> Result<Vec<(TrackerKind, FleetReport)>, FleetError> {
+    let ctx = crate::FleetContext::prepare(spec)?;
     TrackerKind::ALL
         .iter()
-        .map(|&kind| Ok((kind, runner.run_tracker(spec, kind)?)))
+        .map(|&kind| Ok((kind, runner.run_engine_prepared(&ctx, kind, engine)?)))
         .collect()
 }
 

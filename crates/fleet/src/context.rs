@@ -1,0 +1,189 @@
+//! Prepared shared inputs of a fleet run.
+//!
+//! Building a fleet's shared inputs — the seeded population, one base
+//! day trace per placement, the warmed PV surface pool, the cold-start
+//! supervisor constants — costs hundreds of milliseconds, which used to
+//! be paid on every [`crate::FleetRunner::run`] call. A [`FleetContext`]
+//! hoists that setup so repeated runs (tracker comparisons, benchmarks,
+//! engine cross-checks) pay it once; both the per-node and the batch
+//! engine execute against the same prepared context, which is also what
+//! makes their outputs directly comparable.
+
+use eh_converter::{ColdStart, InputRegulatedConverter};
+use eh_env::{week, TimeSeries};
+use eh_node::{NodeSimulation, SimConfig};
+use eh_pv::PvCell;
+use eh_units::{Lux, Volts};
+
+use crate::compare::TrackerKind;
+use crate::error::FleetError;
+use crate::pool::SurfacePool;
+use crate::population::NodeSpec;
+use crate::report::{FleetReport, NodeOutcome};
+use crate::spec::{FleetSpec, Placement};
+
+/// The shared, immutable inputs of a fleet run, prepared once: the
+/// validated spec, its seeded population, one base day trace per
+/// placement in use, the warmed [`SurfacePool`], and the paper's §III
+/// cold-start supervisor constants.
+#[derive(Debug)]
+pub struct FleetContext {
+    spec: FleetSpec,
+    population: Vec<NodeSpec>,
+    traces: [Option<TimeSeries>; 3],
+    pool: SurfacePool,
+    cold: ColdStart,
+    knee: Volts,
+}
+
+impl FleetContext {
+    /// Prepares the shared inputs for `spec`: validates it, stamps the
+    /// population, decimates one base trace per day kind in use, and
+    /// warms one PV surface per placement temperature.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spec validation, trace construction, and surface
+    /// warming failures.
+    pub fn prepare(spec: &FleetSpec) -> Result<Self, FleetError> {
+        let population = spec.population()?;
+
+        // Shared inputs, built once: one base trace per day kind (the
+        // two office placements share the office day) and one warmed
+        // PV surface per placement temperature in use.
+        let in_use: Vec<Placement> = Placement::ALL
+            .into_iter()
+            .filter(|p| population.iter().any(|n| n.placement == *p))
+            .collect();
+        let mut traces: [Option<TimeSeries>; 3] = [None, None, None];
+        for &p in &in_use {
+            let existing = in_use
+                .iter()
+                .take_while(|q| **q != p)
+                .find(|q| q.day_kind() == p.day_kind())
+                .map(|q| traces[q.index()].clone().expect("earlier placement traced"));
+            traces[p.index()] = Some(match existing {
+                Some(t) => t,
+                None => week::day(p.day_kind(), spec.seed).decimate(spec.trace_decimate)?,
+            });
+        }
+        let pool = SurfacePool::warm(&spec.cell, in_use.iter().copied(), spec.pv_cache)?;
+        let cold = ColdStart::paper_prototype()?;
+        let knee = cold.enable_threshold() + cold.diode_drop();
+
+        Ok(Self {
+            spec: spec.clone(),
+            population,
+            traces,
+            pool,
+            cold,
+            knee,
+        })
+    }
+
+    /// The spec this context was prepared from.
+    pub fn spec(&self) -> &FleetSpec {
+        &self.spec
+    }
+
+    /// The seeded population, in fleet order.
+    pub fn population(&self) -> &[NodeSpec] {
+        &self.population
+    }
+
+    /// The shared base trace of a placement in use.
+    pub(crate) fn base_trace(&self, p: Placement) -> &TimeSeries {
+        self.traces[p.index()]
+            .as_ref()
+            .expect("every placement in use has a base trace")
+    }
+
+    /// The warmed cell of a placement in use.
+    pub(crate) fn cell(&self, p: Placement) -> &PvCell {
+        self.pool
+            .cell(p)
+            .expect("every placement in use has a warmed cell")
+    }
+
+    /// The cold-start supervisor model.
+    pub(crate) fn cold(&self) -> &ColdStart {
+        &self.cold
+    }
+
+    /// The supervisor knee: enable threshold plus steering-diode drop.
+    pub(crate) fn knee(&self) -> Volts {
+        self.knee
+    }
+
+    /// Simulates one node with the per-node oracle engine — the body
+    /// every shard worker folds over, and the reference the batch
+    /// engine is equivalence-tested against.
+    pub(crate) fn simulate_node(
+        &self,
+        kind: TrackerKind,
+        node: NodeSpec,
+    ) -> Result<FleetReport, FleetError> {
+        let spec = &self.spec;
+        let base = self.base_trace(node.placement);
+        let trace = node.perturbation.apply(base);
+        let cell = self.cell(node.placement).clone();
+
+        // Analytic cold-start feasibility: at this node's own peak
+        // illuminance, the module must push the supervisor's C1
+        // past the enable threshold through the steering diode
+        // while out-supplying the supervisor's quiescent draw.
+        let peak = Lux::new(trace.max());
+        let cold_start_ok = cell.open_circuit_voltage(peak)? > self.knee
+            && cell.current_at(self.knee, peak)? > self.cold.supervisor_current();
+
+        let mut tracker = kind.build(&node, &cell)?;
+        let config = SimConfig {
+            cell,
+            converter: InputRegulatedConverter::paper_prototype()?,
+            measurement_dwell: node.pulse_width,
+            load: spec.load.clone(),
+            store: spec.store.build()?,
+            pv_cache: spec.pv_cache,
+            obs: spec.obs,
+        };
+        let report = NodeSimulation::new(config)?.run(tracker.as_mut(), &trace, spec.dt)?;
+        Ok(FleetReport::single(
+            &spec.name,
+            NodeOutcome {
+                id: node.id,
+                placement: node.placement,
+                cold_start_ok,
+                report,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eh_units::Seconds;
+
+    #[test]
+    fn prepare_hoists_population_and_traces() {
+        let mut spec = FleetSpec::mixed_indoor_outdoor(12, 2011).unwrap();
+        spec.trace_decimate = 600;
+        spec.dt = Seconds::new(600.0);
+        let ctx = FleetContext::prepare(&spec).unwrap();
+        assert_eq!(ctx.population().len(), 12);
+        assert_eq!(ctx.population(), spec.population().unwrap());
+        for node in ctx.population() {
+            // Every placement the population uses is traced and warmed.
+            assert!(ctx.base_trace(node.placement).len() > 1);
+            let _ = ctx.cell(node.placement);
+        }
+        assert!(ctx.knee().value() > 0.0);
+    }
+
+    #[test]
+    fn prepare_rejects_invalid_specs() {
+        let mut spec = FleetSpec::mixed_indoor_outdoor(12, 2011).unwrap();
+        spec.nodes = 0;
+        assert!(FleetContext::prepare(&spec).is_err());
+    }
+}

@@ -55,6 +55,12 @@ impl From<NodeError> for FleetError {
     }
 }
 
+impl From<eh_sim::SimError> for FleetError {
+    fn from(e: eh_sim::SimError) -> Self {
+        FleetError::Node(e.into())
+    }
+}
+
 impl From<EnvError> for FleetError {
     fn from(e: EnvError) -> Self {
         FleetError::Env(e)

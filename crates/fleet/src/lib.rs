@@ -43,7 +43,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod compare;
+mod context;
 mod error;
 mod pool;
 mod population;
@@ -51,10 +53,11 @@ mod report;
 mod run;
 mod spec;
 
-pub use compare::{compare_trackers_over_fleet, TrackerKind};
+pub use compare::{compare_trackers_over_fleet, compare_trackers_over_fleet_with, TrackerKind};
+pub use context::FleetContext;
 pub use error::FleetError;
 pub use pool::SurfacePool;
 pub use population::NodeSpec;
 pub use report::{FleetReport, NodeOutcome, Percentiles};
-pub use run::FleetRunner;
+pub use run::{run_fleet_batched, Engine, FleetRunner};
 pub use spec::{FleetSpec, Placement, PlacementMix, Tolerances};

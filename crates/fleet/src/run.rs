@@ -1,9 +1,11 @@
 //! The sharded fleet runner.
 //!
 //! ```text
-//! FleetSpec ──population()──▶ [NodeSpec; N] ──shards──▶ SweepRunner
-//!     │                                                    │ fold per shard
-//!     └─▶ base day traces + warmed surface pool (shared)   ▼
+//! FleetSpec ──FleetContext::prepare──▶ population + traces + pool
+//!     │                                        │
+//!     │              ┌─ per-node engine ───────┤ shards ──▶ SweepRunner
+//!     └─ Engine ─────┤                         │               │ fold
+//!                    └─ batch engine (SoA) ────┘               ▼
 //!                       FleetReport ◀──merge in shard index order
 //! ```
 //!
@@ -12,24 +14,68 @@
 //! warmed PV surface, and folds the single-node reports locally; the
 //! per-shard aggregates merge in shard index order. The result is
 //! bit-for-bit identical at any worker count.
+//!
+//! Two engines execute a shard: the per-node oracle (one boxed tracker
+//! and store per node, the reference semantics) and the batch engine in
+//! [`crate::batch`] (struct-of-arrays lane state, devirtualized
+//! tracker/store, fused PV lookups), which produces bit-identical
+//! reports roughly an order of magnitude faster.
 
-use eh_converter::{ColdStart, InputRegulatedConverter};
-use eh_env::{week, TimeSeries};
-use eh_node::{NodeSimulation, SimConfig};
-use eh_sim::SweepRunner;
-use eh_units::Lux;
+use eh_sim::{BatchRunner, SweepRunner};
 
+use crate::batch;
 use crate::compare::TrackerKind;
+use crate::context::FleetContext;
 use crate::error::FleetError;
-use crate::pool::SurfacePool;
-use crate::population::NodeSpec;
-use crate::report::{FleetReport, NodeOutcome};
-use crate::spec::{FleetSpec, Placement};
+use crate::report::FleetReport;
+use crate::spec::FleetSpec;
+
+/// Which shard-execution engine a fleet run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Engine {
+    /// The reference engine: one boxed tracker, store and simulation
+    /// per node. Slow but maximally simple — the oracle the batch
+    /// engine is equivalence-tested against.
+    PerNode,
+    /// The struct-of-arrays batch engine ([`crate::batch`]): whole
+    /// shards advance with devirtualized lane state and fused PV
+    /// lookups, bit-identical to [`Engine::PerNode`].
+    Batch,
+}
+
+impl Engine {
+    /// Every engine, reference first.
+    pub const ALL: [Engine; 2] = [Engine::PerNode, Engine::Batch];
+
+    /// Stable label for reports and CLI flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            Engine::PerNode => "per-node",
+            Engine::Batch => "batch",
+        }
+    }
+
+    /// Parses a CLI/env spelling (`per-node`, `per_node`, `batch`, ...).
+    pub fn parse(s: &str) -> Option<Engine> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "per-node" | "per_node" | "pernode" | "node" | "oracle" => Some(Engine::PerNode),
+            "batch" | "batched" => Some(Engine::Batch),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// Runs fleets: a [`SweepRunner`] plus a shard size.
 ///
 /// The shard size trades scheduling overhead against load balance; it
-/// never affects the result (see
+/// never affects the per-node outcomes (see
 /// [`eh_sim::SweepRunner::run_merged`]'s order contract).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FleetRunner {
@@ -97,89 +143,162 @@ impl FleetRunner {
         spec: &FleetSpec,
         kind: TrackerKind,
     ) -> Result<FleetReport, FleetError> {
-        let population = spec.population()?;
+        let ctx = FleetContext::prepare(spec)?;
+        self.run_tracker_prepared(&ctx, kind)
+    }
 
-        // Shared inputs, built once: one base trace per day kind (the
-        // two office placements share the office day) and one warmed
-        // PV surface per placement temperature in use.
-        let in_use: Vec<Placement> = Placement::ALL
-            .into_iter()
-            .filter(|p| population.iter().any(|n| n.placement == *p))
-            .collect();
-        let mut traces: [Option<TimeSeries>; 3] = [None, None, None];
-        for &p in &in_use {
-            let existing = in_use
-                .iter()
-                .take_while(|q| **q != p)
-                .find(|q| q.day_kind() == p.day_kind())
-                .map(|q| traces[q.index()].clone().expect("earlier placement traced"));
-            traces[p.index()] = Some(match existing {
-                Some(t) => t,
-                None => week::day(p.day_kind(), spec.seed).decimate(spec.trace_decimate)?,
-            });
-        }
-        let pool = SurfacePool::warm(&spec.cell, in_use.iter().copied(), spec.pv_cache)?;
-        let cold = ColdStart::paper_prototype()?;
-        let knee = cold.enable_threshold() + cold.diode_drop();
+    /// [`FleetRunner::run`] against an already-prepared context,
+    /// skipping the per-run setup (population, traces, surface warm).
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetRunner::run`].
+    pub fn run_prepared(&self, ctx: &FleetContext) -> Result<FleetReport, FleetError> {
+        self.run_tracker_prepared(ctx, TrackerKind::Focv)
+    }
 
-        let simulate = |_idx: usize, node: NodeSpec| -> Result<FleetReport, FleetError> {
-            let base = traces[node.placement.index()]
-                .as_ref()
-                .expect("every placement in use has a base trace");
-            let trace = node.perturbation.apply(base);
-            let cell = pool
-                .cell(node.placement)
-                .expect("every placement in use has a warmed cell")
-                .clone();
-
-            // Analytic cold-start feasibility: at this node's own peak
-            // illuminance, the module must push the supervisor's C1
-            // past the enable threshold through the steering diode
-            // while out-supplying the supervisor's quiescent draw.
-            let peak = Lux::new(trace.max());
-            let cold_start_ok = cell.open_circuit_voltage(peak)? > knee
-                && cell.current_at(knee, peak)? > cold.supervisor_current();
-
-            let mut tracker = kind.build(&node, &cell)?;
-            let config = SimConfig {
-                cell,
-                converter: InputRegulatedConverter::paper_prototype()?,
-                measurement_dwell: node.pulse_width,
-                load: spec.load.clone(),
-                store: spec.store.build()?,
-                pv_cache: spec.pv_cache,
-                obs: spec.obs,
-            };
-            let report = NodeSimulation::new(config)?.run(tracker.as_mut(), &trace, spec.dt)?;
-            Ok(FleetReport::single(
-                &spec.name,
-                NodeOutcome {
-                    id: node.id,
-                    placement: node.placement,
-                    cold_start_ok,
-                    report,
-                },
-            ))
-        };
-
-        let mut report = self
+    /// [`FleetRunner::run_tracker`] against an already-prepared context.
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetRunner::run`].
+    pub fn run_tracker_prepared(
+        &self,
+        ctx: &FleetContext,
+        kind: TrackerKind,
+    ) -> Result<FleetReport, FleetError> {
+        let population = ctx.population().to_vec();
+        let simulate =
+            |_idx: usize, node: crate::population::NodeSpec| ctx.simulate_node(kind, node);
+        let report = self
             .runner
-            .run_merged(population, self.shard_size, simulate)
+            .run_merged(population, self.shard_size, simulate)?
             .expect("validated specs have at least one node")?;
-        // Fleet-scope counters are folded after the merge so they are
-        // recorded exactly once regardless of sharding.
+        Ok(Self::stamp_fleet_counters(report))
+    }
+
+    /// Runs the fleet through the batch engine (FOCV tracker).
+    ///
+    /// Bit-identical to [`FleetRunner::run`]: same outcomes in the same
+    /// order at any worker count, and the same merged metrics at equal
+    /// shard size.
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetRunner::run`].
+    pub fn run_batched(&self, spec: &FleetSpec) -> Result<FleetReport, FleetError> {
+        self.run_tracker_batched(spec, TrackerKind::Focv)
+    }
+
+    /// Runs an arbitrary tracker kind through the batch engine.
+    ///
+    /// Only [`TrackerKind::Focv`] has a dedicated fast lane; other
+    /// kinds fall back to the per-node oracle inside each shard (still
+    /// bit-identical, not faster).
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetRunner::run`].
+    pub fn run_tracker_batched(
+        &self,
+        spec: &FleetSpec,
+        kind: TrackerKind,
+    ) -> Result<FleetReport, FleetError> {
+        let ctx = FleetContext::prepare(spec)?;
+        self.run_tracker_batched_prepared(&ctx, kind)
+    }
+
+    /// [`FleetRunner::run_batched`] against an already-prepared context.
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetRunner::run`].
+    pub fn run_batched_prepared(&self, ctx: &FleetContext) -> Result<FleetReport, FleetError> {
+        self.run_tracker_batched_prepared(ctx, TrackerKind::Focv)
+    }
+
+    /// [`FleetRunner::run_tracker_batched`] against an
+    /// already-prepared context.
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetRunner::run`].
+    pub fn run_tracker_batched_prepared(
+        &self,
+        ctx: &FleetContext,
+        kind: TrackerKind,
+    ) -> Result<FleetReport, FleetError> {
+        let batch_runner = BatchRunner::from_runner(self.runner, self.shard_size)?;
+        let population = ctx.population().to_vec();
+        let report = batch_runner
+            .run_shards(population, |_idx, nodes| {
+                batch::simulate_shard(ctx, kind, nodes)
+            })
+            .expect("validated specs have at least one node")?;
+        Ok(Self::stamp_fleet_counters(report))
+    }
+
+    /// Dispatches to [`FleetRunner::run_tracker`] or
+    /// [`FleetRunner::run_tracker_batched`] by `engine`.
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetRunner::run`].
+    pub fn run_engine(
+        &self,
+        spec: &FleetSpec,
+        kind: TrackerKind,
+        engine: Engine,
+    ) -> Result<FleetReport, FleetError> {
+        let ctx = FleetContext::prepare(spec)?;
+        self.run_engine_prepared(&ctx, kind, engine)
+    }
+
+    /// [`FleetRunner::run_engine`] against an already-prepared context.
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetRunner::run`].
+    pub fn run_engine_prepared(
+        &self,
+        ctx: &FleetContext,
+        kind: TrackerKind,
+        engine: Engine,
+    ) -> Result<FleetReport, FleetError> {
+        match engine {
+            Engine::PerNode => self.run_tracker_prepared(ctx, kind),
+            Engine::Batch => self.run_tracker_batched_prepared(ctx, kind),
+        }
+    }
+
+    /// Fleet-scope counters are folded after the merge so they are
+    /// recorded exactly once regardless of sharding or engine.
+    fn stamp_fleet_counters(mut report: FleetReport) -> FleetReport {
         if let Some(m) = report.metrics.as_mut() {
             use eh_obs::Recorder as _;
             m.add_counter("fleet.nodes", report.outcomes.len() as u64);
         }
-        Ok(report)
+        report
     }
+}
+
+/// Runs `spec` through the batch engine — the free-function spelling of
+/// [`FleetRunner::run_batched`].
+///
+/// # Errors
+///
+/// As [`FleetRunner::run`].
+pub fn run_fleet_batched(
+    spec: &FleetSpec,
+    runner: &FleetRunner,
+) -> Result<FleetReport, FleetError> {
+    runner.run_batched(spec)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::Tolerances;
+    use crate::spec::{Placement, Tolerances};
     use eh_units::Seconds;
 
     /// A small fleet that still exercises every placement, sized so the
@@ -283,5 +402,56 @@ mod tests {
         let oracle = runner.run_tracker(&spec, TrackerKind::Oracle).unwrap();
         let net = |r: &FleetReport| r.net_energy_percentiles().unwrap().p50;
         assert!(net(&oracle) >= net(&focv));
+    }
+
+    #[test]
+    fn batch_engine_matches_per_node_engine_on_the_small_fleet() {
+        let spec = small_spec();
+        let runner = FleetRunner::new(2);
+        let per_node = runner.run(&spec).unwrap();
+        let batched = runner.run_batched(&spec).unwrap();
+        assert_eq!(per_node, batched);
+        assert_eq!(
+            run_fleet_batched(&spec, &runner).unwrap(),
+            batched,
+            "free function must match the method spelling"
+        );
+    }
+
+    #[test]
+    fn prepared_runs_match_unprepared_runs() {
+        let spec = small_spec();
+        let runner = FleetRunner::new(1);
+        let ctx = FleetContext::prepare(&spec).unwrap();
+        assert_eq!(
+            runner.run_prepared(&ctx).unwrap(),
+            runner.run(&spec).unwrap()
+        );
+        assert_eq!(
+            runner.run_batched_prepared(&ctx).unwrap(),
+            runner.run_batched(&spec).unwrap()
+        );
+    }
+
+    #[test]
+    fn engine_labels_parse_and_dispatch() {
+        assert_eq!(Engine::parse("batch"), Some(Engine::Batch));
+        assert_eq!(Engine::parse("per-node"), Some(Engine::PerNode));
+        assert_eq!(Engine::parse("PER_NODE"), Some(Engine::PerNode));
+        assert_eq!(Engine::parse("warp"), None);
+        for engine in Engine::ALL {
+            assert_eq!(Engine::parse(engine.label()), Some(engine));
+            assert_eq!(engine.to_string(), engine.label());
+        }
+        let spec = small_spec();
+        let runner = FleetRunner::new(1);
+        assert_eq!(
+            runner
+                .run_engine(&spec, TrackerKind::Focv, Engine::Batch)
+                .unwrap(),
+            runner
+                .run_engine(&spec, TrackerKind::Focv, Engine::PerNode)
+                .unwrap()
+        );
     }
 }

@@ -1,0 +1,124 @@
+//! Oracle-equivalence contract of the batch engine.
+//!
+//! The per-node engine is the reference semantics; the batch engine is
+//! a performance refactor that must be **bit-identical**: same
+//! [`FleetReport`] (outcomes in fleet order, and merged metrics at
+//! equal shard size) across seeds, worker counts and shard sizes.
+//! These tests are the contract — any divergence, down to the last ULP
+//! of any energy total, is a bug in the batch engine.
+
+use eh_fleet::{
+    compare_trackers_over_fleet_with, Engine, FleetContext, FleetReport, FleetRunner, FleetSpec,
+    TrackerKind,
+};
+use eh_units::Seconds;
+
+/// A fast, fully heterogeneous spec: every placement, 10-minute light
+/// grid, 10-minute step.
+fn spec(nodes: u32, seed: u64) -> FleetSpec {
+    let mut spec = FleetSpec::mixed_indoor_outdoor(nodes, seed).unwrap();
+    spec.trace_decimate = 600;
+    spec.dt = Seconds::new(600.0);
+    spec
+}
+
+fn assert_reports_identical(reference: &FleetReport, candidate: &FleetReport, what: &str) {
+    assert_eq!(
+        reference.outcomes.len(),
+        candidate.outcomes.len(),
+        "{what}: node count diverged"
+    );
+    for (a, b) in reference.outcomes.iter().zip(&candidate.outcomes) {
+        assert_eq!(a, b, "{what}: node {} diverged", a.id);
+    }
+    assert_eq!(reference, candidate, "{what}: fleet aggregate diverged");
+}
+
+#[test]
+fn batch_matches_per_node_across_seeds_workers_and_shards() {
+    for seed in [2011_u64, 7, 404] {
+        let spec = spec(24, seed);
+        let ctx = FleetContext::prepare(&spec).unwrap();
+        let reference = FleetRunner::new(1).run_prepared(&ctx).unwrap();
+        for workers in [1_usize, 2, 4] {
+            for shard_size in [1_usize, 32, 257] {
+                let runner = FleetRunner::new(workers).with_shard_size(shard_size);
+                let batched = runner.run_batched_prepared(&ctx).unwrap();
+                assert_reports_identical(
+                    &reference,
+                    &batched,
+                    &format!("seed {seed}, {workers} workers, shard {shard_size}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_obs_metrics_match_per_node_at_equal_shard_size() {
+    let mut spec = spec(24, 2011);
+    spec.obs = true;
+    let ctx = FleetContext::prepare(&spec).unwrap();
+    // The fleet-level metric fold groups per-shard partial sums, so the
+    // merged floats are engine-comparable at equal shard size (the
+    // outcomes themselves are shard-size-invariant either way).
+    for shard_size in [1_usize, 8, 32] {
+        let runner = FleetRunner::new(2).with_shard_size(shard_size);
+        let per_node = runner.run_prepared(&ctx).unwrap();
+        let batched = runner.run_batched_prepared(&ctx).unwrap();
+        assert_reports_identical(
+            &per_node,
+            &batched,
+            &format!("obs fleet, shard {shard_size}"),
+        );
+        assert!(per_node.metrics.is_some(), "obs run must carry metrics");
+        assert_eq!(
+            per_node.metrics, batched.metrics,
+            "merged metrics diverged at shard size {shard_size}"
+        );
+    }
+    // And the batch engine's merged metrics are worker-invariant.
+    let one = FleetRunner::new(1).run_batched_prepared(&ctx).unwrap();
+    let four = FleetRunner::new(4).run_batched_prepared(&ctx).unwrap();
+    assert_eq!(one, four, "batch metrics depend on worker count");
+}
+
+#[test]
+fn batch_compatibility_lane_covers_every_tracker_kind() {
+    let spec = spec(8, 99);
+    let ctx = FleetContext::prepare(&spec).unwrap();
+    let runner = FleetRunner::new(2).with_shard_size(3);
+    for &kind in &TrackerKind::ALL {
+        let per_node = runner.run_tracker_prepared(&ctx, kind).unwrap();
+        let batched = runner.run_tracker_batched_prepared(&ctx, kind).unwrap();
+        assert_reports_identical(&per_node, &batched, kind.label());
+    }
+}
+
+#[test]
+fn batch_population_path_is_prefix_stable() {
+    // Growing the fleet appends nodes; the existing prefix re-simulates
+    // to the exact same outcomes through the batch engine.
+    let runner = FleetRunner::new(2);
+    let small = runner.run_batched(&spec(12, 2011)).unwrap();
+    let large = runner.run_batched(&spec(36, 2011)).unwrap();
+    assert_eq!(small.outcomes.len(), 12);
+    assert_eq!(
+        small.outcomes.as_slice(),
+        &large.outcomes[..12],
+        "prefix outcomes diverged when the fleet grew"
+    );
+}
+
+#[test]
+fn engine_aware_comparison_matrix_is_engine_invariant() {
+    let spec = spec(6, 5);
+    let runner = FleetRunner::new(2);
+    let per_node = compare_trackers_over_fleet_with(&spec, &runner, Engine::PerNode).unwrap();
+    let batched = compare_trackers_over_fleet_with(&spec, &runner, Engine::Batch).unwrap();
+    assert_eq!(per_node.len(), TrackerKind::ALL.len());
+    for ((kind_a, report_a), (kind_b, report_b)) in per_node.iter().zip(&batched) {
+        assert_eq!(kind_a, kind_b);
+        assert_reports_identical(report_a, report_b, kind_a.label());
+    }
+}

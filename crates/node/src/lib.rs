@@ -49,4 +49,4 @@ pub use error::NodeError;
 pub use load::{DutyCycledLoad, LoadPhase};
 pub use report::NodeReport;
 pub use sim::{NodeSimulation, SimConfig};
-pub use storage::{Battery, EnergyStore, IdealStore, StoreSpec, Supercapacitor};
+pub use storage::{Battery, ConcreteStore, EnergyStore, IdealStore, StoreSpec, Supercapacitor};

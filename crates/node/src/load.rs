@@ -62,6 +62,7 @@ impl LoadPhase {
 pub struct DutyCycledLoad {
     phases: Vec<LoadPhase>,
     period: Seconds,
+    average: Watts,
 }
 
 impl DutyCycledLoad {
@@ -78,7 +79,16 @@ impl DutyCycledLoad {
             });
         }
         let period = Seconds::new(phases.iter().map(|p| p.duration.value()).sum());
-        Ok(Self { phases, period })
+        let energy: f64 = phases
+            .iter()
+            .map(|p| p.power.value() * p.duration.value())
+            .sum();
+        let average = Watts::new(energy / period.value());
+        Ok(Self {
+            phases,
+            period,
+            average,
+        })
     }
 
     /// A typical low-duty sensor node: 5 µW sleep for 30 s, 3 mW sensing
@@ -110,6 +120,7 @@ impl DutyCycledLoad {
     }
 
     /// Instantaneous power at absolute time `t` (cycle-folded).
+    #[inline]
     pub fn power_at(&self, t: Seconds) -> Watts {
         let mut rem = t.value().rem_euclid(self.period.value());
         for p in &self.phases {
@@ -121,18 +132,16 @@ impl DutyCycledLoad {
         self.phases.last().map(|p| p.power).unwrap_or(Watts::ZERO)
     }
 
-    /// Time-averaged power over a full cycle.
+    /// Time-averaged power over a full cycle (precomputed at
+    /// construction; `energy_demand` reads it every step).
+    #[inline]
     pub fn average_power(&self) -> Watts {
-        let energy: f64 = self
-            .phases
-            .iter()
-            .map(|p| p.power.value() * p.duration.value())
-            .sum();
-        Watts::new(energy / self.period.value())
+        self.average
     }
 
     /// Energy demanded over the interval `[t, t+dt)` (exact phase-folded
     /// integration).
+    #[inline]
     pub fn energy_demand(&self, t: Seconds, dt: Seconds) -> Joules {
         if dt.value() <= 0.0 {
             return Joules::ZERO;

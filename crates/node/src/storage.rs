@@ -101,16 +101,19 @@ impl Supercapacitor {
         )
     }
 
+    #[inline]
     fn energy_at(&self, v: Volts) -> f64 {
         0.5 * self.capacitance.value() * v.value().powi(2)
     }
 
+    #[inline]
     fn voltage_for_energy(&self, e: f64) -> Volts {
         Volts::new((2.0 * e / self.capacitance.value()).max(0.0).sqrt())
     }
 }
 
 impl EnergyStore for Supercapacitor {
+    #[inline]
     fn deposit(&mut self, energy: Joules) -> Joules {
         if energy.value() <= 0.0 {
             return Joules::ZERO;
@@ -122,17 +125,22 @@ impl EnergyStore for Supercapacitor {
         Joules::new(absorbed)
     }
 
+    #[inline]
     fn withdraw(&mut self, energy: Joules) -> Joules {
         if energy.value() <= 0.0 {
             return Joules::ZERO;
         }
         let now = self.energy_at(self.voltage);
         let floor = self.energy_at(self.v_min);
+        // Bit-identity note: the withdraw path always runs the
+        // energy→voltage round trip, even for a zero-supplied result —
+        // skipping it would move the terminal voltage by one ULP.
         let supplied = energy.value().min((now - floor).max(0.0));
         self.voltage = self.voltage_for_energy(now - supplied);
         Joules::new(supplied)
     }
 
+    #[inline]
     fn leak(&mut self, dt: Seconds) {
         if dt.value() <= 0.0 {
             return;
@@ -141,6 +149,7 @@ impl EnergyStore for Supercapacitor {
         self.voltage = (self.voltage - dv).max(Volts::ZERO);
     }
 
+    #[inline]
     fn stored_energy(&self) -> Joules {
         Joules::new((self.energy_at(self.voltage) - self.energy_at(self.v_min)).max(0.0))
     }
@@ -228,6 +237,7 @@ impl Battery {
 }
 
 impl EnergyStore for Battery {
+    #[inline]
     fn deposit(&mut self, energy: Joules) -> Joules {
         if energy.value() <= 0.0 {
             return Joules::ZERO;
@@ -238,6 +248,7 @@ impl EnergyStore for Battery {
         Joules::new(absorbed)
     }
 
+    #[inline]
     fn withdraw(&mut self, energy: Joules) -> Joules {
         if energy.value() <= 0.0 {
             return Joules::ZERO;
@@ -247,6 +258,7 @@ impl EnergyStore for Battery {
         Joules::new(supplied)
     }
 
+    #[inline]
     fn leak(&mut self, dt: Seconds) {
         if dt.value() <= 0.0 || self.self_discharge_per_month <= 0.0 {
             return;
@@ -281,6 +293,7 @@ impl IdealStore {
 }
 
 impl EnergyStore for IdealStore {
+    #[inline]
     fn deposit(&mut self, energy: Joules) -> Joules {
         if energy.value() <= 0.0 {
             return Joules::ZERO;
@@ -289,6 +302,7 @@ impl EnergyStore for IdealStore {
         energy
     }
 
+    #[inline]
     fn withdraw(&mut self, energy: Joules) -> Joules {
         if energy.value() <= 0.0 {
             return Joules::ZERO;
@@ -298,8 +312,10 @@ impl EnergyStore for IdealStore {
         Joules::new(supplied)
     }
 
+    #[inline]
     fn leak(&mut self, _dt: Seconds) {}
 
+    #[inline]
     fn stored_energy(&self) -> Joules {
         Joules::new(self.energy.max(0.0))
     }
@@ -373,14 +389,29 @@ impl StoreSpec {
     ///
     /// Propagates the underlying constructors' parameter validation.
     pub fn build(&self) -> Result<Box<dyn EnergyStore + Send>, NodeError> {
+        Ok(match self.build_concrete()? {
+            ConcreteStore::Ideal(s) => Box::new(s),
+            ConcreteStore::Supercapacitor(s) => Box::new(s),
+            ConcreteStore::Battery(s) => Box::new(s),
+        })
+    }
+
+    /// Builds the same fresh store as [`StoreSpec::build`], but as a
+    /// closed [`ConcreteStore`] enum instead of a boxed trait object, so
+    /// batch engines get static dispatch on the step hot path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying constructors' parameter validation.
+    pub fn build_concrete(&self) -> Result<ConcreteStore, NodeError> {
         Ok(match *self {
-            StoreSpec::Ideal => Box::new(IdealStore::new()),
+            StoreSpec::Ideal => ConcreteStore::Ideal(IdealStore::new()),
             StoreSpec::Supercapacitor {
                 capacitance,
                 v_max,
                 v_min,
                 initial_voltage,
-            } => Box::new(
+            } => ConcreteStore::Supercapacitor(
                 Supercapacitor::new(capacitance, v_max, v_min)?
                     .with_initial_voltage(initial_voltage),
             ),
@@ -389,11 +420,78 @@ impl StoreSpec {
                 charge_efficiency,
                 self_discharge_per_month,
                 initial_soc,
-            } => Box::new(
+            } => ConcreteStore::Battery(
                 Battery::new(capacity, charge_efficiency, self_discharge_per_month)?
                     .with_state_of_charge(initial_soc),
             ),
         })
+    }
+}
+
+/// An energy store as a closed enum over the concrete store types.
+///
+/// `Box<dyn EnergyStore>` costs a virtual call per deposit / withdraw /
+/// leak — three per simulated step. A `ConcreteStore` dispatches with a
+/// three-way match the optimiser can inline, which is what the
+/// struct-of-arrays batch engine keeps per lane. Both forms are built
+/// from the same constructors ([`StoreSpec::build`] delegates to
+/// [`StoreSpec::build_concrete`]), so their state sequences are
+/// bit-identical.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConcreteStore {
+    /// An [`IdealStore`].
+    Ideal(IdealStore),
+    /// A [`Supercapacitor`].
+    Supercapacitor(Supercapacitor),
+    /// A [`Battery`].
+    Battery(Battery),
+}
+
+impl EnergyStore for ConcreteStore {
+    #[inline]
+    fn deposit(&mut self, energy: Joules) -> Joules {
+        match self {
+            ConcreteStore::Ideal(s) => s.deposit(energy),
+            ConcreteStore::Supercapacitor(s) => s.deposit(energy),
+            ConcreteStore::Battery(s) => s.deposit(energy),
+        }
+    }
+
+    #[inline]
+    fn withdraw(&mut self, energy: Joules) -> Joules {
+        match self {
+            ConcreteStore::Ideal(s) => s.withdraw(energy),
+            ConcreteStore::Supercapacitor(s) => s.withdraw(energy),
+            ConcreteStore::Battery(s) => s.withdraw(energy),
+        }
+    }
+
+    #[inline]
+    fn leak(&mut self, dt: Seconds) {
+        match self {
+            ConcreteStore::Ideal(s) => s.leak(dt),
+            ConcreteStore::Supercapacitor(s) => s.leak(dt),
+            ConcreteStore::Battery(s) => s.leak(dt),
+        }
+    }
+
+    #[inline]
+    fn stored_energy(&self) -> Joules {
+        match self {
+            ConcreteStore::Ideal(s) => s.stored_energy(),
+            ConcreteStore::Supercapacitor(s) => s.stored_energy(),
+            ConcreteStore::Battery(s) => s.stored_energy(),
+        }
+    }
+
+    #[inline]
+    fn state_of_charge(&self) -> Ratio {
+        match self {
+            ConcreteStore::Ideal(s) => s.state_of_charge(),
+            ConcreteStore::Supercapacitor(s) => s.state_of_charge(),
+            ConcreteStore::Battery(s) => s.state_of_charge(),
+        }
     }
 }
 
@@ -542,6 +640,60 @@ mod tests {
             initial_soc: 0.5,
         };
         assert!(bad.build().is_err());
+    }
+
+    #[test]
+    fn concrete_store_matches_the_boxed_store_bitwise() {
+        let specs = [
+            StoreSpec::Ideal,
+            StoreSpec::supercapacitor_022f_at(4.0),
+            StoreSpec::Battery {
+                capacity: Joules::new(200.0),
+                charge_efficiency: 0.9,
+                self_discharge_per_month: 0.03,
+                initial_soc: 0.5,
+            },
+        ];
+        for spec in specs {
+            let mut boxed = spec.build().unwrap();
+            let mut concrete = spec.build_concrete().unwrap();
+            // A mixed op sequence with no-op withdraws and overfills.
+            let ops: [(u8, f64); 9] = [
+                (0, 0.3),
+                (1, 0.1),
+                (2, 3600.0),
+                (1, 1e6),
+                (0, 1e6),
+                (1, 0.0),
+                (2, 86_400.0),
+                (0, -1.0),
+                (1, 0.25),
+            ];
+            for (op, x) in ops {
+                let (a, b) = match op {
+                    0 => (
+                        boxed.deposit(Joules::new(x)),
+                        concrete.deposit(Joules::new(x)),
+                    ),
+                    1 => (
+                        boxed.withdraw(Joules::new(x)),
+                        concrete.withdraw(Joules::new(x)),
+                    ),
+                    _ => {
+                        boxed.leak(Seconds::new(x));
+                        concrete.leak(Seconds::new(x));
+                        (Joules::ZERO, Joules::ZERO)
+                    }
+                };
+                assert_eq!(a.value().to_bits(), b.value().to_bits(), "{spec:?} op {op}");
+                assert_eq!(
+                    boxed.stored_energy().value().to_bits(),
+                    concrete.stored_energy().value().to_bits(),
+                    "{spec:?} diverged after op {op}"
+                );
+                assert_eq!(boxed.state_of_charge(), concrete.state_of_charge());
+            }
+        }
     }
 
     #[test]

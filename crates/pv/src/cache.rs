@@ -51,6 +51,19 @@ fn lerp(a: f64, b: f64, t: f64) -> f64 {
     a + (b - a) * t
 }
 
+/// A connect step's fused operating point, from
+/// [`CachedPvSurface::connect_point`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConnectPoint {
+    /// Open-circuit voltage at the queried illuminance.
+    pub voc: Volts,
+    /// The regulated operating voltage, `min(target, voc)`.
+    pub v_op: Volts,
+    /// Terminal current at `v_op`, or `None` when `v_op` is not
+    /// positive (nothing to harvest).
+    pub current: Option<Amps>,
+}
+
 /// `exp(x) − 1` with the argument clamped to avoid overflow (mirrors the
 /// exact solver's clamping).
 #[inline]
@@ -235,18 +248,21 @@ impl CachedPvSurface {
     }
 
     /// Cell index and fractional position along the log-lux axis.
+    #[inline]
     fn lux_cell(&self, l: f64) -> (usize, f64) {
         let fx = ((l.ln() - self.ln_min) / self.ln_step).clamp(0.0, (N_LUX - 1) as f64);
         let j = (fx as usize).min(N_LUX - 2);
         (j, fx - j as f64)
     }
 
+    #[inline]
     fn voc_interp(&self, j: usize, tx: f64) -> f64 {
         lerp(self.voc[j], self.voc[j + 1], tx)
     }
 
     /// `Isc` interpolated linearly **in lux** (not log-lux) within the
     /// cell, which is exact for the dominant `Iph ∝ lux` term.
+    #[inline]
     fn isc_interp(&self, j: usize, l: f64) -> f64 {
         let w = (l - self.lux_grid[j]) / (self.lux_grid[j + 1] - self.lux_grid[j]);
         lerp(self.isc[j], self.isc[j + 1], w)
@@ -294,7 +310,17 @@ impl CachedPvSurface {
             // off the harvesting path, so solve it exactly.
             return self.model.current_at(v, lux, self.temperature);
         }
-        let u = (v.value() / voc_q).clamp(0.0, 1.0);
+        Ok(Amps::new(self.shape_current(v.value(), j, tx, voc_q, l)))
+    }
+
+    /// The bilinear shape-table read behind every in-domain current
+    /// query, shared so the scalar, batched, and connect-point entry
+    /// points are bit-identical by construction. Requires `0 ≤ vv ≤
+    /// voc_q` and an in-domain `l` with `(j, tx)` from
+    /// [`CachedPvSurface::lux_cell`].
+    #[inline]
+    fn shape_current(&self, vv: f64, j: usize, tx: f64, voc_q: f64, l: f64) -> f64 {
+        let u = (vv / voc_q).clamp(0.0, 1.0);
         let fu = u * (N_V - 1) as f64;
         let k = (fu as usize).min(N_V - 2);
         let tu = fu - k as f64;
@@ -303,7 +329,93 @@ impl CachedPvSurface {
         let s0 = lerp(row0[k], row0[k + 1], tu);
         let s1 = lerp(row1[k], row1[k + 1], tu);
         let s = lerp(s0, s1, tx);
-        Ok(Amps::new(s * self.isc_interp(j, l)))
+        s * self.isc_interp(j, l)
+    }
+
+    /// One connect step's operating point — `Voc(lux)`, the regulated
+    /// voltage `min(target, Voc)`, and the current drawn there — sharing
+    /// a single log-lux cell lookup between the Voc and current reads.
+    ///
+    /// Calling [`CachedPvSurface::open_circuit_voltage`] followed by
+    /// [`CachedPvSurface::current_at`] resolves `lux_cell` (one `ln`)
+    /// twice per step; this fused query resolves it once and returns
+    /// **bit-identical** values, in and out of the cached domain (the
+    /// fallback path calls the same exact-solver methods in the same
+    /// order). `current` is `None` when the regulated voltage is not
+    /// positive — a dark module or a zero hold-cap target — exactly the
+    /// case where the engine skips the harvest.
+    ///
+    /// `target` must be finite; the engine only issues connect commands
+    /// with positive finite targets.
+    ///
+    /// # Errors
+    ///
+    /// Rejects negative/non-finite illuminance; propagates fallback
+    /// solver errors outside the domain.
+    #[inline]
+    pub fn connect_point(&self, target: Volts, lux: Lux) -> Result<ConnectPoint, PvError> {
+        Self::validate_lux(lux)?;
+        let l = lux.value();
+        if !Self::in_domain(l) {
+            let voc = self.model.open_circuit_voltage(lux, self.temperature)?;
+            let v_op = target.min(voc);
+            let current = if v_op.value() > 0.0 {
+                Some(self.model.current_at(v_op, lux, self.temperature)?)
+            } else {
+                None
+            };
+            return Ok(ConnectPoint { voc, v_op, current });
+        }
+        let (j, tx) = self.lux_cell(l);
+        let voc_q = self.voc_interp(j, tx);
+        let voc = Volts::new(voc_q);
+        let v_op = target.min(voc);
+        // `v_op ≤ voc_q` by construction, so the beyond-Voc exact
+        // fallback in `current_at` can never trigger here.
+        let current = if v_op.value() > 0.0 {
+            Some(Amps::new(self.shape_current(v_op.value(), j, tx, voc_q, l)))
+        } else {
+            None
+        };
+        Ok(ConnectPoint { voc, v_op, current })
+    }
+
+    /// Evaluates terminal currents for a batch of interleaved
+    /// `(voltage, lux)` pairs: `v_lux = [v0, l0, v1, l1, …]`,
+    /// `out[i] = I(vᵢ, lᵢ)` in amps.
+    ///
+    /// Each element goes through exactly the scalar
+    /// [`CachedPvSurface::current_at`] path — same validation, same
+    /// exact-solver fallback — so the outputs are bit-identical to a
+    /// scalar loop; the slice orientation is what lets batch engines
+    /// evaluate a whole shard (e.g. every node's cold-start feasibility
+    /// current) without per-call dispatch.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an odd `v_lux` length or a mismatched `out` length as
+    /// [`PvError::InvalidParameter`]; element errors abort at the first
+    /// failing pair (lowest index), matching a scalar loop's error
+    /// order.
+    pub fn eval_many(&self, v_lux: &[f64], out: &mut [f64]) -> Result<(), PvError> {
+        if !v_lux.len().is_multiple_of(2) {
+            return Err(PvError::InvalidParameter {
+                name: "v_lux length (must be even: interleaved v, lux pairs)",
+                value: v_lux.len() as f64,
+            });
+        }
+        if out.len() * 2 != v_lux.len() {
+            return Err(PvError::InvalidParameter {
+                name: "out length (must be v_lux length / 2)",
+                value: out.len() as f64,
+            });
+        }
+        for (slot, pair) in out.iter_mut().zip(v_lux.chunks_exact(2)) {
+            *slot = self
+                .current_at(Volts::new(pair[0]), Lux::new(pair[1]))?
+                .value();
+        }
+        Ok(())
     }
 
     /// Output power at terminal voltage `v`.
@@ -323,6 +435,7 @@ impl CachedPvSurface {
     ///
     /// Rejects negative/non-finite illuminance; propagates fallback
     /// solver errors outside the domain.
+    #[inline]
     pub fn open_circuit_voltage(&self, lux: Lux) -> Result<Volts, PvError> {
         Self::validate_lux(lux)?;
         let l = lux.value();

@@ -197,3 +197,105 @@ proptest! {
         );
     }
 }
+
+/// `connect_point` must return exactly what the two-call sequence —
+/// `open_circuit_voltage` then `current_at(min(target, voc))` — returns,
+/// bit for bit, across the domain, in the dark, beyond the bright edge,
+/// and for targets above Voc.
+#[test]
+fn connect_point_is_bit_identical_to_the_two_call_sequence() {
+    let surf = surface();
+    let (lo, hi) = CachedPvSurface::lux_domain();
+    let span = (hi.value() / lo.value()).ln();
+    let mut luxes: Vec<f64> = (0..25)
+        .map(|a| lo.value() * (span * a as f64 / 24.0).exp())
+        .collect();
+    // Out-of-domain probes exercise the exact-solver fallback arm.
+    luxes.extend([0.0, 0.01, 3.0e5]);
+    for &l in &luxes {
+        let lux = Lux::new(l);
+        let voc_ref = surf.open_circuit_voltage(lux).expect("voc");
+        for frac in [1e-6, 0.3, 0.596, 0.9, 1.0, 1.5] {
+            let target = Volts::new((voc_ref.value() * frac).max(1e-9));
+            let fused = surf.connect_point(target, lux).expect("connect point");
+            assert_eq!(fused.voc.value().to_bits(), voc_ref.value().to_bits());
+            let v_op_ref = target.min(voc_ref);
+            assert_eq!(fused.v_op.value().to_bits(), v_op_ref.value().to_bits());
+            if v_op_ref.value() > 0.0 {
+                let i_ref = surf.current_at(v_op_ref, lux).expect("current");
+                let i_fused = fused.current.expect("positive v_op has a current");
+                assert_eq!(
+                    i_fused.value().to_bits(),
+                    i_ref.value().to_bits(),
+                    "lux={l} frac={frac}"
+                );
+            } else {
+                assert!(fused.current.is_none());
+            }
+        }
+    }
+}
+
+/// A dark module (zero Voc) yields no current: the engine's
+/// skip-the-harvest arm.
+#[test]
+fn connect_point_in_the_dark_has_no_current() {
+    let surf = surface();
+    let p = surf
+        .connect_point(Volts::new(1.0), Lux::new(0.0))
+        .expect("dark connect point");
+    assert_eq!(p.voc, Volts::ZERO);
+    assert_eq!(p.v_op, Volts::ZERO);
+    assert!(p.current.is_none());
+}
+
+/// `eval_many` over interleaved `(v, lux)` pairs must equal a scalar
+/// `current_at` loop bit-for-bit, including out-of-domain fallbacks.
+#[test]
+fn eval_many_matches_the_scalar_loop_bitwise() {
+    let surf = surface();
+    let probes: Vec<(f64, f64)> = vec![
+        (0.0, 0.05),
+        (0.3, 1.0),
+        (1.2, 250.0),
+        (2.0, 1.0e4),
+        (1.9, 2.0e5),
+        (0.5, 0.01),  // below the domain: exact fallback
+        (0.5, 3.0e5), // above the domain: exact fallback
+        (0.0, 0.0),   // dark
+    ];
+    let v_lux: Vec<f64> = probes.iter().flat_map(|&(v, l)| [v, l]).collect();
+    let mut out = vec![0.0; probes.len()];
+    surf.eval_many(&v_lux, &mut out).expect("batch eval");
+    for (i, &(v, l)) in probes.iter().enumerate() {
+        let scalar = surf
+            .current_at(Volts::new(v), Lux::new(l))
+            .expect("scalar eval");
+        assert_eq!(
+            out[i].to_bits(),
+            scalar.value().to_bits(),
+            "probe {i}: v={v} lux={l}"
+        );
+    }
+}
+
+/// Shape errors are typed, not panics, and element errors surface the
+/// lowest failing index (scalar-loop error order).
+#[test]
+fn eval_many_rejects_bad_shapes_and_bad_elements() {
+    let surf = surface();
+    let mut out = vec![0.0; 1];
+    assert!(matches!(
+        surf.eval_many(&[1.0, 2.0, 3.0], &mut out),
+        Err(eh_pv::PvError::InvalidParameter { .. })
+    ));
+    assert!(matches!(
+        surf.eval_many(&[1.0, 2.0, 3.0, 4.0], &mut out),
+        Err(eh_pv::PvError::InvalidParameter { .. })
+    ));
+    // Element 1 has a negative voltage; element 0 is fine.
+    let err = surf
+        .eval_many(&[0.5, 100.0, -1.0, 100.0], &mut [0.0; 2])
+        .unwrap_err();
+    assert!(matches!(err, eh_pv::PvError::OutOfRange { .. }));
+}

@@ -1,0 +1,183 @@
+//! Shard-level parallel fold: the scheduling half of the batch engine.
+//!
+//! [`SweepRunner::run_merged`] hands items to the worker closure one at
+//! a time, which is the right shape when every item is an independent
+//! simulation. A batch engine wants the *whole contiguous shard* at
+//! once, so it can lay the shard's state out as struct-of-arrays and
+//! sweep it with one inner loop. [`BatchRunner`] owns that contract:
+//! it chunks the items, hands each worker `(first_global_index, shard)`
+//! pairs, and folds the shard reports **in shard index order**, so the
+//! merged result is bit-for-bit identical at any worker count — the
+//! same determinism contract `run_merged` gives per-item folds.
+//!
+//! The shard size is validated once at construction:
+//! [`BatchRunner::new`] rejects zero with a typed
+//! [`SimError::InvalidParameter`] instead of silently degenerating.
+
+use crate::error::SimError;
+use crate::merge::Mergeable;
+use crate::sweep::SweepRunner;
+
+/// Chunks `items` into `(first_global_index, shard_items)` pairs of at
+/// most `shard_size` items each. `shard_size` must be non-zero (callers
+/// validate; this is an internal helper).
+pub(crate) fn chunk_shards<T>(items: Vec<T>, shard_size: usize) -> Vec<(usize, Vec<T>)> {
+    debug_assert!(shard_size > 0, "shard_size validated by callers");
+    let mut shards: Vec<(usize, Vec<T>)> = Vec::with_capacity(items.len().div_ceil(shard_size));
+    for (i, item) in items.into_iter().enumerate() {
+        match shards.last_mut() {
+            Some((_, shard)) if shard.len() < shard_size => shard.push(item),
+            _ => shards.push((i, {
+                let mut shard = Vec::with_capacity(shard_size);
+                shard.push(item);
+                shard
+            })),
+        }
+    }
+    shards
+}
+
+/// Fans contiguous shards of work across [`SweepRunner`] workers and
+/// folds the per-shard reports in shard index order.
+///
+/// This is the scheduling layer of the batch-stepped fleet engine: the
+/// worker closure receives the whole shard (plus the global index of
+/// its first item) and is free to transpose it into struct-of-arrays
+/// state and advance every lane with one inner loop. Because the shard
+/// boundaries and the fold order are fixed by the input — never by the
+/// scheduler — the merged report is bit-identical at any worker count,
+/// and identical to a per-item fold at the same shard size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchRunner {
+    runner: SweepRunner,
+    shard_size: usize,
+}
+
+impl BatchRunner {
+    /// A runner with a fixed worker count (clamped to at least 1) and a
+    /// fixed shard size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] when `shard_size` is zero
+    /// — a zero shard cannot make progress and silently clamping it
+    /// would hide the caller's bug.
+    pub fn new(workers: usize, shard_size: usize) -> Result<Self, SimError> {
+        Self::from_runner(SweepRunner::new(workers), shard_size)
+    }
+
+    /// Wraps an existing [`SweepRunner`] with a shard size.
+    ///
+    /// # Errors
+    ///
+    /// As [`BatchRunner::new`]: zero `shard_size` is a typed error.
+    pub fn from_runner(runner: SweepRunner, shard_size: usize) -> Result<Self, SimError> {
+        if shard_size == 0 {
+            return Err(SimError::InvalidParameter {
+                name: "shard_size",
+                value: 0.0,
+            });
+        }
+        Ok(Self { runner, shard_size })
+    }
+
+    /// The worker count this runner will use.
+    pub fn workers(&self) -> usize {
+        self.runner.workers()
+    }
+
+    /// The number of items per shard.
+    pub fn shard_size(&self) -> usize {
+        self.shard_size
+    }
+
+    /// Applies `f` to every contiguous shard — `f(first_global_index,
+    /// shard_items)` — in parallel, and folds the shard reports in
+    /// shard index order. Returns `None` for empty input.
+    pub fn run_shards<T, R, F>(&self, items: Vec<T>, f: F) -> Option<R>
+    where
+        T: Send,
+        R: Mergeable + Send,
+        F: Fn(usize, Vec<T>) -> R + Sync,
+    {
+        if items.is_empty() {
+            return None;
+        }
+        let shards = chunk_shards(items, self.shard_size);
+        let shard_reports = self.runner.run(shards, |_, (base, shard)| f(base, shard));
+        shard_reports.into_iter().reduce(|mut acc, r| {
+            acc.merge(r);
+            acc
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_shard_size_is_a_typed_error() {
+        let err = BatchRunner::new(4, 0).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::InvalidParameter {
+                name: "shard_size",
+                value: 0.0
+            }
+        );
+        let err = BatchRunner::from_runner(SweepRunner::new(2), 0).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::InvalidParameter {
+                name: "shard_size",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn shards_are_contiguous_with_correct_bases() {
+        let shards = chunk_shards((0..10).collect::<Vec<_>>(), 4);
+        assert_eq!(
+            shards,
+            vec![
+                (0, vec![0, 1, 2, 3]),
+                (4, vec![4, 5, 6, 7]),
+                (8, vec![8, 9]),
+            ]
+        );
+    }
+
+    #[test]
+    fn run_shards_is_worker_and_shard_invariant() {
+        let items: Vec<u32> = (0..97).collect();
+        let reference: Vec<u32> = items.iter().map(|x| x * 3).collect();
+        for workers in [1, 2, 5, 16] {
+            for shard_size in [1, 7, 32, 257] {
+                let merged = BatchRunner::new(workers, shard_size)
+                    .expect("non-zero shard size")
+                    .run_shards(items.clone(), |base, shard| {
+                        shard
+                            .into_iter()
+                            .enumerate()
+                            .map(|(offset, x)| {
+                                assert_eq!((base + offset) as u32, x);
+                                x * 3
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                    .expect("non-empty input");
+                assert_eq!(merged, reference, "workers={workers} shard={shard_size}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_shards_empty_input_is_none() {
+        let out: Option<Vec<u8>> = BatchRunner::new(4, 8)
+            .unwrap()
+            .run_shards(Vec::<u8>::new(), |_, shard| shard);
+        assert!(out.is_none());
+    }
+}

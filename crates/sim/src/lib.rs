@@ -19,6 +19,10 @@
 //!   map-reduce used by fleet-scale aggregation: workers reduce their
 //!   own shards, shard aggregates fold in shard index order, and the
 //!   result is bit-identical at any worker count and shard size;
+//! - [`BatchRunner`] is the shard-at-once variant of the same contract:
+//!   the worker closure receives a whole contiguous shard (for
+//!   struct-of-arrays batch stepping) and shard reports fold in shard
+//!   index order;
 //! - [`Accumulator`] is the common energy ledger behind reports.
 //!
 //! The crate is std-only by design: the build environment has no crate
@@ -26,6 +30,7 @@
 //! rather than an external thread pool.
 
 mod accumulator;
+mod batch;
 mod engine;
 mod error;
 mod light;
@@ -35,6 +40,7 @@ mod stepper;
 mod sweep;
 
 pub use accumulator::Accumulator;
+pub use batch::BatchRunner;
 pub use engine::{drive, run_windowed, split_windows};
 pub use error::SimError;
 pub use light::Light;

@@ -4,6 +4,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 
+use crate::batch::chunk_shards;
+use crate::error::SimError;
 use crate::merge::Mergeable;
 use crate::scenario::Scenario;
 use crate::stepper::Stepper;
@@ -104,32 +106,43 @@ impl SweepRunner {
     }
 
     /// Maps `f` over every item in shards of `shard_size` and folds the
-    /// per-item reports into one aggregate, returning `None` for empty
-    /// input.
+    /// per-item reports into one aggregate, returning `Ok(None)` for
+    /// empty input.
     ///
     /// Each worker reduces the shards it claims locally (saving one
     /// allocation per item over [`SweepRunner::run`] + fold), and the
     /// per-shard aggregates are folded **in shard index order**, so the
     /// result is bit-for-bit identical at any worker count and any shard
     /// size — the contract fleet-scale aggregation relies on.
-    pub fn run_merged<T, R, F>(&self, items: Vec<T>, shard_size: usize, f: F) -> Option<R>
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] when `shard_size` is zero.
+    /// A zero shard cannot make progress; it used to be silently clamped
+    /// to 1, which hid the caller's bug *and* quietly changed the shard
+    /// grouping that float-fold results (merged metrics) are identified
+    /// by.
+    pub fn run_merged<T, R, F>(
+        &self,
+        items: Vec<T>,
+        shard_size: usize,
+        f: F,
+    ) -> Result<Option<R>, SimError>
     where
         T: Send,
         R: Mergeable + Send,
         F: Fn(usize, T) -> R + Sync,
     {
+        if shard_size == 0 {
+            return Err(SimError::InvalidParameter {
+                name: "shard_size",
+                value: 0.0,
+            });
+        }
         if items.is_empty() {
-            return None;
+            return Ok(None);
         }
-        let shard_size = shard_size.max(1);
-        // Chunk into (first global index, shard items) pairs.
-        let mut shards: Vec<(usize, Vec<T>)> = Vec::new();
-        for (i, item) in items.into_iter().enumerate() {
-            match shards.last_mut() {
-                Some((_, shard)) if shard.len() < shard_size => shard.push(item),
-                _ => shards.push((i, vec![item])),
-            }
-        }
+        let shards = chunk_shards(items, shard_size);
         let shard_reports = self.run(shards, |_, (base, shard)| {
             let mut report: Option<R> = None;
             for (offset, item) in shard.into_iter().enumerate() {
@@ -141,10 +154,10 @@ impl SweepRunner {
             }
             report.expect("shards are non-empty by construction")
         });
-        shard_reports.into_iter().reduce(|mut acc, r| {
+        Ok(shard_reports.into_iter().reduce(|mut acc, r| {
             acc.merge(r);
             acc
-        })
+        }))
     }
 
     /// Runs every scenario to completion, returning `(label, result)`
@@ -199,6 +212,7 @@ mod tests {
                         assert_eq!(i as u32, x);
                         vec![x * 3]
                     })
+                    .expect("non-zero shard size")
                     .expect("non-empty input");
                 assert_eq!(merged, reference, "workers={workers} shard={shard_size}");
             }
@@ -207,9 +221,37 @@ mod tests {
 
     #[test]
     fn run_merged_empty_input_is_none() {
-        let out: Option<Vec<u8>> =
-            SweepRunner::new(4).run_merged(Vec::<u8>::new(), 8, |_, x| vec![x]);
+        let out: Option<Vec<u8>> = SweepRunner::new(4)
+            .run_merged(Vec::<u8>::new(), 8, |_, x| vec![x])
+            .expect("non-zero shard size");
         assert!(out.is_none());
+    }
+
+    /// Regression: a zero shard size used to be silently clamped to 1,
+    /// degenerating the requested grouping without telling the caller.
+    /// It is now a typed error, raised even for empty input.
+    #[test]
+    fn run_merged_zero_shard_size_is_a_typed_error() {
+        let err = SweepRunner::new(4)
+            .run_merged((0..10).collect::<Vec<u32>>(), 0, |_, x| vec![x])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::InvalidParameter {
+                name: "shard_size",
+                value: 0.0
+            }
+        );
+        let err = SweepRunner::new(1)
+            .run_merged(Vec::<u32>::new(), 0, |_, x| vec![x])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::InvalidParameter {
+                name: "shard_size",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -5,10 +5,32 @@
 //! the worst-node drill-down, and then replays the *same* population
 //! against every baseline tracker.
 //!
-//! Run with `cargo run --example fleet_comparison`.
+//! Run with `cargo run --example fleet_comparison`. Pass
+//! `--engine per-node|batch` (default `batch`) to pick the execution
+//! engine — the two are bit-identical, the batch engine is just faster.
 
-use pv_mppt_repro::fleet::{compare_trackers_over_fleet, FleetRunner, FleetSpec, Placement};
+use pv_mppt_repro::fleet::{
+    compare_trackers_over_fleet_with, Engine, FleetRunner, FleetSpec, Placement, TrackerKind,
+};
 use pv_mppt_repro::units::Seconds;
+
+/// Parses `--engine X` / `--engine=X` from the arguments; defaults to
+/// the batch engine, and falls back to it on an unknown spelling.
+fn engine_from_args() -> Engine {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--engine" {
+            return args
+                .next()
+                .and_then(|v| Engine::parse(&v))
+                .unwrap_or(Engine::Batch);
+        }
+        if let Some(v) = arg.strip_prefix("--engine=") {
+            return Engine::parse(v).unwrap_or(Engine::Batch);
+        }
+    }
+    Engine::Batch
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 60 nodes from one seed: production-batch tolerances, mixed
@@ -19,9 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     spec.trace_decimate = 600;
     spec.dt = Seconds::new(600.0);
 
+    let engine = engine_from_args();
     let runner = FleetRunner::auto();
-    let report = runner.run(&spec)?;
+    let report = runner.run_engine(&spec, TrackerKind::Focv, engine)?;
 
+    println!("engine: {engine}\n");
     println!("{report}");
     for p in [
         Placement::WindowDesk,
@@ -38,7 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<42} {:>10} {:>10} {:>10} {:>8} {:>8}",
         "tracker", "p5 (J)", "p50 (J)", "p95 (J)", "net<0", "br-outs"
     );
-    let comparison = compare_trackers_over_fleet(&spec, &runner)?;
+    let comparison = compare_trackers_over_fleet_with(&spec, &runner, engine)?;
     for (kind, fleet) in &comparison {
         let p = fleet.net_energy_percentiles().expect("non-empty fleet");
         println!(
