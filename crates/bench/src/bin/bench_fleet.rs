@@ -41,7 +41,7 @@ use std::time::Instant;
 use eh_bench::{banner, engine_choice, fmt, render_table, smoke_mode, sweep_runner};
 use eh_fleet::{
     compare_trackers_over_fleet_with, Engine, FleetContext, FleetReport, FleetRunner, FleetSpec,
-    TrackerKind,
+    PlacementMix, TrackerKind,
 };
 use eh_units::{Joules, Seconds};
 
@@ -69,6 +69,17 @@ fn percentile_row(report: &FleetReport) -> (f64, f64, f64) {
         .net_energy_percentiles()
         .expect("non-empty fleet report");
     (p.p5, p.p50, p.p95)
+}
+
+/// Median gross harvest, metrology energy and compute energy — the
+/// three columns whose difference is the net-energy ranking.
+fn energy_columns(report: &FleetReport) -> (f64, f64, f64) {
+    let p50 = |p: Option<eh_fleet::Percentiles>| p.expect("non-empty fleet report").p50;
+    (
+        p50(report.gross_energy_percentiles()),
+        p50(report.overhead_percentiles()),
+        p50(report.compute_energy_percentiles()),
+    )
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -223,8 +234,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .metrics
         .as_ref()
         .expect("obs-enabled fleet carries a merged metric store");
-    // Conservation: the four-bucket ledger vs the independently summed
-    // per-node closed-loop accounting (overhead + losses + load served).
+    // Conservation: the five-bucket ledger vs the independently summed
+    // per-node closed-loop accounting (overhead + losses + load served
+    // + compute).
     let closed_loop: f64 = obs_ref
         .outcomes
         .iter()
@@ -232,6 +244,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             o.report.overhead_energy.value()
                 + o.report.loss_energy.value()
                 + o.report.load_served.value()
+                + o.report.compute_energy.value()
         })
         .sum();
     let ledger_rel_err = metrics.ledger().relative_error(Joules::new(closed_loop));
@@ -280,8 +293,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|(kind, report)| {
             let (p5, p50, p95) = percentile_row(report);
+            let (gross, metrology, compute) = energy_columns(report);
             vec![
                 kind.label().to_owned(),
+                fmt(gross, 3),
+                fmt(metrology, 3),
+                fmt(compute, 6),
                 fmt(p5, 3),
                 fmt(p50, 3),
                 fmt(p95, 3),
@@ -295,6 +312,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         render_table(
             &[
                 "tracker",
+                "gross p50 (J)",
+                "metrology p50 (J)",
+                "compute p50 (J)",
                 "net p5 (J)",
                 "net p50 (J)",
                 "net p95 (J)",
@@ -303,6 +323,52 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ],
             &cmp_rows
         )
+    );
+
+    banner("Volatile light — Eq. 2 variable hold vs the fixed 69 s schedule");
+    // An outdoor-heavy (semi-mobile) population on the 1-minute grid:
+    // the fixed tracker holds samples that go ~2 minutes stale between
+    // PULSEs, while the Eq. 2 tracker shortens its hold period below the
+    // step size and re-samples every connected minute for one extra
+    // 39 ms dwell. The grid stays at dt = 60 s even in smoke — on a
+    // 10-minute grid the shortened period cannot beat the step size and
+    // the adaptation is invisible.
+    let vol_size: u32 = if smoke { 24 } else { 120 };
+    let mut vol_spec = FleetSpec::mixed_indoor_outdoor(vol_size, 2011)?;
+    vol_spec.name = format!("outdoor-heavy volatile x{vol_size}");
+    vol_spec.placements = PlacementMix::new(0.05, 0.05, 0.90)?;
+    let vol_ctx = FleetContext::prepare(&vol_spec)?;
+    let vol_runner = FleetRunner::new(max_workers);
+    let vol_fixed = vol_runner.run_engine_prepared(&vol_ctx, TrackerKind::Focv, cmp_engine)?;
+    let vol_adaptive =
+        vol_runner.run_engine_prepared(&vol_ctx, TrackerKind::VariableHoldFocv, cmp_engine)?;
+    let vol_fixed_p50 = vol_fixed.net_energy_percentiles().expect("non-empty").p50;
+    let vol_adaptive_p50 = vol_adaptive
+        .net_energy_percentiles()
+        .expect("non-empty")
+        .p50;
+    // Gate on the fleet-total net energy: the staleness win is a small
+    // per-node margin that every node collects, so the sum is the
+    // robust statistic (nearest-rank p50 is one node's value and can
+    // sit on a node the adaptation barely touches).
+    let fleet_net =
+        |r: &FleetReport| -> f64 { r.outcomes.iter().map(|o| o.net_energy().value()).sum() };
+    let vol_fixed_total = fleet_net(&vol_fixed);
+    let vol_adaptive_total = fleet_net(&vol_adaptive);
+    assert!(
+        vol_adaptive_total > vol_fixed_total,
+        "variable hold must beat fixed FOCV on a volatile fleet: {vol_adaptive_total} vs {vol_fixed_total} J total"
+    );
+    let vol_margin_pct =
+        (vol_adaptive_total - vol_fixed_total) / vol_fixed_total.abs().max(1e-12) * 100.0;
+    println!(
+        "{vol_size} nodes, 90 % outdoor: fleet net {} J (variable hold) vs {} J (fixed 69 s) — +{} %\n\
+         net p50 {} J vs {} J",
+        fmt(vol_adaptive_total, 4),
+        fmt(vol_fixed_total, 4),
+        fmt(vol_margin_pct, 3),
+        fmt(vol_adaptive_p50, 4),
+        fmt(vol_fixed_p50, 4)
     );
 
     // Scaling headline: 1 worker vs the top worker count at the
@@ -330,8 +396,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|(kind, report)| {
             let (p5, p50, p95) = percentile_row(report);
+            let (gross, metrology, compute) = energy_columns(report);
             format!(
-                r#"    {{ "tracker": "{}", "net_p5_j": {p5:.6}, "net_p50_j": {p50:.6}, "net_p95_j": {p95:.6}, "net_negative": {}, "brown_outs": {} }}"#,
+                r#"    {{ "tracker": "{}", "gross_p50_j": {gross:.6}, "metrology_p50_j": {metrology:.6}, "compute_p50_j": {compute:.9}, "net_p5_j": {p5:.6}, "net_p50_j": {p50:.6}, "net_p95_j": {p95:.6}, "net_negative": {}, "brown_outs": {} }}"#,
                 kind.label(),
                 report.net_negative_count(),
                 report.brown_out_count()
@@ -386,6 +453,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     "rows": [
 {cmp_rows}
     ]
+  }},
+  "volatile_light": {{
+    "nodes": {vol_size},
+    "placement_mix": "window 0.05 / interior 0.05 / outdoor 0.90",
+    "grid": "1-minute trace grid, dt 60 s (even in smoke)",
+    "engine": "{cmp_engine}",
+    "fixed_focv_net_total_j": {vol_fixed_total:.6},
+    "variable_hold_net_total_j": {vol_adaptive_total:.6},
+    "variable_hold_margin_pct": {vol_margin_pct:.4},
+    "fixed_focv_net_p50_j": {vol_fixed_p50:.6},
+    "variable_hold_net_p50_j": {vol_adaptive_p50:.6},
+    "gate": "variable hold must beat fixed FOCV on fleet-total net energy (asserted)"
   }}
 }}
 "#,

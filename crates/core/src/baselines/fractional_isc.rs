@@ -3,6 +3,7 @@
 
 use eh_units::{Amps, Seconds, Volts, Watts};
 
+use crate::compute::ComputeCost;
 use crate::controller::{MpptController, Observation, TrackerCommand};
 use crate::error::CoreError;
 
@@ -97,6 +98,7 @@ impl MpptController for FractionalIsc {
     }
 
     fn step(&mut self, obs: &Observation, dt: Seconds) -> TrackerCommand {
+        let capturing = self.measuring;
         if self.measuring {
             if let Some(isc) = obs.isc_measurement {
                 self.held_isc = Some(isc);
@@ -119,13 +121,21 @@ impl MpptController for FractionalIsc {
         // current toward k_i·Isc. Below the knee the module is a current
         // source, so "too much current" means we are below the MPP
         // voltage and must step up; "too little" means we passed the knee.
-        let target_current = isc.value() * self.k_i;
-        if obs.pv_current.value() > target_current * 1.02 {
-            self.target += Volts::from_milli(50.0);
-        } else if obs.pv_current.value() < target_current * 0.98 {
-            self.target -= Volts::from_milli(50.0);
+        // On the capture step the sensed current is the short-circuit
+        // current from the measurement interval itself, not an
+        // operating-point current — judging it would read "too much
+        // current" after every sample and ratchet the target up
+        // regardless of the operating point, so the loop holds for one
+        // step instead.
+        if !capturing {
+            let target_current = isc.value() * self.k_i;
+            if obs.pv_current.value() > target_current * 1.02 {
+                self.target += Volts::from_milli(50.0);
+            } else if obs.pv_current.value() < target_current * 0.98 {
+                self.target -= Volts::from_milli(50.0);
+            }
+            self.target = self.target.clamp(Volts::from_milli(100.0), Volts::new(8.0));
         }
-        self.target = self.target.clamp(Volts::from_milli(100.0), Volts::new(8.0));
         TrackerCommand::connect_at(self.target)
     }
 
@@ -135,6 +145,11 @@ impl MpptController for FractionalIsc {
 
     fn can_cold_start(&self) -> bool {
         false
+    }
+
+    fn compute_cost(&self) -> ComputeCost {
+        // One scale, two compares, one step, one clamp per decision.
+        ComputeCost::mcu_class(40)
     }
 }
 
@@ -211,5 +226,36 @@ mod tests {
         assert!(t.overhead_power().as_micro() >= 500.0);
         assert!(!t.can_cold_start());
         assert!(!t.requires_light_sensor());
+        assert!(!t.compute_cost().is_free());
+    }
+
+    #[test]
+    fn capture_step_does_not_nudge_on_the_short_circuit_current() {
+        // Regression: the engine reports the measurement interval's
+        // short-circuit current as `pv_current` on the step after a
+        // short, so the current loop used to see `Isc > k_i·Isc` after
+        // every sample and bump the target +50 mV unconditionally. The
+        // capture step must hold the previous target.
+        let mut t = FractionalIsc::literature_default().unwrap();
+        // First command is a short; the tracker is now `measuring`.
+        let cmd = t.step(&Observation::at(Seconds::ZERO), Seconds::new(0.1));
+        assert_eq!(cmd, TrackerCommand::MeasureIsc);
+        let before = t.target();
+        // The post-short observation, as the engine builds it: the
+        // measured Isc both in `isc_measurement` and as the sensed
+        // operating current.
+        let isc = Amps::from_micro(200.0);
+        let obs = Observation {
+            pv_current: isc,
+            isc_measurement: Some(isc),
+            ..Observation::at(Seconds::new(0.1))
+        };
+        let cmd = t.step(&obs, Seconds::new(0.1));
+        assert!(cmd.is_connect());
+        assert_eq!(
+            t.target(),
+            before,
+            "capture step must not judge the short-circuit current as an operating point"
+        );
     }
 }

@@ -3,6 +3,7 @@
 
 use eh_units::{Amps, Seconds, Volts, Watts};
 
+use crate::compute::ComputeCost;
 use crate::controller::{MpptController, Observation, TrackerCommand};
 use crate::error::CoreError;
 
@@ -150,6 +151,12 @@ impl MpptController for IncrementalConductance {
     fn can_cold_start(&self) -> bool {
         false
     }
+
+    fn compute_cost(&self) -> ComputeCost {
+        // Two divisions (ΔI/ΔV and I/V) dominate; division-heavy
+        // decisions cost noticeably more than P&O's compare-and-step.
+        ComputeCost::mcu_class(90)
+    }
 }
 
 #[cfg(test)]
@@ -245,5 +252,18 @@ mod tests {
         assert!(t.overhead_power().as_milli() >= 1.0);
         assert!(!t.can_cold_start());
         assert!(!t.requires_light_sensor());
+        assert!(!t.compute_cost().is_free());
+    }
+
+    #[test]
+    fn first_decision_probes_upward_even_in_the_dark() {
+        // Audit pin (sibling of the P&O first-sample bug): `primed`
+        // guards the uninitialized conductance terms, so a dark start
+        // (all-zero observation) must still probe upward rather than
+        // dividing by a zero Δv or judging the zero initializers.
+        let mut t = IncrementalConductance::literature_default().unwrap();
+        let start = t.target();
+        let cmd = t.step(&Observation::at(Seconds::ZERO), Seconds::from_milli(100.0));
+        assert!(cmd.target_voltage().expect("stays connected") > start);
     }
 }

@@ -2,6 +2,7 @@
 
 use eh_units::{Seconds, Volts, Watts};
 
+use crate::compute::ComputeCost;
 use crate::controller::{MpptController, Observation, TrackerCommand};
 use crate::error::CoreError;
 
@@ -24,6 +25,7 @@ pub struct PerturbObserve {
     direction: f64,
     last_power: Watts,
     since_control: Seconds,
+    primed: bool,
 }
 
 impl PerturbObserve {
@@ -64,6 +66,7 @@ impl PerturbObserve {
             direction: 1.0,
             last_power: Watts::ZERO,
             since_control: Seconds::ZERO,
+            primed: false,
         })
     }
 
@@ -98,14 +101,25 @@ impl MpptController for PerturbObserve {
         self.since_control += dt;
         if self.since_control >= self.control_period {
             self.since_control = Seconds::ZERO;
-            // Compare powers; keep direction on strict improvement, flip
-            // otherwise. Treating "no better" as "worse" is the standard
-            // guard that stops the climber running away when the module
-            // is dark or pinned at open circuit (zero power everywhere).
-            if obs.pv_power <= self.last_power {
-                self.direction = -self.direction;
+            if !self.primed {
+                // First control boundary: no previous perturbation exists
+                // to judge, so seed the comparison from this observation
+                // and probe in the initial direction. Comparing against
+                // the Watts::ZERO initializer instead would read a dark
+                // start as "power dropped" and lock in a downhill walk.
+                self.primed = true;
+                self.last_power = obs.pv_power;
+            } else {
+                // Compare powers; keep direction on strict improvement,
+                // flip otherwise. Treating "no better" as "worse" is the
+                // standard guard that stops the climber running away when
+                // the module is dark or pinned at open circuit (zero
+                // power everywhere).
+                if obs.pv_power <= self.last_power {
+                    self.direction = -self.direction;
+                }
+                self.last_power = obs.pv_power;
             }
-            self.last_power = obs.pv_power;
             self.target = (self.target + self.step_size * self.direction)
                 .clamp(Volts::from_milli(100.0), Volts::new(8.0));
         }
@@ -120,6 +134,11 @@ impl MpptController for PerturbObserve {
         // §I: needs fine-grained control — a microcontroller — so it
         // cannot bootstrap a dead system from indoor light.
         false
+    }
+
+    fn compute_cost(&self) -> ComputeCost {
+        // Sample scaling, one compare, one signed step, one clamp.
+        ComputeCost::mcu_class(60)
     }
 }
 
@@ -197,6 +216,30 @@ mod tests {
         assert!(c.is_connect(), "P&O never disconnects the module");
         assert!(t.overhead_power().as_milli() >= 1.0);
         assert!(!t.can_cold_start());
+    }
+
+    #[test]
+    fn first_decision_probes_upward_from_a_dark_start() {
+        // Regression: `last_power` used to start at `Watts::ZERO`, so the
+        // very first control boundary compared the first observation
+        // against zero. A dark start (pv_power == 0) then read as "no
+        // better", flipped the direction to -1 and locked in a downhill
+        // walk before the tracker had ever perturbed anything. The first
+        // boundary must seed the comparison and probe upward instead.
+        let mut t = PerturbObserve::literature_default().unwrap();
+        let start = t.target();
+        let c = t.step(&obs(0.0), Seconds::from_milli(100.0));
+        let v = c.target_voltage().expect("P&O stays connected");
+        assert!(
+            v > start,
+            "first decision must probe in the initial (+) direction, got {v} from {start}"
+        );
+    }
+
+    #[test]
+    fn declares_digital_compute_cost() {
+        let t = PerturbObserve::literature_default().unwrap();
+        assert!(!t.compute_cost().is_free());
     }
 
     #[test]

@@ -141,5 +141,17 @@ mod tests {
         let t = PilotCell::literature_default(presets::sanyo_am1815()).unwrap();
         assert!((t.overhead_power().as_micro() - 300.0).abs() < 1e-9);
         assert!(t.requires_light_sensor());
+        // Analog steering network: no per-decision arithmetic to charge.
+        assert!(t.compute_cost().is_free());
+    }
+
+    #[test]
+    fn missing_light_sensor_data_degrades_to_a_measure() {
+        // Audit pin: with no ambient-lux sample at all (engine quirk or
+        // sensor fault) the `unwrap_or` chain must bottom out in a
+        // harmless measure command, never a divide or a bogus target.
+        let mut t = PilotCell::literature_default(presets::sanyo_am1815()).unwrap();
+        let c = t.step(&Observation::at(Seconds::ZERO), Seconds::new(1.0));
+        assert!(!c.is_connect());
     }
 }

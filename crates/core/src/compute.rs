@@ -1,0 +1,105 @@
+//! The complexity-aware compute-cost model.
+//!
+//! The paper's argument is economic: a tracker is only worth what it
+//! costs, and the FOCV sample-and-hold wins indoors because its
+//! metrology budget undercuts mW-class digital trackers. The same logic
+//! applies one level down — two digital trackers with the same sensing
+//! chain can still differ in how much *arithmetic* each decision takes
+//! (a division-heavy incremental-conductance update versus a P&O
+//! compare-and-step), and complexity-aware benchmarking charges that
+//! difference explicitly as `ops per decision × energy per op`.
+//!
+//! Each [`crate::MpptController`] declares a [`ComputeCost`]; the
+//! closed-loop engines charge one decision's worth of energy per control
+//! step, separately from the quiescent sensing overhead, so fleet
+//! comparisons can report gross harvest, metrology energy and compute
+//! energy as independent columns.
+
+use eh_units::Joules;
+
+/// Energy per executed control-law operation for an MSP430-class
+/// ultra-low-power microcontroller, including the amortised wake-up and
+/// ADC conversion share: ~1.2 nJ per op at 3 V.
+pub const MCU_ENERGY_PER_OP: Joules = Joules::new(1.2e-9);
+
+/// The digital cost of one tracker decision: how many control-law
+/// operations it executes and what each op costs.
+///
+/// A *decision* is one invocation of the tracker's control law — in the
+/// behavioural simulation, one [`crate::MpptController::step`] call.
+/// Purely analog trackers (the paper's sample-and-hold, a fixed
+/// reference IC) execute zero ops; their cost is [`ComputeCost::ZERO`].
+///
+/// ```
+/// use eh_core::ComputeCost;
+///
+/// let cost = ComputeCost::mcu_class(120);
+/// assert!(cost.energy_per_decision().value() > 0.0);
+/// assert_eq!(ComputeCost::ZERO.energy_per_decision().value(), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComputeCost {
+    /// Control-law operations executed per decision.
+    pub ops_per_decision: u64,
+    /// Energy per operation.
+    pub energy_per_op: Joules,
+}
+
+impl ComputeCost {
+    /// The cost of an analog implementation: zero ops, zero energy.
+    pub const ZERO: ComputeCost = ComputeCost {
+        ops_per_decision: 0,
+        energy_per_op: Joules::new(0.0),
+    };
+
+    /// A cost with explicit op count and per-op energy.
+    pub fn new(ops_per_decision: u64, energy_per_op: Joules) -> Self {
+        Self {
+            ops_per_decision,
+            energy_per_op,
+        }
+    }
+
+    /// A cost of `ops_per_decision` ops on the reference MCU
+    /// ([`MCU_ENERGY_PER_OP`]).
+    pub fn mcu_class(ops_per_decision: u64) -> Self {
+        Self::new(ops_per_decision, MCU_ENERGY_PER_OP)
+    }
+
+    /// The energy one decision consumes: `ops × energy/op`.
+    pub fn energy_per_decision(&self) -> Joules {
+        Joules::new(self.ops_per_decision as f64 * self.energy_per_op.value())
+    }
+
+    /// Whether this cost charges nothing (analog implementations).
+    pub fn is_free(&self) -> bool {
+        self.energy_per_decision().value() <= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_cost_is_free() {
+        assert!(ComputeCost::ZERO.is_free());
+        assert_eq!(ComputeCost::ZERO.energy_per_decision(), Joules::ZERO);
+    }
+
+    #[test]
+    fn mcu_cost_scales_with_ops() {
+        let a = ComputeCost::mcu_class(100);
+        let b = ComputeCost::mcu_class(200);
+        assert!(!a.is_free());
+        assert!(
+            (b.energy_per_decision().value() - 2.0 * a.energy_per_decision().value()).abs() < 1e-18
+        );
+    }
+
+    #[test]
+    fn explicit_energy_per_op() {
+        let c = ComputeCost::new(10, Joules::new(2e-9));
+        assert_eq!(c.energy_per_decision(), Joules::new(2e-8));
+    }
+}

@@ -11,6 +11,8 @@
 
 use eh_units::{Amps, Lux, Seconds, Volts, Watts};
 
+use crate::compute::ComputeCost;
+
 /// What a tracker can observe at the start of a control step.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Observation {
@@ -110,6 +112,15 @@ pub trait MpptController {
     /// [`Observation::ambient_lux`] for trackers that return `true`.
     fn requires_light_sensor(&self) -> bool {
         false
+    }
+
+    /// The digital cost of one control decision (ops per decision ×
+    /// energy per op), charged by the closed-loop engines on every
+    /// [`MpptController::step`] call, separately from the quiescent
+    /// [`MpptController::overhead_power`]. Analog implementations
+    /// default to [`ComputeCost::ZERO`].
+    fn compute_cost(&self) -> ComputeCost {
+        ComputeCost::ZERO
     }
 }
 

@@ -35,11 +35,13 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+mod compute;
 mod controller;
 mod error;
 mod metrics;
 mod system;
 
+pub use compute::{ComputeCost, MCU_ENERGY_PER_OP};
 pub use controller::{MpptController, Observation, TrackerCommand};
 pub use error::CoreError;
 pub use metrics::{tracking_accuracy_table, HarvestSummary, TrackingAccuracyRow};

@@ -1,6 +1,6 @@
 //! Property-based tests on the full-system invariants.
 
-use eh_core::baselines::{FocvSampleHold, Oracle, PerturbObserve};
+use eh_core::baselines::{FocvSampleHold, Oracle, PerturbObserve, VariableHoldFocv};
 use eh_core::{FocvMpptSystem, MpptController, Observation, SystemConfig, TrackerCommand};
 use eh_units::{Amps, Lux, Seconds, Volts, Watts};
 use proptest::prelude::*;
@@ -85,6 +85,38 @@ proptest! {
             let v = cmd.target_voltage().expect("P&O stays connected");
             prop_assert!((0.1..=8.0).contains(&v.value()), "target = {v}");
         }
+    }
+
+    /// Under a perfectly steady scene (constant Voc ⇒ zero measured
+    /// volatility), the variable-hold tracker is the fixed 69 s
+    /// sample-and-hold, bit for bit, whatever step sizes drive it.
+    #[test]
+    fn variable_hold_degenerates_to_fixed_focv_at_zero_volatility(
+        voc in 0.5..8.0f64,
+        dts in proptest::collection::vec(0.01..120.0f64, 20..120),
+    ) {
+        let mut adaptive = VariableHoldFocv::eq2_tuned().expect("valid tracker");
+        let mut fixed = FocvSampleHold::paper_prototype().expect("valid tracker");
+        let mut measuring = false;
+        for (i, dt) in dts.iter().enumerate() {
+            let obs = Observation {
+                voc_measurement: measuring.then(|| Volts::new(voc)),
+                ..Observation::at(Seconds::ZERO)
+            };
+            let a = adaptive.step(&obs, Seconds::new(*dt));
+            let f = fixed.step(&obs, Seconds::new(*dt));
+            prop_assert_eq!(
+                a.target_voltage().map(|v| v.value().to_bits()),
+                f.target_voltage().map(|v| v.value().to_bits()),
+                "step {}: {:?} vs {:?}", i, a, f
+            );
+            measuring = !a.is_connect();
+        }
+        prop_assert_eq!(adaptive.volatility(), 0.0);
+        prop_assert_eq!(
+            adaptive.current_period().value().to_bits(),
+            adaptive.base_period().value().to_bits()
+        );
     }
 
     /// The oracle never commands above the cell's open-circuit voltage.

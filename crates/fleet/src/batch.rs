@@ -53,6 +53,7 @@ use crate::context::FleetContext;
 use crate::error::FleetError;
 use crate::population::NodeSpec;
 use crate::report::{FleetReport, NodeOutcome};
+use crate::run::merged_or_empty;
 use crate::spec::{FleetSpec, Placement};
 
 /// Simulates one shard of nodes and folds their reports in fleet order —
@@ -77,7 +78,7 @@ pub(crate) fn simulate_shard(
                 Some(m) => m.merge(single),
             }
         }
-        merged.expect("shards are non-empty")
+        merged_or_empty(merged)
     }
 }
 
@@ -195,7 +196,7 @@ fn simulate_shard_focv(
             Some(m) => m.merge(single),
         }
     }
-    merged.expect("shards are non-empty")
+    merged_or_empty(merged)
 }
 
 /// Per-lane cold-start feasibility, batched.
@@ -344,7 +345,13 @@ impl FocvLaneStepper<'_> {
         let mut metrics = self.metrics.take().map(|b| *b);
         if let Some(m) = metrics.as_mut() {
             m.add_counter("node.measurements", acc.measurements);
-            let closed_loop = acc.overhead_energy + acc.loss_energy + acc.load_served;
+            // The FOCV tracker is analog (ComputeCost::ZERO); the
+            // counters and the conservation term are mirrored anyway so
+            // both engines record identical stores.
+            m.add_counter("tracker.decisions", acc.decisions);
+            m.add_counter("tracker.ops", 0);
+            let closed_loop =
+                acc.overhead_energy + acc.loss_energy + acc.load_served + acc.compute_energy;
             m.ledger().check_conservation(closed_loop, 1e-9)?;
         }
         Ok(NodeReport {
@@ -356,7 +363,9 @@ impl FocvLaneStepper<'_> {
             load_served: acc.load_served,
             final_store_energy: self.store.stored_energy(),
             loss_energy: acc.loss_energy,
+            compute_energy: acc.compute_energy,
             measurements: acc.measurements,
+            decisions: acc.decisions,
             metrics,
         })
     }
@@ -404,6 +413,15 @@ impl Stepper for FocvLaneStepper<'_> {
         self.acc.add_overhead(overhead);
         self.store.withdraw(overhead);
 
+        // Mirror of the per-node engine's compute charge. The FOCV
+        // tracker declares ComputeCost::ZERO, so both the accumulator
+        // add and the store withdraw are exact no-ops — but executing
+        // them in the same order keeps the engines' arithmetic aligned.
+        let compute = Joules::ZERO;
+        self.acc.add_compute(compute);
+        self.acc.count_decision();
+        self.store.withdraw(compute);
+
         let mut served = Joules::ZERO;
         if let Some(load) = self.load {
             let demand = load.energy_demand(t, actual);
@@ -420,6 +438,7 @@ impl Stepper for FocvLaneStepper<'_> {
                 EnergyBucket::SampleHold
             };
             m.charge(bucket, overhead);
+            m.charge(EnergyBucket::Compute, compute);
             m.charge(EnergyBucket::Load, served);
             let mut span = if is_connect {
                 eh_obs::span!("node.harvesting")

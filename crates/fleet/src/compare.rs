@@ -8,8 +8,8 @@
 //! (where the tracker has an astable), same light.
 
 use eh_core::baselines::{
-    FixedVoltage, FocvSampleHold, FractionalIsc, IncrementalConductance, Oracle, PerturbObserve,
-    Photodetector, PilotCell,
+    AdaptiveKFocv, FixedVoltage, FocvSampleHold, FractionalIsc, GradientDescentMppt,
+    IncrementalConductance, Oracle, PerturbObserve, Photodetector, PilotCell, VariableHoldFocv,
 };
 use eh_core::MpptController;
 use eh_pv::PvCell;
@@ -26,10 +26,16 @@ use crate::spec::FleetSpec;
 pub enum TrackerKind {
     /// The paper's FOCV sample-and-hold, jittered per node.
     Focv,
+    /// FOCV with an Eq.-2-adaptive hold period.
+    VariableHoldFocv,
+    /// FOCV with a drift-learning fraction k.
+    AdaptiveKFocv,
     /// Fixed reference voltage (Weddell'08).
     FixedVoltage,
     /// Perturb & observe hill climber.
     PerturbObserve,
+    /// Gradient descent with adaptive step size.
+    GradientDescent,
     /// Incremental conductance.
     IncrementalConductance,
     /// Fractional short-circuit current.
@@ -45,10 +51,13 @@ pub enum TrackerKind {
 impl TrackerKind {
     /// Every kind, in comparison-table order (oracle last as the
     /// reference bound).
-    pub const ALL: [TrackerKind; 8] = [
+    pub const ALL: [TrackerKind; 11] = [
         TrackerKind::Focv,
+        TrackerKind::VariableHoldFocv,
+        TrackerKind::AdaptiveKFocv,
         TrackerKind::FixedVoltage,
         TrackerKind::PerturbObserve,
+        TrackerKind::GradientDescent,
         TrackerKind::IncrementalConductance,
         TrackerKind::FractionalIsc,
         TrackerKind::PilotCell,
@@ -60,8 +69,11 @@ impl TrackerKind {
     pub fn label(self) -> &'static str {
         match self {
             TrackerKind::Focv => "focv",
+            TrackerKind::VariableHoldFocv => "focv-variable-hold",
+            TrackerKind::AdaptiveKFocv => "focv-adaptive-k",
             TrackerKind::FixedVoltage => "fixed-voltage",
             TrackerKind::PerturbObserve => "perturb-observe",
+            TrackerKind::GradientDescent => "gradient-descent",
             TrackerKind::IncrementalConductance => "incremental-conductance",
             TrackerKind::FractionalIsc => "fractional-isc",
             TrackerKind::PilotCell => "pilot-cell",
@@ -85,6 +97,9 @@ impl TrackerKind {
     ) -> Result<Box<dyn MpptController>, FleetError> {
         Ok(match self {
             TrackerKind::Focv => Box::new(node.tracker()?),
+            TrackerKind::VariableHoldFocv => Box::new(VariableHoldFocv::eq2_tuned()?),
+            TrackerKind::AdaptiveKFocv => Box::new(AdaptiveKFocv::paper_tuned()?),
+            TrackerKind::GradientDescent => Box::new(GradientDescentMppt::literature_default()?),
             TrackerKind::FixedVoltage => Box::new(FixedVoltage::indoor_tuned()?),
             TrackerKind::PerturbObserve => Box::new(PerturbObserve::literature_default()?),
             TrackerKind::IncrementalConductance => {
@@ -170,7 +185,7 @@ mod tests {
 
     #[test]
     fn comparison_replays_the_same_population() {
-        // A tiny, coarse fleet so the 8-way comparison stays fast.
+        // A tiny, coarse fleet so the 11-way comparison stays fast.
         let mut spec = FleetSpec::mixed_indoor_outdoor(6, 99).unwrap();
         spec.trace_decimate = 1200;
         spec.dt = Seconds::new(1200.0);
@@ -189,7 +204,11 @@ mod tests {
             assert_eq!(placements(report), reference);
         }
         // The oracle bounds everyone's median net energy.
-        let median = |r: &FleetReport| r.net_energy_percentiles().unwrap().p50;
+        let median = |r: &FleetReport| {
+            r.net_energy_percentiles()
+                .expect("six-node fleets have percentiles")
+                .p50
+        };
         let oracle = median(&rows.last().unwrap().1);
         for (kind, report) in &rows {
             assert!(
@@ -197,6 +216,36 @@ mod tests {
                 "{} beat the oracle",
                 kind.label()
             );
+        }
+        // The analog kinds charge no compute energy; the digital kinds
+        // must report it as a separate, nonzero column.
+        for (kind, report) in &rows {
+            let compute = report
+                .compute_energy_percentiles()
+                .expect("six-node fleets have percentiles")
+                .p50;
+            match kind {
+                TrackerKind::Focv | TrackerKind::Oracle | TrackerKind::FixedVoltage => {
+                    assert_eq!(compute, 0.0, "{} is analog", kind.label());
+                }
+                TrackerKind::PerturbObserve | TrackerKind::GradientDescent => {
+                    assert!(compute > 0.0, "{} must charge compute", kind.label());
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn zero_node_spec_errors_instead_of_panicking() {
+        // Regression: an empty fleet used to reach a `.expect` deep in
+        // the shard-merge path and panic the whole comparison; it must
+        // surface as a FleetError instead.
+        let mut spec = FleetSpec::mixed_indoor_outdoor(6, 99).unwrap();
+        spec.nodes = 0;
+        for engine in [crate::Engine::PerNode, crate::Engine::Batch] {
+            let err = compare_trackers_over_fleet_with(&spec, &FleetRunner::new(2), engine);
+            assert!(err.is_err(), "{engine:?} must reject an empty fleet");
         }
     }
 }

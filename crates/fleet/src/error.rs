@@ -30,6 +30,9 @@ pub enum FleetError {
         /// The rejected value.
         value: f64,
     },
+    /// A fleet run produced no node outcomes to aggregate (an empty
+    /// population, or every shard erroring out before producing one).
+    EmptyFleet,
 }
 
 impl fmt::Display for FleetError {
@@ -42,6 +45,9 @@ impl fmt::Display for FleetError {
             FleetError::Converter(e) => write!(f, "converter: {e}"),
             FleetError::InvalidSpec { name, value } => {
                 write!(f, "invalid fleet spec parameter {name} = {value}")
+            }
+            FleetError::EmptyFleet => {
+                write!(f, "fleet run produced no node outcomes to aggregate")
             }
         }
     }

@@ -32,7 +32,7 @@ pub struct NodeOutcome {
 }
 
 impl NodeOutcome {
-    /// `gross − overhead` for this node.
+    /// `gross − overhead − compute` for this node.
     pub fn net_energy(&self) -> Joules {
         self.report.net_energy()
     }
@@ -123,12 +123,35 @@ impl FleetReport {
         )
     }
 
-    /// Tracker-overhead percentiles across the fleet, in joules.
+    /// Gross-harvest percentiles across the fleet, in joules.
+    pub fn gross_energy_percentiles(&self) -> Option<Percentiles> {
+        Percentiles::of(
+            self.outcomes
+                .iter()
+                .map(|o| o.report.gross_energy.value())
+                .collect(),
+        )
+    }
+
+    /// Metrology (tracker-overhead) percentiles across the fleet, in
+    /// joules: the energy each node's measurement circuit burned.
     pub fn overhead_percentiles(&self) -> Option<Percentiles> {
         Percentiles::of(
             self.outcomes
                 .iter()
                 .map(|o| o.report.overhead_energy.value())
+                .collect(),
+        )
+    }
+
+    /// Compute-energy percentiles across the fleet, in joules: what
+    /// each node's MPPT arithmetic cost on the MCU. Zero for analog
+    /// trackers.
+    pub fn compute_energy_percentiles(&self) -> Option<Percentiles> {
+        Percentiles::of(
+            self.outcomes
+                .iter()
+                .map(|o| o.report.compute_energy.value())
                 .collect(),
         )
     }
@@ -188,17 +211,31 @@ impl fmt::Display for FleetReport {
             self.nodes(),
             self.tracker
         )?;
-        if let Some(p) = self.net_energy_percentiles() {
+        if let Some(p) = self.gross_energy_percentiles() {
             writeln!(
                 f,
-                "  net energy   p5 {:>10.4} J   p50 {:>10.4} J   p95 {:>10.4} J",
+                "  gross        p5 {:>10.4} J   p50 {:>10.4} J   p95 {:>10.4} J",
                 p.p5, p.p50, p.p95
             )?;
         }
         if let Some(p) = self.overhead_percentiles() {
             writeln!(
                 f,
-                "  overhead     p5 {:>10.4} J   p50 {:>10.4} J   p95 {:>10.4} J",
+                "  metrology    p5 {:>10.4} J   p50 {:>10.4} J   p95 {:>10.4} J",
+                p.p5, p.p50, p.p95
+            )?;
+        }
+        if let Some(p) = self.compute_energy_percentiles() {
+            writeln!(
+                f,
+                "  compute      p5 {:>10.4} J   p50 {:>10.4} J   p95 {:>10.4} J",
+                p.p5, p.p50, p.p95
+            )?;
+        }
+        if let Some(p) = self.net_energy_percentiles() {
+            writeln!(
+                f,
+                "  net energy   p5 {:>10.4} J   p50 {:>10.4} J   p95 {:>10.4} J",
                 p.p5, p.p50, p.p95
             )?;
         }
@@ -225,11 +262,12 @@ impl fmt::Display for FleetReport {
             if !ledger.is_empty() {
                 writeln!(
                     f,
-                    "  energy ledger: astable {:.4} J, sample/hold {:.4} J, switching {:.4} J, load {:.4} J",
+                    "  energy ledger: astable {:.4} J, sample/hold {:.4} J, switching {:.4} J, load {:.4} J, compute {:.4} J",
                     ledger.energy(eh_obs::EnergyBucket::Astable).value(),
                     ledger.energy(eh_obs::EnergyBucket::SampleHold).value(),
                     ledger.energy(eh_obs::EnergyBucket::ConverterSwitching).value(),
                     ledger.energy(eh_obs::EnergyBucket::Load).value(),
+                    ledger.energy(eh_obs::EnergyBucket::Compute).value(),
                 )?;
             }
         }
@@ -256,7 +294,9 @@ mod tests {
                 load_served: Joules::new(served),
                 final_store_energy: Joules::ZERO,
                 loss_energy: Joules::ZERO,
+                compute_energy: Joules::ZERO,
                 measurements: 10,
+                decisions: 0,
                 metrics: None,
             },
         }

@@ -170,10 +170,11 @@ impl FleetRunner {
         let population = ctx.population().to_vec();
         let simulate =
             |_idx: usize, node: crate::population::NodeSpec| ctx.simulate_node(kind, node);
-        let report = self
-            .runner
-            .run_merged(population, self.shard_size, simulate)?
-            .expect("validated specs have at least one node")?;
+        let report = merged_or_empty(self.runner.run_merged(
+            population,
+            self.shard_size,
+            simulate,
+        )?)?;
         Ok(Self::stamp_fleet_counters(report))
     }
 
@@ -230,11 +231,9 @@ impl FleetRunner {
     ) -> Result<FleetReport, FleetError> {
         let batch_runner = BatchRunner::from_runner(self.runner, self.shard_size)?;
         let population = ctx.population().to_vec();
-        let report = batch_runner
-            .run_shards(population, |_idx, nodes| {
-                batch::simulate_shard(ctx, kind, nodes)
-            })
-            .expect("validated specs have at least one node")?;
+        let report = merged_or_empty(batch_runner.run_shards(population, |_idx, nodes| {
+            batch::simulate_shard(ctx, kind, nodes)
+        }))?;
         Ok(Self::stamp_fleet_counters(report))
     }
 
@@ -282,6 +281,13 @@ impl FleetRunner {
     }
 }
 
+/// Lifts an optional merge result into a [`FleetError`]: a run that
+/// produced no aggregate (zero nodes, or every shard dropped before
+/// yielding one) is an [`FleetError::EmptyFleet`], not a panic.
+pub(crate) fn merged_or_empty<T>(merged: Option<Result<T, FleetError>>) -> Result<T, FleetError> {
+    merged.ok_or(FleetError::EmptyFleet)?
+}
+
 /// Runs `spec` through the batch engine — the free-function spelling of
 /// [`FleetRunner::run_batched`].
 ///
@@ -324,9 +330,22 @@ mod tests {
     }
 
     #[test]
+    fn empty_merge_is_an_error_not_a_panic() {
+        // Regression: both engine paths used to `.expect` on the merged
+        // shard fold, so a fleet that produced no outcomes panicked
+        // instead of erroring.
+        let lifted: Result<FleetReport, FleetError> = merged_or_empty(None);
+        assert!(matches!(lifted, Err(FleetError::EmptyFleet)));
+        let passthrough = merged_or_empty(Some(Err::<FleetReport, _>(FleetError::EmptyFleet)));
+        assert!(passthrough.is_err());
+    }
+
+    #[test]
     fn heterogeneity_spreads_the_outcomes() {
         let report = FleetRunner::new(1).run(&small_spec()).unwrap();
-        let p = report.net_energy_percentiles().unwrap();
+        let p = report
+            .net_energy_percentiles()
+            .expect("non-empty fleet has percentiles");
         assert!(
             p.p95 > p.p5,
             "a toleranced fleet must not collapse to one outcome: {p:?}"
@@ -339,7 +358,9 @@ mod tests {
         spec.tolerances = Tolerances::none();
         spec.placements = crate::PlacementMix::new(0.0, 1.0, 0.0).unwrap();
         let report = FleetRunner::new(2).run(&spec).unwrap();
-        let p = report.net_energy_percentiles().unwrap();
+        let p = report
+            .net_energy_percentiles()
+            .expect("non-empty fleet has percentiles");
         // Identical hardware and identical light: only the power-up
         // phase differs, which perturbs day-scale energy marginally.
         let spread = (p.p95 - p.p5).abs();
@@ -373,7 +394,8 @@ mod tests {
                 .sum::<u64>()
         );
         // The fleet ledger must balance the summed closed-loop node
-        // accounting: overhead + conversion losses + load served.
+        // accounting: overhead + conversion losses + load served +
+        // control-law compute.
         let closed_loop: f64 = one
             .outcomes
             .iter()
@@ -381,6 +403,7 @@ mod tests {
                 o.report.overhead_energy.value()
                     + o.report.loss_energy.value()
                     + o.report.load_served.value()
+                    + o.report.compute_energy.value()
             })
             .sum();
         let rel = m
@@ -400,7 +423,11 @@ mod tests {
         let runner = FleetRunner::new(2);
         let focv = runner.run(&spec).unwrap();
         let oracle = runner.run_tracker(&spec, TrackerKind::Oracle).unwrap();
-        let net = |r: &FleetReport| r.net_energy_percentiles().unwrap().p50;
+        let net = |r: &FleetReport| {
+            r.net_energy_percentiles()
+                .expect("non-empty fleet has percentiles")
+                .p50
+        };
         assert!(net(&oracle) >= net(&focv));
     }
 

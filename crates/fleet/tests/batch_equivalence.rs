@@ -96,6 +96,41 @@ fn batch_compatibility_lane_covers_every_tracker_kind() {
 }
 
 #[test]
+fn adaptive_trackers_are_engine_invariant_across_seeds_workers_and_shards() {
+    // The three adaptive trackers ride the batch compatibility lane;
+    // this pins them to the same bit-identity contract the FOCV fast
+    // lane honours, across the full seed × worker × shard matrix.
+    let kinds = [
+        TrackerKind::VariableHoldFocv,
+        TrackerKind::AdaptiveKFocv,
+        TrackerKind::GradientDescent,
+    ];
+    for seed in [2011_u64, 7, 404] {
+        let spec = spec(12, seed);
+        let ctx = FleetContext::prepare(&spec).unwrap();
+        for &kind in &kinds {
+            let reference = FleetRunner::new(1)
+                .run_tracker_prepared(&ctx, kind)
+                .unwrap();
+            for workers in [1_usize, 2, 4] {
+                for shard_size in [1_usize, 32, 257] {
+                    let runner = FleetRunner::new(workers).with_shard_size(shard_size);
+                    let batched = runner.run_tracker_batched_prepared(&ctx, kind).unwrap();
+                    assert_reports_identical(
+                        &reference,
+                        &batched,
+                        &format!(
+                            "{}, seed {seed}, {workers} workers, shard {shard_size}",
+                            kind.label()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn batch_population_path_is_prefix_stable() {
     // Growing the fleet appends nodes; the existing prefix re-simulates
     // to the exact same outcomes through the batch engine.

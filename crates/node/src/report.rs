@@ -23,17 +23,24 @@ pub struct NodeReport {
     pub final_store_energy: Joules,
     /// Energy dissipated in the conversion path (converter losses).
     pub loss_energy: Joules,
+    /// Energy the tracker's control law consumed (digital trackers
+    /// only; zero for analog implementations).
+    pub compute_energy: Joules,
     /// Number of open-circuit measurement interruptions.
     pub measurements: u64,
+    /// Number of control decisions the tracker took.
+    pub decisions: u64,
     /// The run's metric store, when [`crate::SimConfig::obs`] was
     /// enabled; `None` for uninstrumented runs.
     pub metrics: Option<Metrics>,
 }
 
 impl NodeReport {
-    /// `gross − overhead`: the tracker's net contribution.
+    /// `gross − overhead − compute`: the tracker's net contribution.
     pub fn net_energy(&self) -> Joules {
-        Joules::new(self.gross_energy.value() - self.overhead_energy.value())
+        Joules::new(
+            self.gross_energy.value() - self.overhead_energy.value() - self.compute_energy.value(),
+        )
     }
 
     /// Fraction of the load demand that was served.
@@ -64,7 +71,9 @@ mod tests {
             load_served: Joules::new(served),
             final_store_energy: Joules::ZERO,
             loss_energy: Joules::ZERO,
+            compute_energy: Joules::ZERO,
             measurements: 0,
+            decisions: 0,
             metrics: None,
         }
     }
@@ -75,6 +84,13 @@ mod tests {
         assert_eq!(r.net_energy(), Joules::new(8.0));
         assert!((r.uptime().value() - 0.75).abs() < 1e-12);
         assert!(r.is_net_positive());
+    }
+
+    #[test]
+    fn compute_energy_reduces_net() {
+        let mut r = report(10.0, 2.0, 0.0, 0.0);
+        r.compute_energy = Joules::new(1.5);
+        assert_eq!(r.net_energy(), Joules::new(6.5));
     }
 
     #[test]

@@ -152,11 +152,13 @@ impl NodeSimulation {
     ) -> Result<NodeReport, NodeError> {
         let light = Light::trace(trace);
         let has_sensor = tracker.requires_light_sensor();
+        let compute_cost = tracker.compute_cost();
         let metrics = self.config.obs.then(Box::default);
         let mut stepper = NodeStepper {
             config: &mut self.config,
             tracker: &mut *tracker,
             has_sensor,
+            compute_per_decision: compute_cost.energy_per_decision(),
             acc: Accumulator::new(),
             last_voltage: Volts::ZERO,
             last_current: Amps::ZERO,
@@ -171,12 +173,15 @@ impl NodeSimulation {
         let mut metrics = stepper.metrics.take().map(|b| *b);
         if let Some(m) = metrics.as_mut() {
             m.add_counter("node.measurements", acc.measurements);
+            m.add_counter("tracker.decisions", acc.decisions);
+            m.add_counter("tracker.ops", acc.decisions * compute_cost.ops_per_decision);
             // Conservation: the per-bucket ledger (overhead split by
-            // phase, converter losses, load served) must re-sum to the
-            // lump closed-loop accumulators. The two paths group the
-            // same per-step additions differently, so this catches a
+            // phase, converter losses, load served, compute) must re-sum
+            // to the lump closed-loop accumulators. The two paths group
+            // the same per-step additions differently, so this catches a
             // forgotten or double-charged bucket, not just rounding.
-            let closed_loop = acc.overhead_energy + acc.loss_energy + acc.load_served;
+            let closed_loop =
+                acc.overhead_energy + acc.loss_energy + acc.load_served + acc.compute_energy;
             m.ledger().check_conservation(closed_loop, 1e-9)?;
         }
 
@@ -189,7 +194,9 @@ impl NodeSimulation {
             load_served: acc.load_served,
             final_store_energy: self.config.store.stored_energy(),
             loss_energy: acc.loss_energy,
+            compute_energy: acc.compute_energy,
             measurements: acc.measurements,
+            decisions: acc.decisions,
             metrics,
         })
     }
@@ -202,6 +209,7 @@ struct NodeStepper<'a> {
     config: &'a mut SimConfig,
     tracker: &'a mut dyn MpptController,
     has_sensor: bool,
+    compute_per_decision: Joules,
     acc: Accumulator,
     last_voltage: Volts,
     last_current: Amps,
@@ -289,6 +297,14 @@ impl Stepper for NodeStepper<'_> {
         self.acc.add_overhead(oh);
         self.config.store.withdraw(oh);
 
+        // Control-law compute energy: one decision per tracker step,
+        // charged at the tracker's declared ops × energy/op. Zero (and
+        // a guaranteed store no-op) for analog trackers.
+        let compute = self.compute_per_decision;
+        self.acc.add_compute(compute);
+        self.acc.count_decision();
+        self.config.store.withdraw(compute);
+
         // Node load.
         let mut served = Joules::ZERO;
         if let Some(load) = &self.config.load {
@@ -312,6 +328,7 @@ impl Stepper for NodeStepper<'_> {
                 EnergyBucket::SampleHold
             };
             m.charge(bucket, oh);
+            m.charge(EnergyBucket::Compute, compute);
             m.charge(EnergyBucket::Load, served);
             let mut span = if is_connect {
                 eh_obs::span!("node.harvesting")

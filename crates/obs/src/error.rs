@@ -18,7 +18,7 @@ pub enum ObsError {
     /// The energy ledger's bucket sum disagrees with the independently
     /// accumulated closed-loop total beyond the requested tolerance.
     ConservationViolation {
-        /// Sum of the four ledger buckets, in joules.
+        /// Sum of the ledger buckets, in joules.
         ledger_total_j: f64,
         /// The closed-loop total the ledger was checked against, in
         /// joules.

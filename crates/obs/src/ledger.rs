@@ -7,7 +7,8 @@ use crate::error::ObsError;
 /// The consumption buckets the ledger attributes energy to, mirroring
 /// the paper's circuit: the astable multivibrator that times the PULSE,
 /// the sample-and-hold metrology chain, the switching converter's
-/// conversion losses, and the node load.
+/// conversion losses, the node load, and — for digital trackers — the
+/// control-law compute energy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EnergyBucket {
     /// The astable multivibrator (PULSE timing) supply draw. At the node
@@ -23,15 +24,19 @@ pub enum EnergyBucket {
     ConverterSwitching,
     /// Energy actually delivered to the node load.
     Load,
+    /// Control-law compute energy (ops per decision × energy per op) for
+    /// digital trackers; analog trackers never charge it.
+    Compute,
 }
 
 impl EnergyBucket {
     /// Every bucket, in the fixed order used for indexing and export.
-    pub const ALL: [EnergyBucket; 4] = [
+    pub const ALL: [EnergyBucket; 5] = [
         EnergyBucket::Astable,
         EnergyBucket::SampleHold,
         EnergyBucket::ConverterSwitching,
         EnergyBucket::Load,
+        EnergyBucket::Compute,
     ];
 
     /// Stable index of this bucket in [`EnergyBucket::ALL`].
@@ -41,6 +46,7 @@ impl EnergyBucket {
             EnergyBucket::SampleHold => 1,
             EnergyBucket::ConverterSwitching => 2,
             EnergyBucket::Load => 3,
+            EnergyBucket::Compute => 4,
         }
     }
 
@@ -51,6 +57,7 @@ impl EnergyBucket {
             EnergyBucket::SampleHold => "sample-and-hold",
             EnergyBucket::ConverterSwitching => "converter-switching",
             EnergyBucket::Load => "load",
+            EnergyBucket::Compute => "compute",
         }
     }
 
@@ -61,11 +68,12 @@ impl EnergyBucket {
             EnergyBucket::SampleHold => "sample_hold",
             EnergyBucket::ConverterSwitching => "converter_switching",
             EnergyBucket::Load => "load",
+            EnergyBucket::Compute => "compute",
         }
     }
 }
 
-/// A per-run split of consumed energy into the four
+/// A per-run split of consumed energy into the five
 /// [`EnergyBucket`]s.
 ///
 /// The ledger is an independent accounting path: instrumented code
@@ -88,7 +96,7 @@ impl EnergyBucket {
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EnergyLedger {
-    joules: [f64; 4],
+    joules: [f64; 5],
 }
 
 impl EnergyLedger {
@@ -181,9 +189,11 @@ mod tests {
         l.charge(EnergyBucket::ConverterSwitching, Joules::new(4.0));
         l.charge(EnergyBucket::Load, Joules::new(8.0));
         l.charge(EnergyBucket::Load, Joules::new(8.0));
+        l.charge(EnergyBucket::Compute, Joules::new(0.5));
         assert_eq!(l.energy(EnergyBucket::Astable), Joules::new(1.0));
         assert_eq!(l.energy(EnergyBucket::Load), Joules::new(16.0));
-        assert_eq!(l.total(), Joules::new(23.0));
+        assert_eq!(l.energy(EnergyBucket::Compute), Joules::new(0.5));
+        assert_eq!(l.total(), Joules::new(23.5));
         assert!(!l.is_empty());
     }
 

@@ -19,7 +19,7 @@
 //!    `Option<R>` so call sites need no `if let` boilerplate.
 //! 3. **Allocation-light.** Metric names are `&'static str` keys into
 //!    `BTreeMap`s (ordered, so exports are deterministic too); the
-//!    [`EnergyLedger`] is a fixed four-bucket array.
+//!    [`EnergyLedger`] is a fixed five-bucket array.
 //! 4. **Zero `unsafe`** (denied workspace-wide).
 //!
 //! The [`EnergyLedger`] splits consumption into astable /

@@ -5,7 +5,7 @@ use eh_units::Joules;
 /// Running energy totals a stepper accrues while being driven.
 ///
 /// Every layer that produces a report (core system, node simulation,
-/// endurance windows) tracks the same four ledgers; this struct owns the
+/// endurance windows) tracks the same ledgers; this struct owns the
 /// arithmetic once so reports are just a snapshot of an accumulator.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Accumulator {
@@ -19,8 +19,13 @@ pub struct Accumulator {
     pub load_served: Joules,
     /// Energy dissipated in the conversion path (converter losses).
     pub loss_energy: Joules,
+    /// Energy burned executing the tracker's control law (digital
+    /// trackers only; zero for analog implementations).
+    pub compute_energy: Joules,
     /// Number of open-circuit / short-circuit measurements taken.
     pub measurements: u64,
+    /// Number of control decisions taken (tracker `step` calls).
+    pub decisions: u64,
 }
 
 impl Accumulator {
@@ -55,9 +60,19 @@ impl Accumulator {
         self.measurements += 1;
     }
 
-    /// Harvested energy net of tracker overhead.
+    /// Debits control-law compute energy.
+    pub fn add_compute(&mut self, e: Joules) {
+        self.compute_energy += e;
+    }
+
+    /// Counts one control decision.
+    pub fn count_decision(&mut self) {
+        self.decisions += 1;
+    }
+
+    /// Harvested energy net of tracker overhead and compute.
     pub fn net_energy(&self) -> Joules {
-        self.gross_energy - self.overhead_energy
+        self.gross_energy - self.overhead_energy - self.compute_energy
     }
 
     /// Fraction of demanded load energy that was served (1.0 when the
@@ -82,12 +97,16 @@ mod tests {
         a.add_overhead(Joules::new(0.5));
         a.add_load(Joules::new(2.0), Joules::new(1.0));
         a.add_loss(Joules::new(0.25));
+        a.add_compute(Joules::new(0.125));
         a.count_measurement();
         a.count_measurement();
-        assert_eq!(a.net_energy(), Joules::new(2.5));
+        a.count_decision();
+        assert_eq!(a.net_energy(), Joules::new(2.375));
         assert_eq!(a.loss_energy, Joules::new(0.25));
+        assert_eq!(a.compute_energy, Joules::new(0.125));
         assert_eq!(a.load_availability(), 0.5);
         assert_eq!(a.measurements, 2);
+        assert_eq!(a.decisions, 1);
     }
 
     #[test]

@@ -56,18 +56,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // The same 60 nodes — identical trims, placements, and light — under
-    // every tracker the paper compares against.
-    println!("\nSame population, every tracker (net energy across the fleet):\n");
+    // every tracker the paper compares against. Gross harvest, metrology
+    // energy and MCU compute energy are separate columns: the net-energy
+    // ranking is their difference, and it is what decides deployment.
+    println!("\nSame population, every tracker (median energy columns + net percentiles):\n");
     println!(
-        "{:<42} {:>10} {:>10} {:>10} {:>8} {:>8}",
-        "tracker", "p5 (J)", "p50 (J)", "p95 (J)", "net<0", "br-outs"
+        "{:<42} {:>10} {:>10} {:>11} {:>10} {:>10} {:>10} {:>6} {:>8}",
+        "tracker",
+        "gross (J)",
+        "metro (J)",
+        "compute (J)",
+        "p5 (J)",
+        "p50 (J)",
+        "p95 (J)",
+        "net<0",
+        "br-outs"
     );
     let comparison = compare_trackers_over_fleet_with(&spec, &runner, engine)?;
     for (kind, fleet) in &comparison {
+        let p50 = |p: Option<pv_mppt_repro::fleet::Percentiles>| p.expect("non-empty fleet").p50;
         let p = fleet.net_energy_percentiles().expect("non-empty fleet");
         println!(
-            "{:<42} {:>10.3} {:>10.3} {:>10.3} {:>8} {:>8}",
+            "{:<42} {:>10.3} {:>10.3} {:>11.6} {:>10.3} {:>10.3} {:>10.3} {:>6} {:>8}",
             kind.label(),
+            p50(fleet.gross_energy_percentiles()),
+            p50(fleet.overhead_percentiles()),
+            p50(fleet.compute_energy_percentiles()),
             p.p5,
             p.p50,
             p.p95,

@@ -32,7 +32,7 @@ fn circuit_metrics_through_the_facade() {
     assert!(plain.take_metrics().is_none(), "metrics are opt-in");
 }
 
-/// A node-day run conserves energy across the four ledger buckets and
+/// A node-day run conserves energy across the five ledger buckets and
 /// both exporters render every section.
 #[test]
 fn node_ledger_conserves_and_exports() {
@@ -52,8 +52,10 @@ fn node_ledger_conserves_and_exports() {
         .expect("run completes");
     let metrics = report.metrics.expect("obs run collects metrics");
 
-    let closed_loop =
-        report.overhead_energy.value() + report.loss_energy.value() + report.load_served.value();
+    let closed_loop = report.overhead_energy.value()
+        + report.loss_energy.value()
+        + report.load_served.value()
+        + report.compute_energy.value();
     let rel = metrics.ledger().relative_error(Joules::new(closed_loop));
     assert!(rel < 1e-9, "ledger drifts from closed loop: {rel:.3e}");
 
