@@ -8,30 +8,43 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use eh_serve::envcfg::{positive_usize, EnvError};
 use eh_sim::SweepRunner;
 
 /// Parses a worker-count override from command-line arguments
 /// (`--workers N` or `--workers=N`) and the `EH_WORKERS` environment
-/// variable; the command line wins. Zero, negative, or unparsable
-/// values are ignored so a typo degrades to the auto-sized default
-/// instead of a crash deep inside an experiment run.
-pub fn parse_workers<I, S>(args: I, env_value: Option<&str>) -> Option<usize>
+/// variable; the command line wins.
+///
+/// Parsing is strict and shared with the service's `EH_SERVE_*`
+/// handling ([`eh_serve::envcfg`]): zero, negative, or unparsable
+/// values are a hard [`EnvError`] naming the knob and the rejected
+/// value. They used to be silently ignored, which let `EH_WORKERS=lots`
+/// degrade to the auto-sized default and quietly measure the wrong
+/// configuration.
+///
+/// # Errors
+///
+/// [`EnvError`] when an override is present but not a positive integer.
+pub fn parse_workers<I, S>(args: I, env_value: Option<&str>) -> Result<Option<usize>, EnvError>
 where
     I: IntoIterator<Item = S>,
     S: AsRef<str>,
 {
-    let parse = |s: &str| s.trim().parse::<usize>().ok().filter(|&n| n > 0);
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         let arg = arg.as_ref();
         if arg == "--workers" {
-            return args.next().and_then(|v| parse(v.as_ref()));
+            let raw = args.next();
+            let raw = raw.as_ref().map_or("", AsRef::as_ref);
+            return positive_usize("--workers", raw).map(Some);
         }
         if let Some(v) = arg.strip_prefix("--workers=") {
-            return parse(v);
+            return positive_usize("--workers", v).map(Some);
         }
     }
-    env_value.and_then(parse)
+    env_value
+        .map(|raw| positive_usize("EH_WORKERS", raw))
+        .transpose()
 }
 
 /// Returns whether a bare long flag (e.g. `--smoke`) is present in the
@@ -128,14 +141,20 @@ pub fn engine_choice() -> EngineChoice {
 /// The sweep runner every experiment binary should use: sized by
 /// `--workers N` / `--workers=N` on the command line, else the
 /// `EH_WORKERS` environment variable, else the machine's available
-/// parallelism.
+/// parallelism. A present-but-invalid override terminates the process
+/// with exit code 2 and a message naming the knob — never a silent
+/// fallback.
 pub fn sweep_runner() -> SweepRunner {
     match parse_workers(
         std::env::args().skip(1),
         std::env::var("EH_WORKERS").ok().as_deref(),
     ) {
-        Some(n) => SweepRunner::new(n),
-        None => SweepRunner::auto(),
+        Ok(Some(n)) => SweepRunner::new(n),
+        Ok(None) => SweepRunner::auto(),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -259,17 +278,27 @@ mod tests {
     #[test]
     fn workers_override_resolution() {
         // Command line beats the environment.
-        assert_eq!(parse_workers(["--workers", "4"], Some("2")), Some(4));
-        assert_eq!(parse_workers(["--workers=8"], Some("2")), Some(8));
+        assert_eq!(parse_workers(["--workers", "4"], Some("2")), Ok(Some(4)));
+        assert_eq!(parse_workers(["--workers=8"], Some("2")), Ok(Some(8)));
         // Environment fallback.
-        assert_eq!(parse_workers(Vec::<String>::new(), Some("3")), Some(3));
-        assert_eq!(parse_workers(["--other"], Some(" 5 ")), Some(5));
-        // Garbage degrades to None (auto), never panics.
-        assert_eq!(parse_workers(["--workers", "zero"], None), None);
-        assert_eq!(parse_workers(["--workers=0"], Some("2")), None);
-        assert_eq!(parse_workers(["--workers"], None), None);
-        assert_eq!(parse_workers(Vec::<String>::new(), Some("lots")), None);
-        assert_eq!(parse_workers(Vec::<String>::new(), None), None);
+        assert_eq!(parse_workers(Vec::<String>::new(), Some("3")), Ok(Some(3)));
+        assert_eq!(parse_workers(["--other"], Some(" 5 ")), Ok(Some(5)));
+        // No override anywhere: auto-size.
+        assert_eq!(parse_workers(Vec::<String>::new(), None), Ok(None));
+    }
+
+    #[test]
+    fn workers_garbage_is_a_hard_error() {
+        // A present-but-invalid override must fail loudly, naming the
+        // knob and the rejected value — never degrade to auto.
+        let err = parse_workers(["--workers", "zero"], None).unwrap_err();
+        assert_eq!(err.source, "--workers");
+        assert_eq!(err.raw, "zero");
+        assert!(parse_workers(["--workers=0"], Some("2")).is_err());
+        assert!(parse_workers(["--workers"], None).is_err());
+        let err = parse_workers(Vec::<String>::new(), Some("lots")).unwrap_err();
+        assert_eq!(err.source, "EH_WORKERS");
+        assert!(err.to_string().contains("positive integer"));
     }
 
     #[test]

@@ -82,6 +82,27 @@ impl TrackerKind {
         }
     }
 
+    /// Parses a CLI/env/request spelling of a tracker kind: the
+    /// [`TrackerKind::label`] with `-` and `_` interchangeable, plus a
+    /// few common aliases (`p&o`, `incond`, `mpp`).
+    pub fn parse(s: &str) -> Option<TrackerKind> {
+        let normalized = s.trim().to_ascii_lowercase().replace('_', "-");
+        match normalized.as_str() {
+            "focv" | "sample-hold" => Some(TrackerKind::Focv),
+            "focv-variable-hold" | "variable-hold" => Some(TrackerKind::VariableHoldFocv),
+            "focv-adaptive-k" | "adaptive-k" => Some(TrackerKind::AdaptiveKFocv),
+            "fixed-voltage" => Some(TrackerKind::FixedVoltage),
+            "perturb-observe" | "p&o" | "po" => Some(TrackerKind::PerturbObserve),
+            "gradient-descent" => Some(TrackerKind::GradientDescent),
+            "incremental-conductance" | "incond" => Some(TrackerKind::IncrementalConductance),
+            "fractional-isc" => Some(TrackerKind::FractionalIsc),
+            "pilot-cell" => Some(TrackerKind::PilotCell),
+            "photodetector" => Some(TrackerKind::Photodetector),
+            "oracle" | "mpp" => Some(TrackerKind::Oracle),
+            _ => None,
+        }
+    }
+
     /// Builds the tracker instance for one node. Only the FOCV kind
     /// uses the node's drawn divider/astable values — the baselines
     /// have no astable to jitter — but every kind sees the node's
@@ -181,6 +202,21 @@ mod tests {
         let names: std::collections::HashSet<_> =
             TrackerKind::ALL.iter().map(|k| k.tracker_name()).collect();
         assert_eq!(names.len(), TrackerKind::ALL.len());
+    }
+
+    #[test]
+    fn every_label_round_trips_through_parse() {
+        for kind in TrackerKind::ALL {
+            assert_eq!(TrackerKind::parse(kind.label()), Some(kind));
+            assert_eq!(
+                TrackerKind::parse(&kind.label().to_ascii_uppercase().replace('-', "_")),
+                Some(kind),
+                "case/underscore spelling of {} must parse",
+                kind.label()
+            );
+        }
+        assert_eq!(TrackerKind::parse("warp-drive"), None);
+        assert_eq!(TrackerKind::parse(""), None);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::error::FleetError;
 use crate::pool::SurfacePool;
 use crate::population::NodeSpec;
 use crate::report::{FleetReport, NodeOutcome};
+use crate::run::Engine;
 use crate::spec::{FleetSpec, Placement};
 
 /// The shared, immutable inputs of a fleet run, prepared once: the
@@ -89,6 +90,49 @@ impl FleetContext {
     /// The seeded population, in fleet order.
     pub fn population(&self) -> &[NodeSpec] {
         &self.population
+    }
+
+    /// The warmed PV-surface pool, for cache accounting (eviction and
+    /// occupancy counters) by callers that reuse contexts across runs.
+    pub fn surface_pool(&self) -> &SurfacePool {
+        &self.pool
+    }
+
+    /// Simulates one shard of nodes through the chosen engine and folds
+    /// their reports in fleet order — the public per-shard entry point
+    /// long-running callers (the serving layer's streaming and
+    /// checkpoint/resume paths) drive directly.
+    ///
+    /// Folding the returned shard reports in shard index order
+    /// reproduces [`crate::FleetRunner`]'s output **bit for bit** at
+    /// equal shard grouping: `run_merged` performs exactly this
+    /// per-shard fold followed by an in-order reduce.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::FleetRunner::run`]; an empty shard is
+    /// [`FleetError::EmptyFleet`].
+    pub fn simulate_shard(
+        &self,
+        kind: TrackerKind,
+        engine: Engine,
+        nodes: Vec<NodeSpec>,
+    ) -> Result<FleetReport, FleetError> {
+        match engine {
+            Engine::Batch => crate::batch::simulate_shard(self, kind, nodes),
+            Engine::PerNode => {
+                use eh_sim::Mergeable as _;
+                let mut merged: Option<Result<FleetReport, FleetError>> = None;
+                for node in nodes {
+                    let single = self.simulate_node(kind, node);
+                    match merged.as_mut() {
+                        None => merged = Some(single),
+                        Some(m) => m.merge(single),
+                    }
+                }
+                crate::run::merged_or_empty(merged)
+            }
+        }
     }
 
     /// The shared base trace of a placement in use.

@@ -113,6 +113,21 @@ impl FleetReport {
         self.outcomes.len()
     }
 
+    /// Stamps the fleet-scope counters (`fleet.nodes`) into the merged
+    /// metric store, when one exists. [`crate::FleetRunner`] applies
+    /// this exactly once after the shard merge; callers that fold
+    /// shards themselves (via [`crate::FleetContext::simulate_shard`])
+    /// must apply it to their final merged report to stay bit-identical
+    /// with the runner's output.
+    #[must_use]
+    pub fn with_fleet_counters(mut self) -> Self {
+        if let Some(m) = self.metrics.as_mut() {
+            use eh_obs::Recorder as _;
+            m.add_counter("fleet.nodes", self.outcomes.len() as u64);
+        }
+        self
+    }
+
     /// Net-energy percentiles across the fleet, in joules.
     pub fn net_energy_percentiles(&self) -> Option<Percentiles> {
         Percentiles::of(

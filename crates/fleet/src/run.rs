@@ -272,12 +272,8 @@ impl FleetRunner {
 
     /// Fleet-scope counters are folded after the merge so they are
     /// recorded exactly once regardless of sharding or engine.
-    fn stamp_fleet_counters(mut report: FleetReport) -> FleetReport {
-        if let Some(m) = report.metrics.as_mut() {
-            use eh_obs::Recorder as _;
-            m.add_counter("fleet.nodes", report.outcomes.len() as u64);
-        }
-        report
+    fn stamp_fleet_counters(report: FleetReport) -> FleetReport {
+        report.with_fleet_counters()
     }
 }
 

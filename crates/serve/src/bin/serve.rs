@@ -1,0 +1,41 @@
+//! `eh-serve` — the long-running fleet-simulation service.
+//!
+//! ```text
+//! EH_SERVE_ADDR=127.0.0.1:8080 eh-serve
+//! curl -s localhost:8080/whatif -d '{"nodes":500,"tracker":"focv"}'
+//! ```
+//!
+//! Configuration is environment-only (`EH_SERVE_*`, strict parsing);
+//! the process runs until `POST /admin/shutdown` drains it.
+
+use eh_serve::{ServeConfig, Server};
+
+fn main() {
+    let mut config = match ServeConfig::from_env() {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("eh-serve: {e}");
+            std::process::exit(2);
+        }
+    };
+    if config.addr == "127.0.0.1:0" {
+        // An ephemeral port is right for tests, puzzling for a CLI
+        // default; pin the conventional local port instead.
+        config.addr = "127.0.0.1:8080".to_owned();
+    }
+    let server = match Server::spawn(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("eh-serve: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("eh-serve listening on {}", server.addr());
+    println!("POST /whatif | /compare | /whatif/stream — GET /healthz | /metrics");
+    println!(
+        "stop with: curl -X POST http://{}/admin/shutdown",
+        server.addr()
+    );
+    server.join();
+    println!("eh-serve drained and stopped");
+}

@@ -1,0 +1,158 @@
+//! A small, dependency-free LRU cache with hit/miss/eviction
+//! accounting.
+//!
+//! Two instances back the service: the **response cache** (canonical
+//! request hash → rendered response bytes) and the **context cache**
+//! (spec hash → shared [`eh_fleet::FleetContext`], deduplicating the
+//! expensive population stamping and PV-surface warming across
+//! requests that differ only in tracker or engine). Both are correct
+//! by construction — the fleet pipeline is deterministic, so a cached
+//! value is byte-identical to a recomputation — which is why eviction
+//! policy only affects *cost*, never *answers*.
+//!
+//! Recency is tracked with a monotonic tick per entry; eviction scans
+//! for the minimum. That is O(capacity) per insert, which is the right
+//! trade at service cache sizes (tens to a few thousand entries)
+//! against pulling in an intrusive-list dependency.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A bounded least-recently-used map.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    entries: HashMap<K, (u64, V)>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
+    /// A cache holding at most `capacity` entries (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            entries: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up a key, refreshing its recency on a hit and counting
+    /// the outcome either way.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        self.tick += 1;
+        match self.entries.get_mut(key) {
+            Some((last_used, value)) => {
+                *last_used = self.tick;
+                self.hits += 1;
+                Some(value.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a value, evicting the least recently
+    /// used entry when the capacity bound would be exceeded. Returns
+    /// whether an eviction happened.
+    pub fn insert(&mut self, key: K, value: V) -> bool {
+        self.tick += 1;
+        let mut evicted = false;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (t, _))| *t)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+                self.evictions += 1;
+                evicted = true;
+            }
+        }
+        self.entries.insert(key, (self.tick, value));
+        evicted
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Lifetime eviction count.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_refresh() {
+        let mut c: LruCache<u64, String> = LruCache::new(2);
+        assert!(c.get(&1).is_none());
+        c.insert(1, "one".into());
+        c.insert(2, "two".into());
+        assert_eq!(c.get(&1).as_deref(), Some("one"));
+        // 1 was refreshed, so inserting 3 evicts 2.
+        assert!(c.insert(3, "three".into()));
+        assert!(c.get(&2).is_none());
+        assert_eq!(c.get(&1).as_deref(), Some("one"));
+        assert_eq!(c.get(&3).as_deref(), Some("three"));
+        assert_eq!(c.hits(), 3);
+        assert_eq!(c.misses(), 2);
+        assert_eq!(c.evictions(), 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let mut c: LruCache<u8, u8> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert!(!c.insert(1, 11), "refresh must not evict");
+        assert_eq!(c.get(&1), Some(11));
+        assert_eq!(c.get(&2), Some(20));
+        assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn capacity_clamps_to_one() {
+        let mut c: LruCache<u8, u8> = LruCache::new(0);
+        assert_eq!(c.capacity(), 1);
+        c.insert(1, 1);
+        assert!(c.insert(2, 2));
+        assert!(c.is_empty() || c.len() == 1);
+        assert!(c.get(&1).is_none());
+        assert_eq!(c.get(&2), Some(2));
+    }
+}

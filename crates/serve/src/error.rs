@@ -1,0 +1,90 @@
+//! Error type for the serving layer.
+
+use std::error::Error;
+use std::fmt;
+
+use eh_fleet::FleetError;
+
+/// Errors raised while accepting, validating, computing or persisting a
+/// what-if request.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The request body was not well-formed JSON or violated the
+    /// request schema; the message is safe to echo to the client.
+    BadRequest(String),
+    /// The underlying fleet simulation failed.
+    Fleet(FleetError),
+    /// A socket / filesystem operation failed (message carries the
+    /// `std::io` rendering — `io::Error` itself is not `Clone`, and
+    /// single-flight followers share the leader's outcome).
+    Io(String),
+    /// An environment/CLI configuration value failed strict parsing.
+    Env(crate::envcfg::EnvError),
+    /// The request combined features the service cannot honour (for
+    /// example checkpointing a metrics-carrying campaign).
+    Unsupported(&'static str),
+    /// A checkpoint file existed but failed validation and was
+    /// discarded; the path is reported for the operator.
+    Checkpoint(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Fleet(e) => write!(f, "fleet simulation: {e}"),
+            ServeError::Io(msg) => write!(f, "i/o: {msg}"),
+            ServeError::Env(e) => write!(f, "configuration: {e}"),
+            ServeError::Unsupported(what) => write!(f, "unsupported: {what}"),
+            ServeError::Checkpoint(msg) => write!(f, "checkpoint: {msg}"),
+        }
+    }
+}
+
+impl Error for ServeError {}
+
+impl From<FleetError> for ServeError {
+    fn from(e: FleetError) -> Self {
+        ServeError::Fleet(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e.to_string())
+    }
+}
+
+impl From<crate::envcfg::EnvError> for ServeError {
+    fn from(e: crate::envcfg::EnvError) -> Self {
+        ServeError::Env(e)
+    }
+}
+
+impl ServeError {
+    /// The HTTP status this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            ServeError::BadRequest(_) => 400,
+            ServeError::Unsupported(_) => 422,
+            _ => 500,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statuses_and_messages() {
+        let bad = ServeError::BadRequest("nodes must be > 0".into());
+        assert_eq!(bad.status(), 400);
+        assert!(bad.to_string().contains("nodes must be > 0"));
+        assert_eq!(ServeError::Unsupported("x").status(), 422);
+        assert_eq!(ServeError::Fleet(FleetError::EmptyFleet).status(), 500);
+        let io: ServeError = std::io::Error::other("boom").into();
+        assert!(io.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,55 @@
+//! Canonical request hashing.
+//!
+//! Responses are a pure function of the canonical request (the fleet
+//! pipeline is deterministic end to end), so a 64-bit FNV-1a over the
+//! canonical JSON rendering is a *correct* cache key, not a heuristic
+//! one: equal hashes of equal canonical bytes identify equal work. The
+//! hash is stable across processes and platforms — no `RandomState`,
+//! no pointer salting — which is what lets checkpoint spill files be
+//! addressed by it across service restarts.
+
+/// 64-bit FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes bytes with 64-bit FNV-1a.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Renders a hash as the fixed-width lowercase hex token used in
+/// response bodies, `X-Request-Hash` headers and spill directory names.
+pub fn hex(hash: u64) -> String {
+    format!("{hash:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hex_is_fixed_width() {
+        assert_eq!(hex(0), "0000000000000000");
+        assert_eq!(hex(0xdead_beef), "00000000deadbeef");
+        assert_eq!(hex(u64::MAX).len(), 16);
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_hashes() {
+        assert_ne!(fnv1a(b"{\"nodes\":100}"), fnv1a(b"{\"nodes\":101}"));
+    }
+}

@@ -1,0 +1,474 @@
+//! What-if request validation, canonicalization and hashing.
+//!
+//! A request body is parsed into a [`WhatIfRequest`] with every
+//! omitted field filled from the reference deployment's defaults, then
+//! re-serialized as **canonical JSON** ([`WhatIfRequest::canonical_json`])
+//! and hashed. Hashing the *validated* request rather than the raw
+//! bytes is what makes the cache key semantic: key order, whitespace,
+//! number spelling, and explicitly-spelled defaults all collapse onto
+//! one key.
+//!
+//! Two hashes exist per request. The full [`WhatIfRequest::hash`]
+//! covers every field including the operation, tracker, engine and
+//! shard size — it keys the response cache and single-flight table.
+//! The narrower [`WhatIfRequest::spec_hash`] covers only the fields
+//! that determine the stamped population and warmed surfaces — it keys
+//! the shared [`eh_fleet::FleetContext`] cache, so a `/compare` and a
+//! `/whatif` over the same fleet reuse one prepared context.
+//!
+//! **Shard grouping is part of cache identity.** Percentiles are
+//! sharding-independent, but when `obs` is enabled the merged metric
+//! store contains f64 folds performed per shard, so reports produced
+//! under different `shard_size` values may differ in low-order ledger
+//! bits. `shard_size` is therefore hashed with the request rather than
+//! treated as an execution detail.
+
+use eh_fleet::{Engine, FleetSpec, PlacementMix, Tolerances, TrackerKind};
+use eh_units::Seconds;
+
+use crate::error::ServeError;
+use crate::hash::fnv1a;
+use crate::json::Json;
+
+/// The operation a request body was posted to. Part of the canonical
+/// hash so `/whatif`, `/compare` and `/whatif/stream` bodies never
+/// collide on a cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// One tracker over one fleet → one report summary.
+    WhatIf,
+    /// Every tracker over one fleet → eleven report summaries.
+    Compare,
+    /// One tracker over one fleet, streamed per shard with
+    /// checkpoint/resume.
+    Stream,
+}
+
+impl Op {
+    /// Stable label, used in the canonical rendering.
+    pub fn label(self) -> &'static str {
+        match self {
+            Op::WhatIf => "whatif",
+            Op::Compare => "compare",
+            Op::Stream => "stream",
+        }
+    }
+}
+
+/// The tolerance budget presets a request may name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TolerancePreset {
+    /// [`Tolerances::production_batch`].
+    Production,
+    /// [`Tolerances::none`] (every node is the golden prototype).
+    None,
+}
+
+impl TolerancePreset {
+    /// Stable label, used in the canonical rendering.
+    pub fn label(self) -> &'static str {
+        match self {
+            TolerancePreset::Production => "production",
+            TolerancePreset::None => "none",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "production" | "production-batch" | "production_batch" => {
+                Some(TolerancePreset::Production)
+            }
+            "none" | "golden" => Some(TolerancePreset::None),
+            _ => None,
+        }
+    }
+
+    fn build(self) -> Tolerances {
+        match self {
+            TolerancePreset::Production => Tolerances::production_batch(),
+            TolerancePreset::None => Tolerances::none(),
+        }
+    }
+}
+
+/// A validated what-if request: every field explicit, defaults filled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhatIfRequest {
+    /// Which operation the body was posted to.
+    pub op: Op,
+    /// Fleet size.
+    pub nodes: u32,
+    /// Population seed.
+    pub seed: u64,
+    /// The tracker to run (`/compare` ignores it when executing but it
+    /// stays in the hash — it is part of what the client asked).
+    pub tracker: TrackerKind,
+    /// Shard-execution engine.
+    pub engine: Engine,
+    /// Placement weights `[window, interior, outdoor]` (any scale).
+    pub weights: [f64; 3],
+    /// Tolerance budget preset.
+    pub tolerances: TolerancePreset,
+    /// Simulation step, seconds.
+    pub dt_s: f64,
+    /// Trace decimation factor.
+    pub trace_decimate: usize,
+    /// Whether nodes answer PV queries from the shared memoized
+    /// surface.
+    pub pv_cache: bool,
+    /// Whether per-node deterministic metrics are collected and folded.
+    pub obs: bool,
+    /// Nodes per shard for the streaming path (and hashed for every
+    /// op — see the module docs on shard grouping).
+    pub shard_size: usize,
+}
+
+/// Service defaults: the 10-minute grid the workspace's fast profiles
+/// use, so an unadorned request answers interactively.
+const DEFAULT_NODES: u64 = 100;
+const DEFAULT_SEED: u64 = 2011;
+const DEFAULT_DT_S: f64 = 600.0;
+const DEFAULT_TRACE_DECIMATE: u64 = 600;
+
+fn bad(message: impl Into<String>) -> ServeError {
+    ServeError::BadRequest(message.into())
+}
+
+impl WhatIfRequest {
+    /// Builds a validated request from a parsed body, filling every
+    /// omitted field with the service default and bounding the fleet
+    /// size by `max_nodes`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-object bodies, unknown fields (a typoed knob must
+    /// not silently fall back to its default), out-of-range values,
+    /// and unknown tracker/engine/tolerance spellings.
+    pub fn from_json(op: Op, body: &Json, max_nodes: u32) -> Result<Self, ServeError> {
+        let members = body
+            .as_obj()
+            .ok_or_else(|| bad("request body must be a JSON object"))?;
+        const KNOWN: [&str; 11] = [
+            "nodes",
+            "seed",
+            "tracker",
+            "engine",
+            "placements",
+            "tolerances",
+            "dt_s",
+            "trace_decimate",
+            "pv_cache",
+            "obs",
+            "shard_size",
+        ];
+        for (key, _) in members {
+            if !KNOWN.contains(&key.as_str()) {
+                return Err(bad(format!(
+                    "unknown field {key:?}; known fields: {}",
+                    KNOWN.join(", ")
+                )));
+            }
+        }
+
+        let u64_field = |name: &str, default: u64| -> Result<u64, ServeError> {
+            match body.get(name) {
+                None => Ok(default),
+                Some(v) => v
+                    .as_u64()
+                    .ok_or_else(|| bad(format!("{name} must be a non-negative integer"))),
+            }
+        };
+        let bool_field = |name: &str, default: bool| -> Result<bool, ServeError> {
+            match body.get(name) {
+                None => Ok(default),
+                Some(v) => v
+                    .as_bool()
+                    .ok_or_else(|| bad(format!("{name} must be a boolean"))),
+            }
+        };
+
+        let nodes = u64_field("nodes", DEFAULT_NODES)?;
+        if nodes == 0 || nodes > u64::from(max_nodes) {
+            return Err(bad(format!(
+                "nodes must be in 1..={max_nodes}, got {nodes}"
+            )));
+        }
+        let seed = u64_field("seed", DEFAULT_SEED)?;
+
+        let tracker = match body.get("tracker") {
+            None => TrackerKind::Focv,
+            Some(v) => {
+                let s = v.as_str().ok_or_else(|| bad("tracker must be a string"))?;
+                TrackerKind::parse(s).ok_or_else(|| bad(format!("unknown tracker {s:?}")))?
+            }
+        };
+        let engine = match body.get("engine") {
+            None => Engine::Batch,
+            Some(v) => {
+                let s = v.as_str().ok_or_else(|| bad("engine must be a string"))?;
+                Engine::parse(s).ok_or_else(|| bad(format!("unknown engine {s:?}")))?
+            }
+        };
+        let tolerances = match body.get("tolerances") {
+            None => TolerancePreset::Production,
+            Some(v) => {
+                let s = v
+                    .as_str()
+                    .ok_or_else(|| bad("tolerances must be a string preset"))?;
+                TolerancePreset::parse(s).ok_or_else(|| {
+                    bad(format!("unknown tolerances preset {s:?} (production|none)"))
+                })?
+            }
+        };
+
+        let weights = match body.get("placements") {
+            None => [0.25, 0.60, 0.15],
+            Some(v) => {
+                let obj = v
+                    .as_obj()
+                    .ok_or_else(|| bad("placements must be an object of weights"))?;
+                const SLOTS: [&str; 3] = ["window", "interior", "outdoor"];
+                for (key, _) in obj {
+                    if !SLOTS.contains(&key.as_str()) {
+                        return Err(bad(format!(
+                            "unknown placement {key:?}; known: window, interior, outdoor"
+                        )));
+                    }
+                }
+                let weight = |name: &str| -> Result<f64, ServeError> {
+                    match v.get(name) {
+                        None => Ok(0.0),
+                        Some(w) => w
+                            .as_f64()
+                            .ok_or_else(|| bad(format!("placements.{name} must be a number"))),
+                    }
+                };
+                [weight("window")?, weight("interior")?, weight("outdoor")?]
+            }
+        };
+        // Early, named validation; `to_spec` re-runs it structurally.
+        PlacementMix::new(weights[0], weights[1], weights[2])
+            .map_err(|e| bad(format!("invalid placements: {e}")))?;
+
+        let dt_s = match body.get("dt_s") {
+            None => DEFAULT_DT_S,
+            Some(v) => v.as_f64().ok_or_else(|| bad("dt_s must be a number"))?,
+        };
+        if !(dt_s.is_finite() && dt_s > 0.0) {
+            return Err(bad(format!("dt_s must be a positive number, got {dt_s}")));
+        }
+
+        let trace_decimate = u64_field("trace_decimate", DEFAULT_TRACE_DECIMATE)?;
+        if trace_decimate == 0 || trace_decimate > 86_400 {
+            return Err(bad(format!(
+                "trace_decimate must be in 1..=86400, got {trace_decimate}"
+            )));
+        }
+        let shard_size = u64_field("shard_size", 32)?;
+        if shard_size == 0 || shard_size > 4096 {
+            return Err(bad(format!(
+                "shard_size must be in 1..=4096, got {shard_size}"
+            )));
+        }
+
+        let request = Self {
+            op,
+            nodes: nodes as u32,
+            seed,
+            tracker,
+            engine,
+            weights,
+            tolerances,
+            dt_s,
+            trace_decimate: trace_decimate as usize,
+            pv_cache: bool_field("pv_cache", true)?,
+            obs: bool_field("obs", false)?,
+            shard_size: shard_size as usize,
+        };
+        // Final structural check through the fleet layer's own
+        // validation, so the service can never cache a spec the
+        // runner would reject.
+        request.to_spec()?.validate()?;
+        Ok(request)
+    }
+
+    /// The canonical JSON rendering of the validated request: every
+    /// field explicit, keys sorted, shortest-round-trip numbers.
+    pub fn canonical_json(&self) -> String {
+        self.render(true).to_canonical_string()
+    }
+
+    /// Canonical JSON of only the spec-determining fields (no op,
+    /// tracker, engine or shard size).
+    pub fn spec_canonical_json(&self) -> String {
+        self.render(false).to_canonical_string()
+    }
+
+    fn render(&self, full: bool) -> Json {
+        let mut members = vec![
+            ("dt_s".to_owned(), Json::Num(self.dt_s)),
+            ("nodes".to_owned(), Json::Num(f64::from(self.nodes))),
+            ("obs".to_owned(), Json::Bool(self.obs)),
+            (
+                "placements".to_owned(),
+                Json::Obj(vec![
+                    ("window".to_owned(), Json::Num(self.weights[0])),
+                    ("interior".to_owned(), Json::Num(self.weights[1])),
+                    ("outdoor".to_owned(), Json::Num(self.weights[2])),
+                ]),
+            ),
+            ("pv_cache".to_owned(), Json::Bool(self.pv_cache)),
+            ("seed".to_owned(), Json::Num(self.seed as f64)),
+            (
+                "tolerances".to_owned(),
+                Json::Str(self.tolerances.label().to_owned()),
+            ),
+            (
+                "trace_decimate".to_owned(),
+                Json::Num(self.trace_decimate as f64),
+            ),
+        ];
+        if full {
+            members.push(("op".to_owned(), Json::Str(self.op.label().to_owned())));
+            members.push((
+                "tracker".to_owned(),
+                Json::Str(self.tracker.label().to_owned()),
+            ));
+            members.push((
+                "engine".to_owned(),
+                Json::Str(self.engine.label().to_owned()),
+            ));
+            members.push(("shard_size".to_owned(), Json::Num(self.shard_size as f64)));
+        }
+        Json::Obj(members)
+    }
+
+    /// The full request hash: response-cache and single-flight key,
+    /// spill-directory address.
+    pub fn hash(&self) -> u64 {
+        fnv1a(self.canonical_json().as_bytes())
+    }
+
+    /// The spec hash: context-cache key (population + surfaces reuse).
+    pub fn spec_hash(&self) -> u64 {
+        fnv1a(self.spec_canonical_json().as_bytes())
+    }
+
+    /// Materializes the fleet spec this request describes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the fleet layer's constructor validation.
+    pub fn to_spec(&self) -> Result<FleetSpec, ServeError> {
+        let mut spec = FleetSpec::mixed_indoor_outdoor(self.nodes, self.seed)?;
+        spec.placements = PlacementMix::new(self.weights[0], self.weights[1], self.weights[2])?;
+        spec.tolerances = self.tolerances.build();
+        spec.dt = Seconds::new(self.dt_s);
+        spec.trace_decimate = self.trace_decimate;
+        spec.pv_cache = self.pv_cache;
+        spec.obs = self.obs;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(op: Op, body: &str) -> Result<WhatIfRequest, ServeError> {
+        WhatIfRequest::from_json(op, &Json::parse(body).unwrap(), 10_000)
+    }
+
+    #[test]
+    fn defaults_fill_an_empty_body() {
+        let r = parse(Op::WhatIf, "{}").unwrap();
+        assert_eq!(r.nodes, 100);
+        assert_eq!(r.seed, 2011);
+        assert_eq!(r.tracker, TrackerKind::Focv);
+        assert_eq!(r.engine, Engine::Batch);
+        assert_eq!(r.tolerances, TolerancePreset::Production);
+        assert!(r.pv_cache);
+        assert!(!r.obs);
+        assert_eq!(r.shard_size, 32);
+    }
+
+    #[test]
+    fn explicit_defaults_hash_like_omitted_defaults() {
+        let omitted = parse(Op::WhatIf, "{}").unwrap();
+        let spelled = parse(
+            Op::WhatIf,
+            r#"{"nodes":100,"seed":2011,"tracker":"focv","engine":"batch",
+                "tolerances":"production","dt_s":6e2,"trace_decimate":600,
+                "pv_cache":true,"obs":false,"shard_size":32,
+                "placements":{"window":0.25,"interior":0.6,"outdoor":0.15}}"#,
+        )
+        .unwrap();
+        assert_eq!(omitted, spelled);
+        assert_eq!(omitted.hash(), spelled.hash());
+        assert_eq!(omitted.canonical_json(), spelled.canonical_json());
+    }
+
+    #[test]
+    fn op_tracker_engine_and_shard_size_separate_hashes() {
+        let base = parse(Op::WhatIf, "{}").unwrap();
+        assert_ne!(base.hash(), parse(Op::Compare, "{}").unwrap().hash());
+        assert_ne!(
+            base.hash(),
+            parse(Op::WhatIf, r#"{"tracker":"oracle"}"#).unwrap().hash()
+        );
+        assert_ne!(
+            base.hash(),
+            parse(Op::WhatIf, r#"{"engine":"per-node"}"#)
+                .unwrap()
+                .hash()
+        );
+        assert_ne!(
+            base.hash(),
+            parse(Op::WhatIf, r#"{"shard_size":16}"#).unwrap().hash()
+        );
+        // ... but none of those change the spec hash.
+        for body in [r#"{"tracker":"oracle"}"#, r#"{"engine":"per-node"}"#] {
+            assert_eq!(
+                base.spec_hash(),
+                parse(Op::Compare, body).unwrap().spec_hash()
+            );
+        }
+        // Spec fields do change the spec hash.
+        assert_ne!(
+            base.spec_hash(),
+            parse(Op::WhatIf, r#"{"seed":7}"#).unwrap().spec_hash()
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_fields_and_bad_values() {
+        assert!(parse(Op::WhatIf, r#"{"nodez":5}"#).is_err());
+        assert!(parse(Op::WhatIf, r#"{"nodes":0}"#).is_err());
+        assert!(parse(Op::WhatIf, r#"{"nodes":10001}"#).is_err());
+        assert!(parse(Op::WhatIf, r#"{"tracker":"warp"}"#).is_err());
+        assert!(parse(Op::WhatIf, r#"{"engine":"gpu"}"#).is_err());
+        assert!(parse(Op::WhatIf, r#"{"tolerances":"loose"}"#).is_err());
+        assert!(parse(Op::WhatIf, r#"{"dt_s":0}"#).is_err());
+        assert!(parse(Op::WhatIf, r#"{"dt_s":"fast"}"#).is_err());
+        assert!(parse(Op::WhatIf, r#"{"trace_decimate":0}"#).is_err());
+        assert!(parse(Op::WhatIf, r#"{"shard_size":0}"#).is_err());
+        assert!(parse(Op::WhatIf, r#"{"placements":{"roof":1}}"#).is_err());
+        assert!(parse(
+            Op::WhatIf,
+            r#"{"placements":{"window":0,"interior":0,"outdoor":0}}"#
+        )
+        .is_err());
+        assert!(parse(Op::WhatIf, "[]").is_err());
+    }
+
+    #[test]
+    fn to_spec_matches_the_request() {
+        let r = parse(Op::WhatIf, r#"{"nodes":24,"seed":9,"tolerances":"none"}"#).unwrap();
+        let spec = r.to_spec().unwrap();
+        assert_eq!(spec.nodes, 24);
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.tolerances, Tolerances::none());
+        assert_eq!(spec.dt.value(), 600.0);
+        assert!(spec.validate().is_ok());
+    }
+}

@@ -1,0 +1,528 @@
+//! The HTTP service: bounded accept queue, worker pool, response
+//! cache, single-flight coalescing, routing, graceful shutdown.
+//!
+//! Connections are accepted onto a bounded queue (overflow is shed
+//! with `503` immediately, so a stampede degrades loudly instead of
+//! stacking latency) and drained by a fixed worker pool. The what-if
+//! endpoints run behind two layers of deduplication: the **response
+//! cache** (canonical request hash → rendered body, `X-Cache: hit`)
+//! and the **single-flight table** (concurrent identical misses share
+//! one computation, `X-Cache: coalesced`); both are correct because
+//! the fleet pipeline is deterministic — a cached or coalesced body is
+//! byte-identical to the body a fresh computation would render.
+//!
+//! Shutdown (`POST /admin/shutdown`, or [`Server::shutdown`]) stops
+//! accepting, lets the workers drain every queued connection, and only
+//! then returns. Checkpoints need no extra flushing: the spill store
+//! syncs each shard file as it completes.
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::cache::LruCache;
+use crate::engine::ComputeEngine;
+use crate::envcfg;
+use crate::error::ServeError;
+use crate::hash::hex;
+use crate::http::{self, ChunkedWriter, HttpRequest};
+use crate::json::Json;
+use crate::metrics::{names, ServiceMetrics};
+use crate::request::{Op, WhatIfRequest};
+use crate::singleflight::{FlightRole, SingleFlight};
+
+/// Service configuration. Every field has a sensible local default;
+/// [`ServeConfig::from_env`] overrides them from `EH_SERVE_*`
+/// variables with strict parsing (a typoed value is a startup error,
+/// never a silent default).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// HTTP worker threads draining the connection queue.
+    pub http_workers: usize,
+    /// Simulation worker threads inside the fleet runner.
+    pub sim_workers: usize,
+    /// Bounded connection-queue capacity; overflow sheds with 503.
+    pub queue_capacity: usize,
+    /// Response-cache entries (canonical hash → body).
+    pub response_cache_capacity: usize,
+    /// Context-cache entries (spec hash → prepared fleet).
+    pub context_cache_capacity: usize,
+    /// Largest fleet a request may ask for.
+    pub max_nodes: u32,
+    /// Directory for streaming-campaign checkpoints.
+    pub spill_dir: PathBuf,
+}
+
+impl ServeConfig {
+    /// Local defaults: loopback ephemeral port, a small worker pool,
+    /// and spills under the system temp directory.
+    pub fn default_local() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(2);
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            http_workers: 4,
+            sim_workers: cores.min(8),
+            queue_capacity: 64,
+            response_cache_capacity: 256,
+            context_cache_capacity: 8,
+            max_nodes: 10_000,
+            spill_dir: std::env::temp_dir().join("eh-serve-spill"),
+        }
+    }
+
+    /// The defaults overridden by `EH_SERVE_ADDR`,
+    /// `EH_SERVE_HTTP_WORKERS`, `EH_SERVE_SIM_WORKERS`,
+    /// `EH_SERVE_QUEUE_CAPACITY`, `EH_SERVE_CACHE_CAPACITY`,
+    /// `EH_SERVE_CONTEXT_CACHE_CAPACITY`, `EH_SERVE_MAX_NODES` and
+    /// `EH_SERVE_SPILL_DIR`.
+    ///
+    /// # Errors
+    ///
+    /// A present-but-unparseable variable is a hard [`ServeError::Env`]
+    /// naming the variable, the value and the expectation.
+    pub fn from_env() -> Result<Self, ServeError> {
+        let mut cfg = Self::default_local();
+        if let Ok(addr) = std::env::var("EH_SERVE_ADDR") {
+            cfg.addr = addr;
+        }
+        if let Some(v) = envcfg::from_env("EH_SERVE_HTTP_WORKERS", envcfg::positive_usize)? {
+            cfg.http_workers = v;
+        }
+        if let Some(v) = envcfg::from_env("EH_SERVE_SIM_WORKERS", envcfg::positive_usize)? {
+            cfg.sim_workers = v;
+        }
+        if let Some(v) = envcfg::from_env("EH_SERVE_QUEUE_CAPACITY", envcfg::positive_usize)? {
+            cfg.queue_capacity = v;
+        }
+        if let Some(v) = envcfg::from_env("EH_SERVE_CACHE_CAPACITY", envcfg::positive_usize)? {
+            cfg.response_cache_capacity = v;
+        }
+        if let Some(v) =
+            envcfg::from_env("EH_SERVE_CONTEXT_CACHE_CAPACITY", envcfg::positive_usize)?
+        {
+            cfg.context_cache_capacity = v;
+        }
+        if let Some(v) = envcfg::from_env("EH_SERVE_MAX_NODES", envcfg::positive_usize)? {
+            cfg.max_nodes = u32::try_from(v).map_err(|_| envcfg::EnvError {
+                source: "EH_SERVE_MAX_NODES".to_owned(),
+                raw: v.to_string(),
+                expected: "a positive integer fitting u32",
+            })?;
+        }
+        if let Ok(dir) = std::env::var("EH_SERVE_SPILL_DIR") {
+            cfg.spill_dir = PathBuf::from(dir);
+        }
+        Ok(cfg)
+    }
+}
+
+struct ServerState {
+    config: ServeConfig,
+    addr: SocketAddr,
+    metrics: Arc<ServiceMetrics>,
+    engine: ComputeEngine,
+    responses: Mutex<LruCache<u64, String>>,
+    flights: SingleFlight<u64, Result<String, ServeError>>,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A running service instance.
+pub struct Server {
+    state: Arc<ServerState>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts the service: one accept thread plus
+    /// `http_workers` request workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn(config: ServeConfig) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let metrics = Arc::new(ServiceMetrics::new());
+        let engine = ComputeEngine::new(
+            config.sim_workers,
+            config.context_cache_capacity,
+            &config.spill_dir,
+            Arc::clone(&metrics),
+        );
+        let response_cache_capacity = config.response_cache_capacity;
+        let state = Arc::new(ServerState {
+            config,
+            addr,
+            metrics,
+            engine,
+            responses: Mutex::new(LruCache::new(response_cache_capacity)),
+            flights: SingleFlight::new(),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+
+        let workers = (0..state.config.http_workers)
+            .map(|i| {
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("eh-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&state))
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        let accept_state = Arc::clone(&state);
+        let accept = std::thread::Builder::new()
+            .name("eh-serve-accept".to_owned())
+            .spawn(move || accept_loop(&listener, &accept_state))
+            .expect("spawning the accept thread");
+
+        Ok(Server {
+            state,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// The live metric store.
+    pub fn metrics(&self) -> Arc<ServiceMetrics> {
+        Arc::clone(&self.state.metrics)
+    }
+
+    /// Signals shutdown without waiting: accepting stops, queued
+    /// connections keep draining.
+    pub fn initiate_shutdown(&self) {
+        trigger_shutdown(&self.state);
+    }
+
+    /// Waits for the accept thread and every worker to finish (after a
+    /// shutdown was initiated here or via `POST /admin/shutdown`).
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, drain the queue, return.
+    pub fn shutdown(self) {
+        self.initiate_shutdown();
+        self.join();
+    }
+}
+
+fn trigger_shutdown(state: &ServerState) {
+    if state.shutdown.swap(true, Ordering::SeqCst) {
+        return; // already shutting down
+    }
+    // Unblock the accept loop with a throwaway self-connection.
+    let _ = TcpStream::connect(state.addr);
+    state.queue_cv.notify_all();
+}
+
+fn accept_loop(listener: &TcpListener, state: &ServerState) {
+    for conn in listener.incoming() {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        state.metrics.incr(names::HTTP_CONNECTIONS);
+        let mut queue = state.queue.lock().expect("queue lock poisoned");
+        if queue.len() >= state.config.queue_capacity {
+            drop(queue);
+            state.metrics.incr(names::HTTP_SHED);
+            state.metrics.count_status(503);
+            let mut stream = stream;
+            // Swallow whatever request bytes are already in flight so
+            // the close after the 503 sends FIN, not RST — an RST can
+            // destroy the response before the client has read it.
+            drain_briefly(&stream);
+            let _ = http::write_response(
+                &mut stream,
+                503,
+                &[],
+                error_body("connection queue full").as_bytes(),
+            );
+            continue;
+        }
+        queue.push_back(stream);
+        state.metrics.gauge(names::QUEUE_DEPTH, queue.len() as f64);
+        drop(queue);
+        state.queue_cv.notify_one();
+    }
+    // Wake every worker so the drain-and-exit check runs.
+    state.queue_cv.notify_all();
+}
+
+/// Bounded best-effort read of pending request bytes on a connection
+/// that is being shed. Capped at a few reads with a short timeout so a
+/// hostile slow sender cannot stall the accept loop.
+fn drain_briefly(mut stream: &TcpStream) {
+    use std::io::Read as _;
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(50)));
+    let mut sink = [0u8; 4096];
+    for _ in 0..4 {
+        match stream.read(&mut sink) {
+            Ok(n) if n > 0 => {}
+            _ => break,
+        }
+    }
+}
+
+fn worker_loop(state: &ServerState) {
+    loop {
+        let stream = {
+            let mut queue = state.queue.lock().expect("queue lock poisoned");
+            loop {
+                // Drain before honouring shutdown: queued clients were
+                // accepted and must be answered.
+                if let Some(s) = queue.pop_front() {
+                    state.metrics.gauge(names::QUEUE_DEPTH, queue.len() as f64);
+                    break Some(s);
+                }
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = state.queue_cv.wait(queue).expect("queue lock poisoned");
+            }
+        };
+        let Some(mut stream) = stream else { return };
+        handle_connection(state, &mut stream);
+    }
+}
+
+/// A `{"error": ...}` body with proper JSON escaping.
+fn error_body(message: &str) -> String {
+    Json::Obj(vec![("error".to_owned(), Json::Str(message.to_owned()))]).to_canonical_string()
+}
+
+fn respond(
+    state: &ServerState,
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) {
+    state.metrics.count_status(status);
+    let _ = http::write_response(stream, status, extra_headers, body.as_bytes());
+}
+
+fn handle_connection(state: &ServerState, stream: &mut TcpStream) {
+    let request = match http::read_request(stream) {
+        Ok(r) => r,
+        Err(e) => {
+            state.metrics.count_status(e.status);
+            let _ = http::write_response(stream, e.status, &[], error_body(&e.message).as_bytes());
+            return;
+        }
+    };
+    route(state, stream, &request);
+}
+
+const ROUTES: [&str; 6] = [
+    "/healthz",
+    "/metrics",
+    "/whatif",
+    "/compare",
+    "/whatif/stream",
+    "/admin/shutdown",
+];
+
+fn route(state: &ServerState, stream: &mut TcpStream, request: &HttpRequest) {
+    match (request.method.as_str(), request.target.as_str()) {
+        ("GET", "/healthz") => respond(state, stream, 200, &[], "{\"ok\":true}"),
+        ("GET", "/metrics") => {
+            let body = state.metrics.render();
+            respond(state, stream, 200, &[], &body);
+        }
+        ("POST", "/whatif") => cached_op(state, stream, Op::WhatIf, &request.body),
+        ("POST", "/compare") => cached_op(state, stream, Op::Compare, &request.body),
+        ("POST", "/whatif/stream") => stream_op(state, stream, &request.body),
+        ("POST", "/admin/shutdown") => {
+            respond(state, stream, 200, &[], "{\"draining\":true}");
+            trigger_shutdown(state);
+        }
+        (_, target) if ROUTES.contains(&target) => {
+            respond(state, stream, 405, &[], &error_body("method not allowed"));
+        }
+        _ => respond(state, stream, 404, &[], &error_body("unknown route")),
+    }
+}
+
+fn parse_request_body(
+    state: &ServerState,
+    op: Op,
+    body: &[u8],
+) -> Result<WhatIfRequest, ServeError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ServeError::BadRequest("body must be UTF-8".to_owned()))?;
+    let json = Json::parse(text).map_err(ServeError::BadRequest)?;
+    WhatIfRequest::from_json(op, &json, state.config.max_nodes)
+}
+
+/// The `/whatif` and `/compare` path: response cache, then
+/// single-flight, then compute; `X-Cache` reports which layer served
+/// the bytes while the bodies stay byte-identical across all three.
+fn cached_op(state: &ServerState, stream: &mut TcpStream, op: Op, body: &[u8]) {
+    let req = match parse_request_body(state, op, body) {
+        Ok(r) => r,
+        Err(e) => {
+            respond(state, stream, e.status(), &[], &error_body(&e.to_string()));
+            return;
+        }
+    };
+    let key = req.hash();
+    let request_hash = hex(key);
+
+    if let Some(cached) = state
+        .responses
+        .lock()
+        .expect("response cache lock poisoned")
+        .get(&key)
+    {
+        state.metrics.incr(names::CACHE_HITS);
+        respond(
+            state,
+            stream,
+            200,
+            &[("x-cache", "hit"), ("x-request-hash", &request_hash)],
+            &cached,
+        );
+        return;
+    }
+    state.metrics.incr(names::CACHE_MISSES);
+
+    let (result, role) = state.flights.join(key, || match op {
+        Op::WhatIf => state.engine.whatif(&req),
+        Op::Compare => state.engine.compare(&req),
+        Op::Stream => unreachable!("stream requests never enter the cached path"),
+    });
+    match result {
+        Ok(response) => {
+            let cache_status = match role {
+                FlightRole::Leader => {
+                    state.metrics.incr(names::SF_LEADER);
+                    let evicted = state
+                        .responses
+                        .lock()
+                        .expect("response cache lock poisoned")
+                        .insert(key, response.clone());
+                    if evicted {
+                        state.metrics.incr(names::CACHE_EVICTIONS);
+                    }
+                    "miss"
+                }
+                FlightRole::Follower => {
+                    state.metrics.incr(names::SF_COALESCED);
+                    "coalesced"
+                }
+            };
+            respond(
+                state,
+                stream,
+                200,
+                &[("x-cache", cache_status), ("x-request-hash", &request_hash)],
+                &response,
+            );
+        }
+        Err(e) => respond(state, stream, e.status(), &[], &error_body(&e.to_string())),
+    }
+}
+
+/// The `/whatif/stream` path: chunked newline-delimited JSON, one line
+/// per completed shard plus the final response body. Not cached or
+/// coalesced — each campaign owns its checkpoint lifecycle.
+fn stream_op(state: &ServerState, stream: &mut TcpStream, body: &[u8]) {
+    let req = match parse_request_body(state, Op::Stream, body) {
+        Ok(r) => r,
+        Err(e) => {
+            respond(state, stream, e.status(), &[], &error_body(&e.to_string()));
+            return;
+        }
+    };
+    if req.obs {
+        // Refuse before committing to a 200 chunked response; the
+        // engine enforces the same rule as defense in depth.
+        let e = ServeError::Unsupported(
+            "streaming obs campaigns (checkpoints cannot spill metric stores)",
+        );
+        respond(state, stream, e.status(), &[], &error_body(&e.to_string()));
+        return;
+    }
+    let request_hash = hex(req.hash());
+    state.metrics.count_status(200);
+    let mut writer = match ChunkedWriter::start(stream, &[("x-request-hash", &request_hash)]) {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut emit = |line: &str| -> Result<(), ServeError> {
+        let mut chunk = line.as_bytes().to_vec();
+        chunk.push(b'\n');
+        writer.write_chunk(&chunk).map_err(ServeError::from)
+    };
+    match state.engine.stream(&req, &mut emit) {
+        Ok(()) => {
+            let _ = writer.finish();
+        }
+        Err(e) => {
+            // The 200 head is committed; surface the failure in-band.
+            let mut line = error_body(&e.to_string()).into_bytes();
+            line.push(b'\n');
+            let _ = writer.write_chunk(&line);
+            let _ = writer.finish();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = ServeConfig::default_local();
+        assert!(cfg.http_workers >= 1);
+        assert!(cfg.sim_workers >= 1);
+        assert!(cfg.queue_capacity >= 1);
+        assert!(cfg.max_nodes >= 1000);
+        assert_eq!(cfg.addr, "127.0.0.1:0");
+    }
+
+    #[test]
+    fn from_env_without_overrides_matches_defaults() {
+        // The test environment does not set EH_SERVE_*; from_env must
+        // then reproduce the defaults (addr and capacities).
+        let cfg = ServeConfig::from_env().unwrap();
+        let defaults = ServeConfig::default_local();
+        assert_eq!(cfg.addr, defaults.addr);
+        assert_eq!(cfg.queue_capacity, defaults.queue_capacity);
+        assert_eq!(cfg.max_nodes, defaults.max_nodes);
+    }
+
+    #[test]
+    fn error_bodies_are_valid_json() {
+        let body = error_body("a \"quoted\" message\nwith newline");
+        let parsed = Json::parse(&body).unwrap();
+        assert_eq!(
+            parsed.get("error").and_then(Json::as_str),
+            Some("a \"quoted\" message\nwith newline")
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! Single-flight request coalescing.
+//!
+//! When several identical what-if requests are in flight at once, only
+//! one should pay for the simulation: the first caller for a key
+//! becomes the **leader** and computes; everyone else arriving before
+//! the leader publishes becomes a **follower** and blocks on the
+//! flight's condvar until the shared result lands. Determinism is what
+//! makes this safe to expose: the followers' bytes are exactly the
+//! bytes the followers would have computed themselves.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// How a caller's result was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightRole {
+    /// This caller ran the computation.
+    Leader,
+    /// This caller waited on another caller's in-flight computation.
+    Follower,
+}
+
+#[derive(Debug)]
+struct Flight<V> {
+    done: Mutex<Option<V>>,
+    cv: Condvar,
+}
+
+/// Coalesces concurrent calls with equal keys onto one computation.
+#[derive(Debug)]
+pub struct SingleFlight<K, V> {
+    inflight: Mutex<HashMap<K, Arc<Flight<V>>>>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Default for SingleFlight<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> SingleFlight<K, V> {
+    /// An empty coalescing table.
+    pub fn new() -> Self {
+        Self {
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Runs `compute` for `key`, unless an identical call is already in
+    /// flight — in that case, blocks until the leader publishes and
+    /// returns the shared value. The leader's flight entry is removed
+    /// before returning, so later calls start a fresh flight (the
+    /// response cache, not this table, serves repeats).
+    pub fn join(&self, key: K, compute: impl FnOnce() -> V) -> (V, FlightRole) {
+        let (flight, leader) = {
+            let mut inflight = self.inflight.lock().expect("singleflight lock poisoned");
+            match inflight.get(&key) {
+                Some(flight) => (Arc::clone(flight), false),
+                None => {
+                    let flight = Arc::new(Flight {
+                        done: Mutex::new(None),
+                        cv: Condvar::new(),
+                    });
+                    inflight.insert(key.clone(), Arc::clone(&flight));
+                    (flight, true)
+                }
+            }
+        };
+
+        if leader {
+            let value = compute();
+            {
+                let mut done = flight.done.lock().expect("flight lock poisoned");
+                *done = Some(value.clone());
+            }
+            flight.cv.notify_all();
+            self.inflight
+                .lock()
+                .expect("singleflight lock poisoned")
+                .remove(&key);
+            (value, FlightRole::Leader)
+        } else {
+            let mut done = flight.done.lock().expect("flight lock poisoned");
+            while done.is_none() {
+                done = flight.cv.wait(done).expect("flight lock poisoned");
+            }
+            (
+                done.clone().expect("loop exits only when published"),
+                FlightRole::Follower,
+            )
+        }
+    }
+
+    /// How many flights are currently in progress.
+    pub fn inflight(&self) -> usize {
+        self.inflight
+            .lock()
+            .expect("singleflight lock poisoned")
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn sequential_calls_each_lead() {
+        let sf: SingleFlight<u64, u32> = SingleFlight::new();
+        let (v, role) = sf.join(1, || 10);
+        assert_eq!((v, role), (10, FlightRole::Leader));
+        let (v, role) = sf.join(1, || 20);
+        assert_eq!(
+            (v, role),
+            (20, FlightRole::Leader),
+            "completed flights must not serve later calls"
+        );
+        assert_eq!(sf.inflight(), 0);
+    }
+
+    #[test]
+    fn concurrent_identical_calls_coalesce_onto_one_computation() {
+        let sf: SingleFlight<u64, u32> = SingleFlight::new();
+        let computations = AtomicUsize::new(0);
+        let followers = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let (v, role) = sf.join(7, || {
+                        // Hold the flight open long enough that the
+                        // other threads arrive while it is in flight.
+                        std::thread::sleep(Duration::from_millis(100));
+                        computations.fetch_add(1, Ordering::SeqCst);
+                        42
+                    });
+                    assert_eq!(v, 42);
+                    if role == FlightRole::Follower {
+                        followers.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        let led = computations.load(Ordering::SeqCst);
+        let followed = followers.load(Ordering::SeqCst);
+        assert_eq!(led + followed, 8, "every caller got a value");
+        assert!(led >= 1, "someone must compute");
+        assert!(
+            followed >= 1,
+            "a 100 ms flight must coalesce at least one follower"
+        );
+        assert_eq!(sf.inflight(), 0, "flights drain after completion");
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let sf: SingleFlight<u64, u64> = SingleFlight::new();
+        std::thread::scope(|scope| {
+            for k in 0..4u64 {
+                let sf = &sf;
+                scope.spawn(move || {
+                    let (v, role) = sf.join(k, || k * 10);
+                    assert_eq!(v, k * 10);
+                    assert_eq!(role, FlightRole::Leader);
+                });
+            }
+        });
+    }
+}

@@ -25,6 +25,11 @@
 //!   node populations: seeded [`fleet::FleetSpec`] instantiation,
 //!   sharded order-independent aggregation, tracker comparison over a
 //!   whole population.
+//! * [`serve`] — the what-if service: dependency-free HTTP/1.1 over
+//!   the fleet layer with canonical-JSON request identity, a
+//!   byte-identical response cache, single-flight coalescing, chunked
+//!   streaming with per-shard checkpoint/resume, and live
+//!   [`serve::ServiceMetrics`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,5 +42,6 @@ pub use eh_fleet as fleet;
 pub use eh_node as node;
 pub use eh_obs as obs;
 pub use eh_pv as pv;
+pub use eh_serve as serve;
 pub use eh_sim as sim;
 pub use eh_units as units;
