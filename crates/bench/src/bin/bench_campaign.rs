@@ -1,0 +1,183 @@
+//! Benchmark — multi-year endurance campaigns with a determinism gate.
+//!
+//! Runs the smoke campaign ([`CampaignSpec::smoke`]: 48 nodes, 91
+//! simulated days, 13-day epochs) at 1 and 2 workers and asserts the
+//! eh-campaign determinism contract: the [`CampaignReport`]s must be
+//! **bit-identical**. The full profile additionally runs the reference
+//! endurance campaign ([`CampaignSpec::reference`]: 1000 nodes, 730
+//! simulated days — two years of seasons, weather, drift and faults) at
+//! 1, 2 and 4 workers with the same bit-identity assertion.
+//!
+//! Results land in `BENCH_campaign.json`. Its `golden` member holds the
+//! smoke campaign's integer survival counts — pure functions of the
+//! spec, independent of host speed and worker count — and CI compares
+//! them against the committed `ci/campaign_smoke_golden.json`: any drift
+//! in population, weather, schedules or the simulation core fails the
+//! `campaign-smoke` job loudly instead of silently shifting the
+//! endurance story.
+//!
+//! Run with `cargo run -q --release -p eh-bench --bin bench_campaign`
+//! (accepts `--smoke` for the CI profile: smoke campaign only).
+
+use std::time::Instant;
+
+use eh_bench::{banner, fmt, render_table, smoke_mode};
+use eh_campaign::{CampaignContext, CampaignReport, CampaignRunner, CampaignSpec};
+use eh_fleet::Percentiles;
+
+/// `(workers, seconds)` wall-clock rows for one campaign.
+type Timings = Vec<(usize, f64)>;
+
+/// Runs one campaign at every worker count, asserts bit-identity, and
+/// returns the reference report plus `(workers, seconds)` timings.
+fn run_campaign(
+    spec: &CampaignSpec,
+    worker_counts: &[usize],
+) -> Result<(CampaignReport, Timings), Box<dyn std::error::Error>> {
+    let ctx = CampaignContext::prepare(spec)?;
+    let mut reference: Option<CampaignReport> = None;
+    let mut timings = Vec::new();
+    for &workers in worker_counts {
+        let t0 = Instant::now();
+        let report = CampaignRunner::new(workers).run_prepared(&ctx)?;
+        timings.push((workers, t0.elapsed().as_secs_f64()));
+        match &reference {
+            None => reference = Some(report),
+            Some(r) => assert_eq!(
+                &report, r,
+                "{workers}-worker campaign diverged from the 1-worker reference"
+            ),
+        }
+    }
+    Ok((reference.expect("at least one worker count"), timings))
+}
+
+fn pct(p: Option<Percentiles>) -> (f64, f64, f64) {
+    p.map_or((f64::NAN, f64::NAN, f64::NAN), |p| (p.p5, p.p50, p.p95))
+}
+
+fn report_block(label: &str, spec: &CampaignSpec, report: &CampaignReport) {
+    banner(&format!(
+        "{label} — {} nodes, {} days, {} ({} load)",
+        spec.nodes,
+        spec.days,
+        spec.climate.label(),
+        spec.load.label()
+    ));
+    println!("{report}");
+}
+
+fn campaign_json(report: &CampaignReport, timings: &[(usize, f64)]) -> String {
+    let (sp5, sp50, sp95) = pct(report.survival_percentiles());
+    let brown = report
+        .time_to_first_brownout_percentiles()
+        .map_or("null".to_owned(), |p| {
+            format!(
+                r#"{{ "p5": {:.1}, "p50": {:.1}, "p95": {:.1} }}"#,
+                p.p5, p.p50, p.p95
+            )
+        });
+    let (np5, np50, np95) = pct(report.net_energy_percentiles());
+    let timing_rows: Vec<String> = timings
+        .iter()
+        .map(|(w, s)| format!(r#"      {{ "workers": {w}, "seconds": {s:.3} }}"#))
+        .collect();
+    format!(
+        r#"{{
+    "nodes": {nodes},
+    "days": {days},
+    "survivors": {survivors},
+    "browned_out": {browned},
+    "faulted": {faulted},
+    "survival_days": {{ "p5": {sp5:.1}, "p50": {sp50:.1}, "p95": {sp95:.1} }},
+    "time_to_first_brownout_days": {brown},
+    "net_energy_j": {{ "p5": {np5:.3}, "p50": {np50:.3}, "p95": {np95:.3} }},
+    "bit_identical_worker_counts": {workers:?},
+    "timings": [
+{timing_rows}
+    ]
+  }}"#,
+        nodes = report.nodes(),
+        days = report.days,
+        survivors = report.survivors(),
+        browned = report.browned_out(),
+        faulted = report.faulted(),
+        workers = timings.iter().map(|(w, _)| *w).collect::<Vec<_>>(),
+        timing_rows = timing_rows.join(",\n"),
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = smoke_mode();
+    let host = std::thread::available_parallelism().map_or(1, usize::from);
+
+    // The smoke campaign runs in both profiles: its integer survival
+    // counts are the committed golden that CI gates on.
+    let smoke_spec = CampaignSpec::smoke(2011);
+    let smoke_workers = [1usize, 2];
+    let (smoke_report, smoke_timings) = run_campaign(&smoke_spec, &smoke_workers)?;
+    report_block("Smoke campaign", &smoke_spec, &smoke_report);
+    let rows: Vec<Vec<String>> = smoke_timings
+        .iter()
+        .map(|(w, s)| vec![w.to_string(), fmt(*s, 3)])
+        .collect();
+    println!("{}", render_table(&["workers", "seconds"], &rows));
+    println!("workers {:?}: CampaignReports bit-identical", smoke_workers);
+
+    let full = if smoke {
+        None
+    } else {
+        let spec = CampaignSpec::reference(1000, 2011);
+        let workers = [1usize, 2, 4];
+        let (report, timings) = run_campaign(&spec, &workers)?;
+        report_block("Reference endurance campaign", &spec, &report);
+        let rows: Vec<Vec<String>> = timings
+            .iter()
+            .map(|(w, s)| vec![w.to_string(), fmt(*s, 3)])
+            .collect();
+        println!("{}", render_table(&["workers", "seconds"], &rows));
+        println!("workers {workers:?}: CampaignReports bit-identical");
+        Some((spec, report, timings))
+    };
+
+    let golden = format!(
+        r#"{{
+    "spec": "CampaignSpec::smoke(2011)",
+    "nodes": {nodes},
+    "days": {days},
+    "survivors": {survivors},
+    "browned_out": {browned},
+    "faulted": {faulted}
+  }}"#,
+        nodes = smoke_report.nodes(),
+        days = smoke_report.days,
+        survivors = smoke_report.survivors(),
+        browned = smoke_report.browned_out(),
+        faulted = smoke_report.faulted(),
+    );
+    let json = format!(
+        r#"{{
+  "bench": "campaign",
+  "command": "cargo run -q --release -p eh-bench --bin bench_campaign",
+  "scenario": "multi-year endurance: seasonal sky x Markov weather x drift schedules x fault plan",
+  "smoke": {smoke},
+  "host_parallelism": {host},
+  "determinism_note": "every campaign above asserted bit-identical CampaignReports across its worker counts",
+  "golden_note": "golden holds the smoke campaign's integer survival counts; CI compares it against ci/campaign_smoke_golden.json",
+  "golden": {golden},
+  "smoke_campaign": {smoke_json},
+  "reference_campaign": {full_json}
+}}
+"#,
+        smoke_json = campaign_json(&smoke_report, &smoke_timings),
+        full_json = full
+            .as_ref()
+            .map_or("null".to_owned(), |(_, report, timings)| campaign_json(
+                report, timings
+            )),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
+    std::fs::write(path, json)?;
+    println!("wrote {path}");
+    Ok(())
+}

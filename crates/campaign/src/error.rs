@@ -1,0 +1,65 @@
+//! Campaign-layer errors.
+
+use std::fmt;
+
+use eh_env::EnvError;
+use eh_fleet::FleetError;
+use eh_node::NodeError;
+
+/// Errors raised while planning or running an endurance campaign.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CampaignError {
+    /// A campaign parameter failed validation.
+    InvalidSpec {
+        /// Which parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A fleet-layer failure (population, context, simulation).
+    Fleet(FleetError),
+    /// An environment synthesis failure (season, weather, trace).
+    Env(EnvError),
+    /// A node-layer failure (load or store construction).
+    Node(NodeError),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::InvalidSpec { name, value } => {
+                write!(f, "invalid campaign parameter `{name}`: {value}")
+            }
+            CampaignError::Fleet(e) => write!(f, "fleet error: {e}"),
+            CampaignError::Env(e) => write!(f, "environment error: {e}"),
+            CampaignError::Node(e) => write!(f, "node error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<FleetError> for CampaignError {
+    fn from(e: FleetError) -> Self {
+        CampaignError::Fleet(e)
+    }
+}
+
+impl From<EnvError> for CampaignError {
+    fn from(e: EnvError) -> Self {
+        CampaignError::Env(e)
+    }
+}
+
+impl From<NodeError> for CampaignError {
+    fn from(e: NodeError) -> Self {
+        CampaignError::Node(e)
+    }
+}
+
+impl From<eh_sim::SimError> for CampaignError {
+    fn from(e: eh_sim::SimError) -> Self {
+        CampaignError::Fleet(FleetError::from(e))
+    }
+}

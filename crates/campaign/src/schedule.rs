@@ -1,0 +1,217 @@
+//! Deterministic per-node drift and fault schedules.
+//!
+//! # Draw budget (order-pinning contract)
+//!
+//! Mirroring [`eh_fleet::FleetSpec::population`]'s nine-draws-per-node
+//! contract, the schedule stream draws **exactly six** uniforms per
+//! node, serially, from one generator seeded with
+//! `spec.seed ^ SCHEDULE_SALT` — a stream distinct from both the
+//! population stream (raw `seed`) and the weather stream (see
+//! [`crate::run`]), so the three never desynchronise each other:
+//!
+//! | # | draw           | purpose                                        |
+//! |---|----------------|------------------------------------------------|
+//! | 1 | `u_dust`       | dust-rate spread factor in `[0.5, 1.5]`        |
+//! | 2 | `u_aging`      | aging-rate spread factor in `[0.5, 1.5]`       |
+//! | 3 | `u_wear`       | store-wear spread factor in `[0.5, 1.5]`       |
+//! | 4 | `u_fault_gate` | whether this node faults at all                |
+//! | 5 | `u_fault_kind` | which [`FaultKind`], by thirds                 |
+//! | 6 | `u_onset`      | the fault onset day in `[1, days)`             |
+//!
+//! All six are drawn unconditionally *before* any branching, so node
+//! `i`'s schedule is independent of every other node's outcome and the
+//! schedule list is prefix-stable in fleet size — the property the
+//! `determinism` integration suite pins.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::spec::CampaignSpec;
+
+/// Salt XORed into the campaign seed for the schedule stream, so
+/// schedules never share a generator with the population (raw seed) or
+/// the weather (see [`crate::run`]).
+pub const SCHEDULE_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A fault a node can suffer once during a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The astable's hold capacitor sticks: the hold period stretches
+    /// 1000×, so the tracker effectively stops re-sampling Voc. Applies
+    /// from the epoch containing the onset, permanently.
+    StuckHoldCap,
+    /// The FOCV divider drifts 25 % high, mistuning the operating point.
+    /// Applies from the epoch containing the onset, permanently.
+    DividerDrift,
+    /// A converter dropout storm: the node harvests nothing for the
+    /// epoch containing the onset, then recovers.
+    DropoutStorm,
+}
+
+impl FaultKind {
+    /// All fault kinds, in draw order (thirds of `u_fault_kind`).
+    pub const ALL: [FaultKind; 3] = [
+        FaultKind::StuckHoldCap,
+        FaultKind::DividerDrift,
+        FaultKind::DropoutStorm,
+    ];
+
+    /// Stable lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::StuckHoldCap => "stuck-hold-cap",
+            FaultKind::DividerDrift => "divider-drift",
+            FaultKind::DropoutStorm => "dropout-storm",
+        }
+    }
+}
+
+/// One node's drawn endurance schedule: its personal drift rates (the
+/// spec rates times a `[0.5, 1.5]` spread) and at most one fault with a
+/// seeded onset day.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeSchedule {
+    /// Dust loss per year for this node.
+    pub dust_per_year: f64,
+    /// Cell aging loss per year for this node.
+    pub aging_per_year: f64,
+    /// Store wear per year for this node.
+    pub wear_per_year: f64,
+    /// The fault this node suffers, with its onset day, if any.
+    pub fault: Option<(FaultKind, u32)>,
+}
+
+/// Draws the whole fleet's schedules: six uniforms per node in the
+/// fixed order documented at module level.
+pub fn node_schedules(spec: &CampaignSpec) -> Vec<NodeSchedule> {
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ SCHEDULE_SALT);
+    let mut out = Vec::with_capacity(spec.nodes as usize);
+    for _ in 0..spec.nodes {
+        // Fixed draw order, six per node, all before branching.
+        let u_dust: f64 = rng.gen();
+        let u_aging: f64 = rng.gen();
+        let u_wear: f64 = rng.gen();
+        let u_fault_gate: f64 = rng.gen();
+        let u_fault_kind: f64 = rng.gen();
+        let u_onset: f64 = rng.gen();
+
+        let spread = |u: f64| 0.5 + u;
+        let fault = if u_fault_gate < spec.faults.probability {
+            let kind = FaultKind::ALL[((u_fault_kind * 3.0) as usize).min(2)];
+            // Onset strictly after day 0 so every node sees at least one
+            // healthy epoch start.
+            let onset = 1 + (u_onset * f64::from(spec.days - 1)) as u32;
+            Some((kind, onset.min(spec.days - 1).max(1)))
+        } else {
+            None
+        };
+        out.push(NodeSchedule {
+            dust_per_year: spec.drift.dust_per_year * spread(u_dust),
+            aging_per_year: spec.drift.aging_per_year * spread(u_aging),
+            wear_per_year: spec.drift.store_wear_per_year * spread(u_wear),
+            fault,
+        });
+    }
+    out
+}
+
+impl NodeSchedule {
+    /// The fraction of an initial quantity remaining after `age_days` at
+    /// `rate_per_year` compound loss: `(1 − rate)^(age/365.25)`.
+    pub fn remaining(rate_per_year: f64, age_days: u32) -> f64 {
+        (1.0 - rate_per_year).powf(f64::from(age_days) / 365.25)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CampaignSpec;
+
+    fn spec(nodes: u32, seed: u64) -> CampaignSpec {
+        CampaignSpec {
+            nodes,
+            ..CampaignSpec::smoke(seed)
+        }
+    }
+
+    #[test]
+    fn schedules_are_a_pure_function_of_the_spec() {
+        assert_eq!(node_schedules(&spec(64, 9)), node_schedules(&spec(64, 9)));
+        assert_ne!(node_schedules(&spec(64, 9)), node_schedules(&spec(64, 10)));
+    }
+
+    /// Satellite-5 regression: six draws per node, unconditionally, so
+    /// the first `n` schedules of a larger fleet are exactly the
+    /// `n`-node fleet's schedules. A conditional draw (e.g. skipping
+    /// `u_fault_kind`/`u_onset` for healthy nodes) would desynchronise
+    /// every node after the first healthy one.
+    #[test]
+    fn schedules_are_prefix_stable_in_fleet_size() {
+        let small = node_schedules(&spec(50, 7));
+        let large = node_schedules(&spec(400, 7));
+        assert_eq!(small[..], large[..50]);
+    }
+
+    #[test]
+    fn fault_probability_gates_fault_assignment() {
+        let mut s = spec(500, 3);
+        s.faults.probability = 0.0;
+        assert!(node_schedules(&s).iter().all(|n| n.fault.is_none()));
+        s.faults.probability = 1.0;
+        assert!(node_schedules(&s).iter().all(|n| n.fault.is_some()));
+        s.faults.probability = 0.15;
+        let count = node_schedules(&s)
+            .iter()
+            .filter(|n| n.fault.is_some())
+            .count();
+        // 500 draws at p = 0.15: expect ~75, accept a wide band.
+        assert!((30..=140).contains(&count), "faulted {count}/500");
+    }
+
+    #[test]
+    fn fault_onsets_stay_inside_the_campaign() {
+        let mut s = spec(300, 5);
+        s.faults.probability = 1.0;
+        for sched in node_schedules(&s) {
+            let (_, onset) = sched.fault.unwrap();
+            assert!((1..s.days).contains(&onset));
+        }
+    }
+
+    #[test]
+    fn all_fault_kinds_appear() {
+        let mut s = spec(300, 5);
+        s.faults.probability = 1.0;
+        let scheds = node_schedules(&s);
+        for kind in FaultKind::ALL {
+            assert!(
+                scheds
+                    .iter()
+                    .any(|n| n.fault.is_some_and(|(k, _)| k == kind)),
+                "{} never drawn",
+                kind.label()
+            );
+        }
+    }
+
+    #[test]
+    fn drift_spread_stays_in_band() {
+        let s = spec(200, 11);
+        for sched in node_schedules(&s) {
+            assert!(sched.dust_per_year >= 0.5 * s.drift.dust_per_year);
+            assert!(sched.dust_per_year <= 1.5 * s.drift.dust_per_year);
+            assert!(sched.wear_per_year >= 0.5 * s.drift.store_wear_per_year);
+            assert!(sched.wear_per_year <= 1.5 * s.drift.store_wear_per_year);
+        }
+    }
+
+    #[test]
+    fn remaining_is_compound_decay() {
+        assert_eq!(NodeSchedule::remaining(0.0, 365), 1.0);
+        let one_year = NodeSchedule::remaining(0.06, 365);
+        assert!((one_year - 0.94).abs() < 1e-3);
+        let two_years = NodeSchedule::remaining(0.06, 730);
+        assert!((two_years - one_year * one_year).abs() < 1e-6);
+    }
+}

@@ -39,8 +39,10 @@ mod perturb;
 pub mod process;
 pub mod profiles;
 pub mod sampling_error;
+pub mod season;
 mod series;
 pub mod solar;
+pub mod weather;
 pub mod week;
 
 pub use error::EnvError;

@@ -107,6 +107,16 @@ impl SolarDay {
         self.sunset
     }
 
+    /// Daylight duration (sunset − sunrise).
+    pub fn daylight(&self) -> Seconds {
+        self.sunset - self.sunrise
+    }
+
+    /// Clear-sky peak illuminance at solar noon.
+    pub fn peak(&self) -> Lux {
+        self.peak
+    }
+
     /// Normalised solar elevation factor in `[0, 1]` (half-sine over the
     /// daylight window).
     pub fn elevation_factor(&self, t: Seconds) -> f64 {

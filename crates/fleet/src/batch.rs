@@ -93,7 +93,7 @@ type LaneBuild = (FocvKernel, FocvLane, ConcreteStore, String);
 /// performs.
 fn build_lane(spec: &FleetSpec, node: &NodeSpec) -> Result<LaneBuild, FleetError> {
     let tracker = node.tracker()?;
-    let store = spec.store.build_concrete()?;
+    let store = node.store.unwrap_or(spec.store).build_concrete()?;
     let dwell = node.pulse_width;
     if !(dwell.value().is_finite() && dwell.value() > 0.0) {
         return Err(NodeError::InvalidParameter {

@@ -146,6 +146,7 @@ impl TrackerKind {
             pulse_width: eh_units::Seconds::from_milli(39.0),
             phase_offset: eh_units::Seconds::ZERO,
             perturbation: eh_env::TracePerturbation::identity(),
+            store: None,
         };
         let cell = eh_pv::presets::sanyo_am1815();
         self.build(&probe, &cell)

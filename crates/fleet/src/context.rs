@@ -82,6 +82,57 @@ impl FleetContext {
         })
     }
 
+    /// Prepares a context against **caller-supplied** environment traces
+    /// and a pre-warmed surface pool, instead of the spec's built-in
+    /// week profiles. This is the campaign layer's entry point: it
+    /// synthesizes one multi-day seasonal/weather trace per placement
+    /// (indexed by [`Placement::index`]) per epoch and reuses one warmed
+    /// pool across every epoch, so only the cheap spec/population work
+    /// is repeated.
+    ///
+    /// Every placement the population uses must have a trace and a
+    /// warmed cell; the population itself is still drawn from the spec's
+    /// seed with the standard nine-draw contract.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spec validation; returns
+    /// [`FleetError::InvalidSpec`] if a used placement has no trace or
+    /// no warmed cell.
+    pub fn prepare_with_environment(
+        spec: &FleetSpec,
+        traces: [Option<TimeSeries>; 3],
+        pool: SurfacePool,
+    ) -> Result<Self, FleetError> {
+        let population = spec.population()?;
+        for p in Placement::ALL {
+            if population.iter().any(|n| n.placement == p) {
+                if traces[p.index()].is_none() {
+                    return Err(FleetError::InvalidSpec {
+                        name: "environment_trace",
+                        value: p.index() as f64,
+                    });
+                }
+                if pool.cell(p).is_none() {
+                    return Err(FleetError::InvalidSpec {
+                        name: "environment_surface",
+                        value: p.index() as f64,
+                    });
+                }
+            }
+        }
+        let cold = ColdStart::paper_prototype()?;
+        let knee = cold.enable_threshold() + cold.diode_drop();
+        Ok(Self {
+            spec: spec.clone(),
+            population,
+            traces,
+            pool,
+            cold,
+            knee,
+        })
+    }
+
     /// The spec this context was prepared from.
     pub fn spec(&self) -> &FleetSpec {
         &self.spec
@@ -186,7 +237,7 @@ impl FleetContext {
             converter: InputRegulatedConverter::paper_prototype()?,
             measurement_dwell: node.pulse_width,
             load: spec.load.clone(),
-            store: spec.store.build()?,
+            store: node.store.unwrap_or(spec.store).build()?,
             pv_cache: spec.pv_cache,
             obs: spec.obs,
         };

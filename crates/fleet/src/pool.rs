@@ -24,7 +24,7 @@ use crate::spec::Placement;
 /// One warmed cell per placement in use, indexed by
 /// [`Placement::index`], bounded by a capacity with oldest-first
 /// eviction.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SurfacePool {
     /// Warmed cells in insertion order, oldest first.
     entries: Vec<(Placement, PvCell)>,

@@ -40,6 +40,11 @@ pub struct NodeSpec {
     /// The illuminance transform this unit applies to its placement's
     /// shared base trace (optics × derating, plus placement offset).
     pub perturbation: TracePerturbation,
+    /// Per-node storage override. `None` (the default for drawn
+    /// populations) means the unit uses the fleet-wide
+    /// [`FleetSpec::store`]; campaign epochs set this to carry each
+    /// node's store state (and wear) across epoch boundaries.
+    pub store: Option<eh_node::StoreSpec>,
 }
 
 impl NodeSpec {
@@ -127,6 +132,7 @@ impl FleetSpec {
                 pulse_width,
                 phase_offset,
                 perturbation: TracePerturbation::new(gain, offset_lux)?,
+                store: None,
             });
         }
         Ok(nodes)

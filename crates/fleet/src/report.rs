@@ -58,7 +58,11 @@ pub struct Percentiles {
 }
 
 impl Percentiles {
-    fn of(mut values: Vec<f64>) -> Option<Self> {
+    /// Nearest-rank p5/p50/p95 of a value set; `None` when empty.
+    /// Public so layers that aggregate non-energy values (the campaign
+    /// runner's survival days) reuse the exact ranking the fleet report
+    /// uses.
+    pub fn of(mut values: Vec<f64>) -> Option<Self> {
         if values.is_empty() {
             return None;
         }

@@ -31,7 +31,7 @@ fn main() {
         }
     };
     println!("eh-serve listening on {}", server.addr());
-    println!("POST /whatif | /compare | /whatif/stream — GET /healthz | /metrics");
+    println!("POST /whatif | /compare | /whatif/stream | /campaign — GET /healthz | /metrics");
     println!(
         "stop with: curl -X POST http://{}/admin/shutdown",
         server.addr()

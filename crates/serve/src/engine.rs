@@ -11,7 +11,10 @@
 
 use std::sync::{Arc, Mutex};
 
-use eh_fleet::{FleetContext, FleetError, FleetReport, FleetRunner, Percentiles, TrackerKind};
+use eh_campaign::{CampaignReport, CampaignRunner};
+use eh_fleet::{
+    FleetContext, FleetError, FleetReport, FleetRunner, Percentiles, Placement, TrackerKind,
+};
 use eh_sim::Mergeable as _;
 
 use crate::cache::LruCache;
@@ -20,7 +23,7 @@ use crate::error::ServeError;
 use crate::hash::hex;
 use crate::json::Json;
 use crate::metrics::{names, ServiceMetrics};
-use crate::request::WhatIfRequest;
+use crate::request::{CampaignRequest, WhatIfRequest};
 
 /// Builds an object from `(&str, Json)` pairs.
 fn obj(members: Vec<(&str, Json)>) -> Json {
@@ -47,6 +50,7 @@ fn pct_json(p: Option<Percentiles>) -> Json {
 #[derive(Debug)]
 pub struct ComputeEngine {
     runner: FleetRunner,
+    sim_workers: usize,
     contexts: Mutex<LruCache<u64, Arc<FleetContext>>>,
     spill: SpillStore,
     metrics: Arc<ServiceMetrics>,
@@ -64,6 +68,7 @@ impl ComputeEngine {
     ) -> Self {
         Self {
             runner: FleetRunner::new(sim_workers),
+            sim_workers,
             contexts: Mutex::new(LruCache::new(context_cache_capacity)),
             spill: SpillStore::new(spill_dir),
             metrics,
@@ -205,17 +210,69 @@ impl ComputeEngine {
         Ok(())
     }
 
+    /// One endurance campaign → the rendered response body. Campaigns
+    /// prepare their own per-epoch contexts (epoch traces depend on the
+    /// campaign calendar), so the what-if context cache is not involved;
+    /// the response cache and single-flight table still apply upstream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates campaign preparation and simulation failures.
+    pub fn campaign(&self, req: &CampaignRequest) -> Result<String, ServeError> {
+        let spec = req.to_spec();
+        let report = CampaignRunner::new(self.sim_workers)
+            .with_shard_size(req.shard_size)
+            .run(&spec)?;
+        self.metrics.add(names::SIM_NODES, report.nodes() as u64);
+        self.metrics.with(|m| report.record_into(m));
+        Ok(Self::render_envelope(
+            &req.canonical_json(),
+            req.hash(),
+            vec![("report", Self::campaign_summary(&report))],
+        ))
+    }
+
     /// Wraps payload members with the canonical request echo and its
     /// hash, rendered canonically (deterministic bytes).
     fn envelope(&self, req: &WhatIfRequest, payload: Vec<(&str, Json)>) -> String {
-        let request =
-            Json::parse(&req.canonical_json()).expect("canonical request rendering is valid JSON");
-        let mut members = vec![
-            ("request", request),
-            ("request_hash", Json::Str(hex(req.hash()))),
-        ];
+        Self::render_envelope(&req.canonical_json(), req.hash(), payload)
+    }
+
+    fn render_envelope(canonical: &str, hash: u64, payload: Vec<(&str, Json)>) -> String {
+        let request = Json::parse(canonical).expect("canonical request rendering is valid JSON");
+        let mut members = vec![("request", request), ("request_hash", Json::Str(hex(hash)))];
         members.extend(payload);
         obj(members).to_canonical_string()
+    }
+
+    /// One campaign's summary object: identity, survival counts,
+    /// survival/time-to-first-brownout/net-energy percentiles, and the
+    /// per-placement survivor breakdown.
+    fn campaign_summary(report: &CampaignReport) -> Json {
+        let by_placement = Placement::ALL
+            .into_iter()
+            .map(|p| {
+                (
+                    p.label().to_owned(),
+                    Json::Num(report.survivors_at(p) as f64),
+                )
+            })
+            .collect();
+        obj(vec![
+            ("name", Json::Str(report.name.clone())),
+            ("nodes", Json::Num(report.nodes() as f64)),
+            ("days", Json::Num(f64::from(report.days))),
+            ("survivors", Json::Num(report.survivors() as f64)),
+            ("browned_out", Json::Num(report.browned_out() as f64)),
+            ("faulted", Json::Num(report.faulted() as f64)),
+            ("survival_days", pct_json(report.survival_percentiles())),
+            (
+                "time_to_first_brownout_days",
+                pct_json(report.time_to_first_brownout_percentiles()),
+            ),
+            ("net_j", pct_json(report.net_energy_percentiles())),
+            ("survivors_by_placement", Json::Obj(by_placement)),
+        ])
     }
 
     /// One report's summary object: identity, percentiles, population
@@ -427,6 +484,31 @@ mod tests {
 
     fn tests_fresh() -> (ComputeEngine, Arc<ServiceMetrics>, PathBuf) {
         engine()
+    }
+
+    #[test]
+    fn campaign_is_deterministic_and_renders_survival() {
+        let (engine, metrics, dir) = engine();
+        let req = CampaignRequest::from_json(
+            &Json::parse(r#"{"nodes":4,"days":6,"epoch_days":3,"dt_s":3600}"#).unwrap(),
+            10_000,
+        )
+        .unwrap();
+        let first = engine.campaign(&req).unwrap();
+        let second = engine.campaign(&req).unwrap();
+        assert_eq!(first, second, "recompute must be byte-identical");
+        let parsed = Json::parse(&first).unwrap();
+        assert_eq!(
+            parsed.get("request_hash").and_then(Json::as_str),
+            Some(hex(req.hash()).as_str())
+        );
+        let report = parsed.get("report").unwrap();
+        assert_eq!(report.get("nodes").and_then(Json::as_u64), Some(4));
+        assert_eq!(report.get("days").and_then(Json::as_u64), Some(6));
+        assert!(report.get("survival_days").is_some());
+        assert!(report.get("survivors_by_placement").is_some());
+        assert_eq!(metrics.counter("campaign.nodes"), 8, "both runs recorded");
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

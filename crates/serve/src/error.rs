@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
+use eh_campaign::CampaignError;
 use eh_fleet::FleetError;
 
 /// Errors raised while accepting, validating, computing or persisting a
@@ -15,6 +16,8 @@ pub enum ServeError {
     BadRequest(String),
     /// The underlying fleet simulation failed.
     Fleet(FleetError),
+    /// The underlying endurance campaign failed.
+    Campaign(CampaignError),
     /// A socket / filesystem operation failed (message carries the
     /// `std::io` rendering — `io::Error` itself is not `Clone`, and
     /// single-flight followers share the leader's outcome).
@@ -34,6 +37,7 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             ServeError::Fleet(e) => write!(f, "fleet simulation: {e}"),
+            ServeError::Campaign(e) => write!(f, "endurance campaign: {e}"),
             ServeError::Io(msg) => write!(f, "i/o: {msg}"),
             ServeError::Env(e) => write!(f, "configuration: {e}"),
             ServeError::Unsupported(what) => write!(f, "unsupported: {what}"),
@@ -47,6 +51,12 @@ impl Error for ServeError {}
 impl From<FleetError> for ServeError {
     fn from(e: FleetError) -> Self {
         ServeError::Fleet(e)
+    }
+}
+
+impl From<CampaignError> for ServeError {
+    fn from(e: CampaignError) -> Self {
+        ServeError::Campaign(e)
     }
 }
 

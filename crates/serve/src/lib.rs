@@ -21,6 +21,7 @@
 //! Endpoints: `GET /healthz`, `GET /metrics` (the [`eh_obs`]-backed
 //! live store), `POST /whatif`, `POST /compare` (all 11 trackers over
 //! one fleet), `POST /whatif/stream` (chunked per-shard snapshots),
+//! `POST /campaign` (multi-year endurance campaigns over `eh-campaign`),
 //! `POST /admin/shutdown` (graceful drain).
 //!
 //! # Example
@@ -62,5 +63,5 @@ pub use engine::ComputeEngine;
 pub use error::ServeError;
 pub use json::Json;
 pub use metrics::ServiceMetrics;
-pub use request::{Op, TolerancePreset, WhatIfRequest};
+pub use request::{CampaignRequest, Op, TolerancePreset, WhatIfRequest};
 pub use server::{ServeConfig, Server};

@@ -23,6 +23,7 @@
 //! bits. `shard_size` is therefore hashed with the request rather than
 //! treated as an execution detail.
 
+use eh_campaign::{CampaignSpec, Climate, DriftRates, FaultPlan, LoadClass};
 use eh_fleet::{Engine, FleetSpec, PlacementMix, Tolerances, TrackerKind};
 use eh_units::Seconds;
 
@@ -371,6 +372,253 @@ impl WhatIfRequest {
     }
 }
 
+/// A validated endurance-campaign request: every field explicit,
+/// defaults filled from [`CampaignSpec::smoke`]'s setting. Campaigns
+/// share the service's response cache and single-flight table; the
+/// literal `"op":"campaign"` member in the canonical rendering keeps
+/// their hashes disjoint from every what-if key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignRequest {
+    /// Fleet size.
+    pub nodes: u32,
+    /// Seed fixing population, weather and every drift/fault schedule.
+    pub seed: u64,
+    /// Campaign length in simulated days.
+    pub days: u32,
+    /// Degradation-epoch length in days.
+    pub epoch_days: u32,
+    /// Deployment latitude in degrees (positive north).
+    pub latitude_deg: f64,
+    /// Climate regime.
+    pub climate: Climate,
+    /// Node load class.
+    pub load: LoadClass,
+    /// Tracker under test.
+    pub tracker: TrackerKind,
+    /// Fleet engine.
+    pub engine: Engine,
+    /// Whether the reference drift rates apply (false = no drift).
+    pub drift: bool,
+    /// Per-node fault probability over the whole campaign.
+    pub fault_probability: f64,
+    /// Simulation step, seconds.
+    pub dt_s: f64,
+    /// Nodes per shard (hashed — see the module docs on shard
+    /// grouping).
+    pub shard_size: usize,
+}
+
+/// The longest campaign the service accepts: ten simulated years.
+const MAX_CAMPAIGN_DAYS: u64 = 3650;
+
+impl CampaignRequest {
+    /// Builds a validated campaign request from a parsed body, filling
+    /// every omitted field with the smoke-campaign default and bounding
+    /// the fleet size by `max_nodes`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-object bodies, unknown fields, out-of-range values,
+    /// and unknown climate/load/tracker/engine spellings.
+    pub fn from_json(body: &Json, max_nodes: u32) -> Result<Self, ServeError> {
+        let members = body
+            .as_obj()
+            .ok_or_else(|| bad("request body must be a JSON object"))?;
+        const KNOWN: [&str; 12] = [
+            "nodes",
+            "seed",
+            "days",
+            "epoch_days",
+            "latitude",
+            "climate",
+            "load",
+            "tracker",
+            "engine",
+            "drift",
+            "fault_probability",
+            "dt_s",
+        ];
+        // shard_size shares the what-if spelling.
+        for (key, _) in members {
+            if key != "shard_size" && !KNOWN.contains(&key.as_str()) {
+                return Err(bad(format!(
+                    "unknown field {key:?}; known fields: {}, shard_size",
+                    KNOWN.join(", ")
+                )));
+            }
+        }
+
+        let u64_field = |name: &str, default: u64| -> Result<u64, ServeError> {
+            match body.get(name) {
+                None => Ok(default),
+                Some(v) => v
+                    .as_u64()
+                    .ok_or_else(|| bad(format!("{name} must be a non-negative integer"))),
+            }
+        };
+        let f64_field = |name: &str, default: f64| -> Result<f64, ServeError> {
+            match body.get(name) {
+                None => Ok(default),
+                Some(v) => v
+                    .as_f64()
+                    .ok_or_else(|| bad(format!("{name} must be a number"))),
+            }
+        };
+
+        let smoke = CampaignSpec::smoke(DEFAULT_SEED);
+        let nodes = u64_field("nodes", u64::from(smoke.nodes))?;
+        if nodes == 0 || nodes > u64::from(max_nodes) {
+            return Err(bad(format!(
+                "nodes must be in 1..={max_nodes}, got {nodes}"
+            )));
+        }
+        let days = u64_field("days", u64::from(smoke.days))?;
+        if days == 0 || days > MAX_CAMPAIGN_DAYS {
+            return Err(bad(format!(
+                "days must be in 1..={MAX_CAMPAIGN_DAYS}, got {days}"
+            )));
+        }
+        let epoch_days = u64_field("epoch_days", u64::from(smoke.epoch_days))?;
+
+        let climate = match body.get("climate") {
+            None => smoke.climate,
+            Some(v) => {
+                let s = v.as_str().ok_or_else(|| bad("climate must be a string"))?;
+                Climate::parse(s)
+                    .ok_or_else(|| bad(format!("unknown climate {s:?} (temperate|monsoon|arid)")))?
+            }
+        };
+        let load = match body.get("load") {
+            None => smoke.load,
+            Some(v) => {
+                let s = v.as_str().ok_or_else(|| bad("load must be a string"))?;
+                LoadClass::parse(s)
+                    .ok_or_else(|| bad(format!("unknown load {s:?} (sensor|radio|motor)")))?
+            }
+        };
+        let tracker = match body.get("tracker") {
+            None => smoke.tracker,
+            Some(v) => {
+                let s = v.as_str().ok_or_else(|| bad("tracker must be a string"))?;
+                TrackerKind::parse(s).ok_or_else(|| bad(format!("unknown tracker {s:?}")))?
+            }
+        };
+        let engine = match body.get("engine") {
+            None => smoke.engine,
+            Some(v) => {
+                let s = v.as_str().ok_or_else(|| bad("engine must be a string"))?;
+                Engine::parse(s).ok_or_else(|| bad(format!("unknown engine {s:?}")))?
+            }
+        };
+        let drift = match body.get("drift") {
+            None => true,
+            Some(v) => v.as_bool().ok_or_else(|| bad("drift must be a boolean"))?,
+        };
+
+        let shard_size = u64_field("shard_size", 32)?;
+        if shard_size == 0 || shard_size > 4096 {
+            return Err(bad(format!(
+                "shard_size must be in 1..=4096, got {shard_size}"
+            )));
+        }
+
+        let request = Self {
+            nodes: nodes as u32,
+            seed: u64_field("seed", DEFAULT_SEED)?,
+            days: days as u32,
+            epoch_days: epoch_days.min(u64::from(u32::MAX)) as u32,
+            latitude_deg: f64_field("latitude", smoke.latitude_deg)?,
+            climate,
+            load,
+            tracker,
+            engine,
+            drift,
+            fault_probability: f64_field("fault_probability", smoke.faults.probability)?,
+            dt_s: f64_field("dt_s", smoke.dt.value())?,
+            shard_size: shard_size as usize,
+        };
+        // Validate through the campaign layer's own rules (epoch fit,
+        // dt-divides-day, latitude, fault probability), surfaced as a
+        // client error naming the field.
+        request
+            .to_spec()
+            .validate()
+            .map_err(|e| bad(e.to_string()))?;
+        Ok(request)
+    }
+
+    /// The canonical JSON rendering: every field explicit, keys sorted,
+    /// the op pinned to `"campaign"`.
+    pub fn canonical_json(&self) -> String {
+        Json::Obj(vec![
+            (
+                "climate".to_owned(),
+                Json::Str(self.climate.label().to_owned()),
+            ),
+            ("days".to_owned(), Json::Num(f64::from(self.days))),
+            ("drift".to_owned(), Json::Bool(self.drift)),
+            ("dt_s".to_owned(), Json::Num(self.dt_s)),
+            (
+                "engine".to_owned(),
+                Json::Str(self.engine.label().to_owned()),
+            ),
+            (
+                "epoch_days".to_owned(),
+                Json::Num(f64::from(self.epoch_days)),
+            ),
+            (
+                "fault_probability".to_owned(),
+                Json::Num(self.fault_probability),
+            ),
+            ("latitude".to_owned(), Json::Num(self.latitude_deg)),
+            ("load".to_owned(), Json::Str(self.load.label().to_owned())),
+            ("nodes".to_owned(), Json::Num(f64::from(self.nodes))),
+            ("op".to_owned(), Json::Str("campaign".to_owned())),
+            ("seed".to_owned(), Json::Num(self.seed as f64)),
+            ("shard_size".to_owned(), Json::Num(self.shard_size as f64)),
+            (
+                "tracker".to_owned(),
+                Json::Str(self.tracker.label().to_owned()),
+            ),
+        ])
+        .to_canonical_string()
+    }
+
+    /// The response-cache / single-flight key.
+    pub fn hash(&self) -> u64 {
+        fnv1a(self.canonical_json().as_bytes())
+    }
+
+    /// Materializes the campaign spec this request describes (validated
+    /// separately — see [`CampaignRequest::from_json`]).
+    pub fn to_spec(&self) -> CampaignSpec {
+        let mut spec = CampaignSpec::reference(self.nodes, self.seed);
+        spec.name = format!(
+            "campaign x{} {}d {}",
+            self.nodes,
+            self.days,
+            self.climate.label()
+        );
+        spec.days = self.days;
+        spec.epoch_days = self.epoch_days;
+        spec.latitude_deg = self.latitude_deg;
+        spec.climate = self.climate;
+        spec.load = self.load;
+        spec.drift = if self.drift {
+            DriftRates::reference()
+        } else {
+            DriftRates::none()
+        };
+        spec.faults = FaultPlan {
+            probability: self.fault_probability,
+        };
+        spec.tracker = self.tracker;
+        spec.engine = self.engine;
+        spec.dt = Seconds::new(self.dt_s);
+        spec
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -469,6 +717,89 @@ mod tests {
         assert_eq!(spec.seed, 9);
         assert_eq!(spec.tolerances, Tolerances::none());
         assert_eq!(spec.dt.value(), 600.0);
+        assert!(spec.validate().is_ok());
+    }
+
+    fn parse_campaign(body: &str) -> Result<CampaignRequest, ServeError> {
+        CampaignRequest::from_json(&Json::parse(body).unwrap(), 10_000)
+    }
+
+    #[test]
+    fn campaign_defaults_fill_an_empty_body() {
+        let r = parse_campaign("{}").unwrap();
+        assert_eq!(r.nodes, 48);
+        assert_eq!(r.seed, 2011);
+        assert_eq!(r.days, 91);
+        assert_eq!(r.epoch_days, 13);
+        assert_eq!(r.climate, Climate::Temperate);
+        assert_eq!(r.load, LoadClass::DutyCycledRadio);
+        assert!(r.drift);
+        assert_eq!(r.fault_probability, 0.15);
+        assert_eq!(r.shard_size, 32);
+        assert!(r.to_spec().validate().is_ok());
+    }
+
+    #[test]
+    fn campaign_explicit_defaults_hash_like_omitted_defaults() {
+        let omitted = parse_campaign("{}").unwrap();
+        let spelled = parse_campaign(
+            r#"{"nodes":48,"seed":2011,"days":91,"epoch_days":13,"latitude":52,
+                "climate":"temperate","load":"radio","tracker":"focv","engine":"batch",
+                "drift":true,"fault_probability":0.15,"dt_s":600,"shard_size":32}"#,
+        )
+        .unwrap();
+        assert_eq!(omitted, spelled);
+        assert_eq!(omitted.hash(), spelled.hash());
+    }
+
+    #[test]
+    fn campaign_hash_never_collides_with_whatif() {
+        // Same knobs where they overlap; the op member keeps the keys
+        // disjoint.
+        let campaign = parse_campaign(r#"{"nodes":100}"#).unwrap();
+        let whatif = parse(Op::WhatIf, r#"{"nodes":100}"#).unwrap();
+        assert_ne!(campaign.hash(), whatif.hash());
+        assert!(campaign.canonical_json().contains("\"op\":\"campaign\""));
+    }
+
+    #[test]
+    fn campaign_rejects_unknown_fields_and_bad_values() {
+        assert!(parse_campaign(r#"{"dayz":5}"#).is_err());
+        assert!(parse_campaign(r#"{"nodes":0}"#).is_err());
+        assert!(parse_campaign(r#"{"days":0}"#).is_err());
+        assert!(parse_campaign(r#"{"days":4000}"#).is_err());
+        assert!(parse_campaign(r#"{"epoch_days":0}"#).is_err());
+        assert!(parse_campaign(r#"{"epoch_days":92}"#).is_err());
+        assert!(parse_campaign(r#"{"climate":"hurricane"}"#).is_err());
+        assert!(parse_campaign(r#"{"load":"toaster"}"#).is_err());
+        assert!(parse_campaign(r#"{"latitude":80}"#).is_err());
+        assert!(parse_campaign(r#"{"fault_probability":1.5}"#).is_err());
+        assert!(
+            parse_campaign(r#"{"dt_s":7}"#).is_err(),
+            "dt must divide the day"
+        );
+        assert!(parse_campaign(r#"{"shard_size":0}"#).is_err());
+        assert!(parse_campaign("[]").is_err());
+    }
+
+    #[test]
+    fn campaign_to_spec_carries_every_field() {
+        let r = parse_campaign(
+            r#"{"nodes":20,"seed":7,"days":30,"epoch_days":10,"latitude":15,
+                "climate":"monsoon","load":"motor","drift":false,
+                "fault_probability":0,"dt_s":1800}"#,
+        )
+        .unwrap();
+        let spec = r.to_spec();
+        assert_eq!(spec.nodes, 20);
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.days, 30);
+        assert_eq!(spec.epoch_days, 10);
+        assert_eq!(spec.climate, Climate::MonsoonSeason);
+        assert_eq!(spec.load, LoadClass::IntermittentMotor);
+        assert_eq!(spec.drift, DriftRates::none());
+        assert_eq!(spec.faults.probability, 0.0);
+        assert_eq!(spec.dt.value(), 1800.0);
         assert!(spec.validate().is_ok());
     }
 }

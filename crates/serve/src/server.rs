@@ -31,7 +31,7 @@ use crate::hash::hex;
 use crate::http::{self, ChunkedWriter, HttpRequest};
 use crate::json::Json;
 use crate::metrics::{names, ServiceMetrics};
-use crate::request::{Op, WhatIfRequest};
+use crate::request::{CampaignRequest, Op, WhatIfRequest};
 use crate::singleflight::{FlightRole, SingleFlight};
 
 /// Service configuration. Every field has a sensible local default;
@@ -336,12 +336,13 @@ fn handle_connection(state: &ServerState, stream: &mut TcpStream) {
     route(state, stream, &request);
 }
 
-const ROUTES: [&str; 6] = [
+const ROUTES: [&str; 7] = [
     "/healthz",
     "/metrics",
     "/whatif",
     "/compare",
     "/whatif/stream",
+    "/campaign",
     "/admin/shutdown",
 ];
 
@@ -355,6 +356,7 @@ fn route(state: &ServerState, stream: &mut TcpStream, request: &HttpRequest) {
         ("POST", "/whatif") => cached_op(state, stream, Op::WhatIf, &request.body),
         ("POST", "/compare") => cached_op(state, stream, Op::Compare, &request.body),
         ("POST", "/whatif/stream") => stream_op(state, stream, &request.body),
+        ("POST", "/campaign") => campaign_op(state, stream, &request.body),
         ("POST", "/admin/shutdown") => {
             respond(state, stream, 200, &[], "{\"draining\":true}");
             trigger_shutdown(state);
@@ -389,6 +391,42 @@ fn cached_op(state: &ServerState, stream: &mut TcpStream, op: Op, body: &[u8]) {
         }
     };
     let key = req.hash();
+    serve_cached(state, stream, key, || match op {
+        Op::WhatIf => state.engine.whatif(&req),
+        Op::Compare => state.engine.compare(&req),
+        Op::Stream => unreachable!("stream requests never enter the cached path"),
+    });
+}
+
+/// The `/campaign` path: same cache/single-flight layers as the what-if
+/// endpoints — valid because a campaign report is as deterministic as a
+/// fleet report — keyed by the campaign request's own canonical hash
+/// (its `"op":"campaign"` member keeps the key spaces disjoint).
+fn campaign_op(state: &ServerState, stream: &mut TcpStream, body: &[u8]) {
+    let req = match std::str::from_utf8(body)
+        .map_err(|_| ServeError::BadRequest("body must be UTF-8".to_owned()))
+        .and_then(|text| Json::parse(text).map_err(ServeError::BadRequest))
+        .and_then(|json| CampaignRequest::from_json(&json, state.config.max_nodes))
+    {
+        Ok(r) => r,
+        Err(e) => {
+            respond(state, stream, e.status(), &[], &error_body(&e.to_string()));
+            return;
+        }
+    };
+    let key = req.hash();
+    serve_cached(state, stream, key, || state.engine.campaign(&req));
+}
+
+/// Serves one cacheable request: response cache, then single-flight,
+/// then `compute`; leaders populate the cache, followers reuse the
+/// leader's bytes.
+fn serve_cached(
+    state: &ServerState,
+    stream: &mut TcpStream,
+    key: u64,
+    compute: impl FnOnce() -> Result<String, ServeError>,
+) {
     let request_hash = hex(key);
 
     if let Some(cached) = state
@@ -409,11 +447,7 @@ fn cached_op(state: &ServerState, stream: &mut TcpStream, op: Op, body: &[u8]) {
     }
     state.metrics.incr(names::CACHE_MISSES);
 
-    let (result, role) = state.flights.join(key, || match op {
-        Op::WhatIf => state.engine.whatif(&req),
-        Op::Compare => state.engine.compare(&req),
-        Op::Stream => unreachable!("stream requests never enter the cached path"),
-    });
+    let (result, role) = state.flights.join(key, compute);
     match result {
         Ok(response) => {
             let cache_status = match role {

@@ -282,6 +282,49 @@ fn streaming_snapshots_then_final_report() {
 }
 
 #[test]
+fn campaign_endpoint_serves_cached_deterministic_survival() {
+    let server = test_server("campaign");
+    let addr = server.addr();
+    let body = r#"{"nodes":4,"days":6,"epoch_days":3,"dt_s":3600,"seed":7}"#;
+
+    let cold = exchange(addr, "POST", "/campaign", body);
+    assert_eq!(cold.status, 200, "{}", cold.body);
+    assert_eq!(cold.header("x-cache"), Some("miss"));
+    let parsed = Json::parse(&cold.body).expect("campaign body is JSON");
+    let report = parsed.get("report").expect("report member");
+    assert_eq!(report.get("nodes").and_then(Json::as_u64), Some(4));
+    assert_eq!(report.get("days").and_then(Json::as_u64), Some(6));
+    assert!(report.get("survivors").is_some());
+    assert!(report.get("survival_days").is_some());
+    assert_eq!(
+        parsed
+            .get("request")
+            .and_then(|r| r.get("op"))
+            .and_then(Json::as_str),
+        Some("campaign")
+    );
+
+    // A respelled identical request must hit the cache byte for byte.
+    let respelled = r#"{ "seed": 7, "days": 6, "nodes": 4, "epoch_days": 3, "dt_s": 3.6e3 }"#;
+    let warm = exchange(addr, "POST", "/campaign", respelled);
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.header("x-cache"), Some("hit"));
+    assert_eq!(warm.body, cold.body);
+
+    // Validation failures surface as 400s naming the problem.
+    assert_eq!(
+        exchange(addr, "POST", "/campaign", r#"{"climate":"hurricane"}"#).status,
+        400
+    );
+    assert_eq!(
+        exchange(addr, "POST", "/campaign", r#"{"days":0}"#).status,
+        400
+    );
+    assert_eq!(exchange(addr, "GET", "/campaign", "").status, 405);
+    server.shutdown();
+}
+
+#[test]
 fn zero_capacity_queue_sheds_with_503() {
     let mut cfg = ServeConfig::default_local();
     cfg.http_workers = 1;

@@ -25,16 +25,21 @@
 //!   node populations: seeded [`fleet::FleetSpec`] instantiation,
 //!   sharded order-independent aggregation, tracker comparison over a
 //!   whole population.
+//! * [`campaign`] — multi-year endurance campaigns: seasonal skies and
+//!   Markov weather over degradation epochs, per-node drift and fault
+//!   schedules, survival percentiles in a bit-identical
+//!   [`campaign::CampaignReport`].
 //! * [`serve`] — the what-if service: dependency-free HTTP/1.1 over
 //!   the fleet layer with canonical-JSON request identity, a
 //!   byte-identical response cache, single-flight coalescing, chunked
-//!   streaming with per-shard checkpoint/resume, and live
-//!   [`serve::ServiceMetrics`].
+//!   streaming with per-shard checkpoint/resume, live
+//!   [`serve::ServiceMetrics`], and the `/campaign` endurance endpoint.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use eh_analog as analog;
+pub use eh_campaign as campaign;
 pub use eh_converter as converter;
 pub use eh_core as core;
 pub use eh_env as env;
