@@ -1,0 +1,169 @@
+//! Incremental phase accumulation for periodic schedules.
+//!
+//! Periodic loads and timers need "where am I inside the period?" every
+//! simulation step. Computing that as `t.rem_euclid(period)` costs an
+//! `fmod` per step — the single hottest scalar operation in the fleet
+//! profile (DESIGN.md §10). A [`PhaseAccumulator`] pays the `rem_euclid`
+//! once at construction and thereafter advances by addition with a
+//! conditional wrap, which is bit-identical to `%` whenever the advance
+//! stays below one period (the common per-step case) and falls back to
+//! `rem_euclid` only on multi-period jumps.
+//!
+//! The accumulated position drifts from the recomputed
+//! `t.rem_euclid(period)` only through the rounding of the running
+//! addition — in practice *less* than the drift of accumulating `t`
+//! itself, because the position stays small while `t` grows. The bound
+//! is property-tested over multi-year step counts in `eh-node`.
+
+use crate::error::AnalogError;
+
+/// Running intra-period position of a periodic schedule.
+///
+/// ```
+/// use eh_analog::phase::PhaseAccumulator;
+///
+/// let mut phase = PhaseAccumulator::new(30.0, 100.0)?;
+/// assert!((phase.position() - 10.0).abs() < 1e-12);
+/// phase.advance(25.0);
+/// assert!((phase.position() - 5.0).abs() < 1e-12);
+/// # Ok::<(), eh_analog::AnalogError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseAccumulator {
+    period: f64,
+    position: f64,
+}
+
+impl PhaseAccumulator {
+    /// Creates an accumulator for `period`, positioned as if time
+    /// `start` had already elapsed (one `rem_euclid`, paid here only).
+    ///
+    /// # Errors
+    ///
+    /// Rejects a non-finite or non-positive period and a non-finite
+    /// start time.
+    pub fn new(period: f64, start: f64) -> Result<Self, AnalogError> {
+        if !(period.is_finite() && period > 0.0) {
+            return Err(AnalogError::InvalidParameter {
+                name: "period",
+                value: period,
+            });
+        }
+        if !start.is_finite() {
+            return Err(AnalogError::InvalidParameter {
+                name: "start",
+                value: start,
+            });
+        }
+        Ok(Self {
+            period,
+            position: start.rem_euclid(period),
+        })
+    }
+
+    /// The period being tracked.
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// Current intra-period position in `[0, period)`.
+    pub fn position(&self) -> f64 {
+        self.position
+    }
+
+    /// Overwrites the position. Values outside `[0, period)` are
+    /// wrapped; callers that already maintain the invariant (e.g. a
+    /// schedule walk that wraps as it goes) pay only the range check.
+    pub fn set_position(&mut self, position: f64) {
+        self.position = if (0.0..self.period).contains(&position) {
+            position
+        } else {
+            position.rem_euclid(self.period)
+        };
+    }
+
+    /// Advances the position by `dt` (ignored unless finite and
+    /// positive).
+    ///
+    /// For `dt` under one period this is an add plus at most one
+    /// subtraction — bit-identical to `(position + dt) % period` for a
+    /// positive in-range position, because `fmod` with quotient 1 is
+    /// exact. Multi-period jumps fall back to `rem_euclid`.
+    pub fn advance(&mut self, dt: f64) {
+        if !(dt.is_finite() && dt > 0.0) {
+            return;
+        }
+        let p = self.position + dt;
+        self.position = if p < self.period {
+            p
+        } else if p - self.period < self.period {
+            p - self.period
+        } else {
+            p.rem_euclid(self.period)
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_wraps_start() {
+        let p = PhaseAccumulator::new(30.0, 95.0).unwrap();
+        assert!((p.position() - 5.0).abs() < 1e-12);
+        assert_eq!(p.period(), 30.0);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(PhaseAccumulator::new(0.0, 1.0).is_err());
+        assert!(PhaseAccumulator::new(-3.0, 1.0).is_err());
+        assert!(PhaseAccumulator::new(f64::NAN, 1.0).is_err());
+        assert!(PhaseAccumulator::new(30.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn advance_matches_rem_euclid_bitwise_within_one_period() {
+        // Sub-period advances must agree with `%` exactly: fmod with a
+        // quotient of 0 or 1 introduces no rounding.
+        let period = 30.055f64;
+        let mut acc = PhaseAccumulator::new(period, 0.0).unwrap();
+        let mut reference = 0.0f64;
+        for i in 0..10_000 {
+            let dt = 0.039 + (i % 7) as f64 * 3.217;
+            acc.advance(dt);
+            reference = (reference + dt) % period;
+            assert_eq!(acc.position().to_bits(), reference.to_bits(), "step {i}");
+        }
+    }
+
+    #[test]
+    fn multi_period_jump_wraps() {
+        let mut acc = PhaseAccumulator::new(10.0, 0.0).unwrap();
+        acc.advance(1234.5);
+        assert!((acc.position() - 1234.5f64.rem_euclid(10.0)).abs() < 1e-9);
+        assert!(acc.position() >= 0.0 && acc.position() < 10.0);
+    }
+
+    #[test]
+    fn non_positive_and_non_finite_advances_are_ignored() {
+        let mut acc = PhaseAccumulator::new(10.0, 3.0).unwrap();
+        let before = acc.position();
+        acc.advance(0.0);
+        acc.advance(-1.0);
+        acc.advance(f64::NAN);
+        assert_eq!(acc.position(), before);
+    }
+
+    #[test]
+    fn set_position_wraps_out_of_range() {
+        let mut acc = PhaseAccumulator::new(10.0, 0.0).unwrap();
+        acc.set_position(7.25);
+        assert_eq!(acc.position(), 7.25);
+        acc.set_position(23.5);
+        assert!((acc.position() - 3.5).abs() < 1e-12);
+        acc.set_position(-1.0);
+        assert!((acc.position() - 9.0).abs() < 1e-12);
+    }
+}

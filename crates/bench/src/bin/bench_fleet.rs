@@ -3,20 +3,28 @@
 //! Runs the reference mixed indoor/outdoor fleet (day-scale light,
 //! 1-minute grid) at several sizes and worker counts through the
 //! selected execution engines, recording nodes/sec into
-//! `BENCH_fleet.json`, and asserts the eh-fleet determinism contract on
+//! `BENCH_fleet.json`, and asserts the eh-fleet engine contracts on
 //! the way: the 1000-node fleet must produce **bit-identical**
-//! [`FleetReport`]s at 1, 2 and 4 workers — and, when both engines run,
-//! the batch engine's reports must be bit-identical to the per-node
-//! engine's. A compact tracker comparison over a smaller replayed
-//! population closes the report.
+//! [`FleetReport`]s at every worker count per engine; the per-node and
+//! batch engines must be bit-identical to each other; and the
+//! vectorized engine must hold its bounded-divergence contract against
+//! the reference (exact counts and classifications, energies within
+//! rel 1e-9) while staying bit-identical to itself. A compact tracker
+//! comparison over a smaller replayed population closes the report.
 //!
 //! Timings are **engine-only**: the shared fleet inputs (population,
 //! base traces, warmed PV surfaces) are prepared once per size via
 //! [`FleetContext`] outside the timed region, so the nodes/sec column
-//! measures the simulation engines rather than setup. The batch engine
-//! additionally runs a 100k-node fleet (full profile only) to
-//! demonstrate fleet scale beyond what the per-node engine can sweep in
-//! bench time.
+//! measures the simulation engines rather than setup. The batch and
+//! vectorized engines additionally run a 100k-node fleet (full profile
+//! only) to demonstrate fleet scale beyond what the per-node engine can
+//! sweep in bench time.
+//!
+//! The worker sweep is clamped to the host's `available_parallelism`
+//! (recorded as `workers_clamped` in the JSON): oversubscribed counts
+//! cannot add speed and used to register as a phantom slowdown on the
+//! 100k-node row when the hard-coded 4-worker rung ran on a smaller
+//! container.
 //!
 //! A metrics pass re-runs the reference fleet with
 //! [`FleetSpec::obs`] enabled: the merged metric store must be
@@ -31,14 +39,16 @@
 //!
 //! Run with `cargo run -q --release -p eh-bench --bin bench_fleet`
 //! (accepts `--workers N` / `EH_WORKERS` to set the top worker count,
-//! `--engine per-node|batch|both` / `EH_ENGINE` to pick the engines,
-//! and `--smoke` for the fast CI profile: one small fleet size on a
-//! coarse grid, both engines, same code paths and assertions, no timing
-//! claims).
+//! `--engine per-node|batch|vectorized|both|all` / `EH_ENGINE` to pick
+//! the engines, and `--smoke` for the fast CI profile: one small fleet
+//! size on a coarse grid, every engine, same code paths and assertions,
+//! no timing claims).
 
 use std::time::Instant;
 
-use eh_bench::{banner, engine_choice, fmt, render_table, smoke_mode, sweep_runner};
+use eh_bench::{
+    banner, clamp_worker_counts, engine_choice, fmt, render_table, smoke_mode, sweep_runner,
+};
 use eh_fleet::{
     compare_trackers_over_fleet_with, Engine, FleetContext, FleetReport, FleetRunner, FleetSpec,
     PlacementMix, TrackerKind,
@@ -47,8 +57,10 @@ use eh_units::{Joules, Seconds};
 
 /// Fleet sizes for the scaling sweep (every selected engine).
 const SIZES: [u32; 3] = [100, 1000, 10_000];
-/// Extra fleet size only the batch engine sweeps (full profile).
-const BATCH_ONLY_SIZE: u32 = 100_000;
+/// Extra fleet size only the shard-stepped engines (batch, vectorized)
+/// sweep — the per-node oracle cannot cover it in bench time (full
+/// profile only).
+const BIG_SIZE: u32 = 100_000;
 /// The fleet size the determinism assertion and drill-down use.
 const REFERENCE_SIZE: u32 = 1000;
 /// Smoke-profile fleet size (also the smoke reference size).
@@ -82,20 +94,72 @@ fn energy_columns(report: &FleetReport) -> (f64, f64, f64) {
     )
 }
 
+/// The vectorized engine's bounded-divergence contract (DESIGN.md §14):
+/// counts and classifications exactly equal to the exact engines,
+/// per-node energies within rel 1e-9. The full eight-field check lives
+/// in `tests/vectorized_equivalence.rs`; the bench pins the headline
+/// clauses on the reference fleet.
+fn assert_bounded_divergence(reference: &FleetReport, candidate: &FleetReport) {
+    assert_eq!(reference.outcomes.len(), candidate.outcomes.len());
+    let rel = |a: f64, b: f64| (a - b).abs() / a.abs().max(b.abs()).max(1e-12);
+    for (a, b) in reference.outcomes.iter().zip(&candidate.outcomes) {
+        assert_eq!(a.id, b.id, "fleet order diverged");
+        assert_eq!(a.cold_start_ok, b.cold_start_ok, "node {}", a.id);
+        assert_eq!(
+            a.report.measurements, b.report.measurements,
+            "node {}",
+            a.id
+        );
+        assert_eq!(a.report.decisions, b.report.decisions, "node {}", a.id);
+        assert_eq!(a.browned_out(), b.browned_out(), "node {}", a.id);
+        assert_eq!(
+            a.report.is_net_positive(),
+            b.report.is_net_positive(),
+            "node {}",
+            a.id
+        );
+        for (label, x, y) in [
+            ("net", a.net_energy().value(), b.net_energy().value()),
+            (
+                "gross",
+                a.report.gross_energy.value(),
+                b.report.gross_energy.value(),
+            ),
+            (
+                "final_store",
+                a.report.final_store_energy.value(),
+                b.report.final_store_energy.value(),
+            ),
+        ] {
+            assert!(
+                rel(x, y) <= 1e-9,
+                "node {} {label} energy diverged: {x} vs {y}",
+                a.id
+            );
+        }
+    }
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let host = std::thread::available_parallelism().map_or(1, usize::from);
     let smoke = smoke_mode();
     let engines = engine_choice().engines();
     let max_workers = sweep_runner().workers();
     let mut worker_counts = vec![1usize, 2, 4, max_workers];
-    worker_counts.sort_unstable();
-    worker_counts.dedup();
+    let workers_clamped = clamp_worker_counts(&mut worker_counts, host);
     let (sizes, reference_size): (Vec<u32>, u32) = if smoke {
         (vec![SMOKE_SIZE], SMOKE_SIZE)
     } else {
         (SIZES.to_vec(), REFERENCE_SIZE)
     };
-    let run_batch_only = !smoke && engines.contains(&Engine::Batch);
+    // Engines that can afford the 100k-node row in bench time: the
+    // shard-stepped ones. The per-node oracle sweeps only `SIZES`.
+    let big_engines: Vec<Engine> = engines
+        .iter()
+        .copied()
+        .filter(|e| *e != Engine::PerNode)
+        .collect();
+    let run_big = !smoke && !big_engines.is_empty();
 
     if smoke {
         banner("Fleet scaling — SMOKE profile, 10-minute grid (no timing claims)");
@@ -104,8 +168,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let engine_labels: Vec<&str> = engines.iter().map(|e| e.label()).collect();
     println!(
-        "host parallelism {host}, worker counts {worker_counts:?}, shard size {}, engines {engine_labels:?}\n\
+        "host parallelism {host}, worker counts {worker_counts:?}{}, shard size {}, engines {engine_labels:?}\n\
          timings are engine-only: shared inputs are prepared once per size outside the timed region",
+        if workers_clamped {
+            " (clamped to host parallelism)"
+        } else {
+            ""
+        },
         FleetRunner::DEFAULT_SHARD_SIZE
     );
 
@@ -113,15 +182,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut reference_reports: Vec<(Engine, usize, FleetReport)> = Vec::new();
     let mut rows = Vec::new();
     let mut all_sizes = sizes.clone();
-    if run_batch_only {
-        all_sizes.push(BATCH_ONLY_SIZE);
+    if run_big {
+        all_sizes.push(BIG_SIZE);
     }
     for &nodes in &all_sizes {
-        let batch_only = !sizes.contains(&nodes);
+        let big_only = !sizes.contains(&nodes);
         let spec = day_spec(nodes, smoke);
         let ctx = FleetContext::prepare(&spec)?;
         for &engine in &engines {
-            if batch_only && engine != Engine::Batch {
+            if big_only && !big_engines.contains(&engine) {
                 continue;
             }
             for &workers in &worker_counts {
@@ -154,47 +223,134 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     banner(&format!(
-        "Determinism — {reference_size} nodes, bit-identical at every worker count and engine"
+        "Determinism — {reference_size} nodes, engine contracts at every worker count"
     ));
-    let (_, _, reference) = &reference_reports[0];
-    for (engine, workers, report) in &reference_reports[1..] {
+    // Every engine must be bit-identical to itself across worker counts.
+    for &engine in &engines {
+        let mut group = reference_reports.iter().filter(|(e, _, _)| *e == engine);
+        let (_, _, first) = group.next().expect("reference size measured per engine");
+        for (_, workers, report) in group {
+            assert_eq!(
+                report,
+                first,
+                "{workers}-worker {} fleet diverged from itself",
+                engine.label()
+            );
+        }
+    }
+    // Across engines, the exact pair (per-node, batch) is bit-identical;
+    // the vectorized engine instead holds its bounded-divergence
+    // contract against them.
+    let exact_firsts: Vec<(Engine, &FleetReport)> = engines
+        .iter()
+        .filter(|e| **e != Engine::Vectorized)
+        .map(|&engine| {
+            let (_, _, report) = reference_reports
+                .iter()
+                .find(|(e, _, _)| *e == engine)
+                .expect("reference size measured per engine");
+            (engine, report)
+        })
+        .collect();
+    for (engine, report) in exact_firsts.iter().skip(1) {
         assert_eq!(
-            report,
-            reference,
-            "{workers}-worker {} fleet diverged from the reference",
-            engine.label()
+            *report,
+            exact_firsts[0].1,
+            "{} fleet diverged from the {} oracle",
+            engine.label(),
+            exact_firsts[0].0.label()
         );
     }
+    let vectorized_reference = reference_reports
+        .iter()
+        .find(|(e, _, _)| *e == Engine::Vectorized)
+        .map(|(_, _, report)| report);
+    let vectorized_contract = match (exact_firsts.first(), vectorized_reference) {
+        (Some((_, exact)), Some(vectorized)) => {
+            assert_bounded_divergence(exact, vectorized);
+            true
+        }
+        _ => false,
+    };
     let checked: Vec<String> = reference_reports
         .iter()
         .map(|(e, w, _)| format!("{}:{w}", e.label()))
         .collect();
-    let cross_engine = engines.len() > 1;
-    println!("engine:workers {checked:?}: all FleetReports bit-identical");
+    let cross_engine = exact_firsts.len() > 1;
+    println!("engine:workers {checked:?}: every engine bit-identical to itself across workers");
     if cross_engine {
         println!("cross-engine: batch output is bit-identical to the per-node oracle");
     }
+    if vectorized_contract {
+        println!(
+            "vectorized: counts/classifications exact vs the exact engines, energies within rel 1e-9"
+        );
+    }
 
+    let (_, _, reference) = &reference_reports[0];
     let (p5, p50, p95) = percentile_row(reference);
     let worst = reference.worst_node().expect("non-empty fleet");
     println!("{reference}");
 
-    // Engine-vs-engine headline: batch speedup over per-node at 1
-    // worker on the reference fleet (the ISSUE's ≥10x target).
+    // Engine-vs-engine headlines at 1 worker on the reference fleet:
+    // batch vs per-node (PR 4's ≥10x target) and vectorized vs batch
+    // (this PR's ≥5x target) — recorded, never gated.
     let rate_of = |engine: Engine, workers: usize| {
         scaling
             .iter()
             .find(|(e, n, w, _, _)| *e == engine && *n == reference_size && *w == workers)
             .map(|(_, _, _, _, r)| *r)
     };
-    let batch_speedup = match (rate_of(Engine::PerNode, 1), rate_of(Engine::Batch, 1)) {
-        (Some(per_node), Some(batch)) => {
-            let speedup = batch / per_node.max(1e-12);
+    let speedup_between =
+        |slow: Engine, fast: Engine, what: &str| match (rate_of(slow, 1), rate_of(fast, 1)) {
+            (Some(slow_rate), Some(fast_rate)) => {
+                let speedup = fast_rate / slow_rate.max(1e-12);
+                println!(
+                    "{what}: x{} ({} vs {} nodes/sec)",
+                    fmt(speedup, 2),
+                    fmt(fast_rate, 1),
+                    fmt(slow_rate, 1)
+                );
+                Some(speedup)
+            }
+            _ => None,
+        };
+    let batch_speedup = speedup_between(
+        Engine::PerNode,
+        Engine::Batch,
+        "batch engine speedup over per-node at 1 worker",
+    );
+    let vectorized_vs_batch = speedup_between(
+        Engine::Batch,
+        Engine::Vectorized,
+        "vectorized engine speedup over batch at 1 worker (target >=5x)",
+    );
+    let vectorized_vs_per_node = speedup_between(
+        Engine::PerNode,
+        Engine::Vectorized,
+        "vectorized engine speedup over per-node at 1 worker",
+    );
+    // The same ratio at the big row: reference-size runs finish in
+    // ~0.1-0.2 s, where one scheduler hiccup on a small host swings the
+    // ratio by 2x; the big rows run for seconds and give the stable
+    // reading of the engine gap.
+    let big_rate_of = |engine: Engine| {
+        scaling
+            .iter()
+            .find(|(e, n, w, _, _)| *e == engine && *n == BIG_SIZE && *w == 1)
+            .map(|(_, _, _, _, r)| *r)
+    };
+    let vectorized_vs_batch_big = match (
+        big_rate_of(Engine::Batch),
+        big_rate_of(Engine::Vectorized),
+    ) {
+        (Some(slow_rate), Some(fast_rate)) => {
+            let speedup = fast_rate / slow_rate.max(1e-12);
             println!(
-                "batch engine speedup over per-node at 1 worker: x{} ({} vs {} nodes/sec)",
+                "vectorized engine speedup over batch at 1 worker, {BIG_SIZE}-node row: x{} ({} vs {} nodes/sec)",
                 fmt(speedup, 2),
-                fmt(batch, 1),
-                fmt(per_node, 1)
+                fmt(fast_rate, 1),
+                fmt(slow_rate, 1)
             );
             Some(speedup)
         }
@@ -222,13 +378,59 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     let (_, _, obs_secs_1w, obs_ref) = &obs_reports[0];
-    for (engine, workers, _, report) in &obs_reports[1..] {
+    // Per engine: the merged store is worker-invariant.
+    for &engine in &engines {
+        let mut group = obs_reports.iter().filter(|(e, _, _, _)| *e == engine);
+        let (_, _, _, first) = group.next().expect("obs pass covers every engine");
+        for (_, workers, _, report) in group {
+            assert_eq!(
+                report.metrics,
+                first.metrics,
+                "{workers}-worker {} merged metrics diverged across workers",
+                engine.label()
+            );
+        }
+    }
+    // Across engines: the exact engines carry bit-identical stores; the
+    // vectorized store matches them counter-for-counter (its span times
+    // are rel-1e-9 quantities, pinned in tests/vectorized_equivalence.rs).
+    let exact_obs: Vec<&FleetReport> = obs_reports
+        .iter()
+        .filter(|(e, _, _, _)| *e != Engine::Vectorized)
+        .map(|(_, _, _, report)| report)
+        .collect();
+    for report in exact_obs.iter().skip(1) {
         assert_eq!(
-            report.metrics,
-            obs_ref.metrics,
-            "{workers}-worker {} merged metrics diverged from the reference",
-            engine.label()
+            report.metrics, exact_obs[0].metrics,
+            "exact engines must merge bit-identical metric stores"
         );
+    }
+    if let (Some(exact), Some((_, _, _, vectorized))) = (
+        exact_obs.first(),
+        obs_reports
+            .iter()
+            .find(|(e, _, _, _)| *e == Engine::Vectorized),
+    ) {
+        let a = exact.metrics.as_ref().expect("obs run carries metrics");
+        let b = vectorized
+            .metrics
+            .as_ref()
+            .expect("obs run carries metrics");
+        for name in [
+            "engine.steps",
+            "engine.dwell_steps",
+            "node.measurements",
+            "tracker.decisions",
+            "tracker.ops",
+            "converter.transfer_steps",
+            "fleet.nodes",
+        ] {
+            assert_eq!(
+                a.counter(name),
+                b.counter(name),
+                "fleet counter {name} diverged between exact and vectorized"
+            );
+        }
     }
     let metrics = obs_ref
         .metrics
@@ -266,7 +468,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|(e, w, _, _)| format!("{}:{w}", e.label()))
         .collect();
     println!(
-        "engine:workers {obs_checked:?}: merged metric stores bit-identical\n\
+        "engine:workers {obs_checked:?}: merged metric stores worker-invariant per engine\n\
          ledger vs closed-loop rel error {ledger_rel_err:.3e} (bound 1e-9)\n\
          wall overhead vs metrics-off at 1 worker ({}): {} % (recorded, not gated)",
         engines[0].label(),
@@ -416,21 +618,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
   "timing_note": "nodes_per_sec is engine-only: population, base traces and PV surfaces are prepared once per size outside the timed region",
   "engines": {engine_labels:?},
   "worker_counts": {workers:?},
+  "workers_clamped": {workers_clamped},
+  "workers_clamped_note": "requested counts above host_parallelism are dropped: oversubscription cannot add speed and reads as a phantom slowdown",
   "scaling": [
 {scaling_rows}
   ],
   "batch_speedup_vs_per_node_at_1_worker_reference_size": {batch_speedup},
+  "vectorized_speedup_vs_batch_at_1_worker_reference_size": {vectorized_vs_batch},
+  "vectorized_speedup_vs_per_node_at_1_worker_reference_size": {vectorized_vs_per_node},
+  "vectorized_speedup_vs_batch_at_1_worker_big_size": {vectorized_vs_batch_big},
+  "big_size_note": "the reference-size rows finish in ~0.1-0.2 s where one scheduler hiccup swings the ratio 2x; the {big_size}-node rows run for seconds and are the stable reading of the engine gap",
+  "speedup_note": "engine-vs-engine speedups are recorded only, never gated; the >=5x vectorized-vs-batch target is asserted nowhere in CI",
   "speedup_1_to_max_workers_at_reference_size": {worker_speedup:.3},
   "determinism": {{
     "nodes": {ref_size},
     "engine_worker_pairs_checked": {checked:?},
-    "bit_identical": true,
-    "cross_engine_bit_identical": {cross_engine_checked}
+    "bit_identical_per_engine": true,
+    "cross_engine_bit_identical": {cross_engine_checked},
+    "cross_engine_scope": "per-node and batch only; vectorized holds the bounded-divergence contract instead",
+    "vectorized_contract_checked": {vectorized_contract},
+    "vectorized_contract": "counts and classifications exact, per-node energies within rel 1e-9, bit-identical to itself"
   }},
   "observability": {{
     "nodes": {ref_size},
     "engine_worker_pairs_checked": {obs_checked:?},
-    "merged_metrics_bit_identical": true,
+    "merged_metrics_worker_invariant_per_engine": true,
+    "exact_engines_metrics_bit_identical": true,
+    "vectorized_counters_match_exact_engines": true,
     "ledger_rel_error_vs_closed_loop": {ledger_rel_err:.6e},
     "ledger_rel_error_bound": 1e-9,
     "wall_overhead_pct_vs_metrics_off_1_worker": {obs_overhead_pct:.2},
@@ -479,6 +693,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         batch_speedup = batch_speedup
             .map(|s| format!("{s:.3}"))
             .unwrap_or_else(|| "null".to_owned()),
+        vectorized_vs_batch = vectorized_vs_batch
+            .map(|s| format!("{s:.3}"))
+            .unwrap_or_else(|| "null".to_owned()),
+        vectorized_vs_per_node = vectorized_vs_per_node
+            .map(|s| format!("{s:.3}"))
+            .unwrap_or_else(|| "null".to_owned()),
+        vectorized_vs_batch_big = vectorized_vs_batch_big
+            .map(|s| format!("{s:.3}"))
+            .unwrap_or_else(|| "null".to_owned()),
+        big_size = BIG_SIZE,
         ref_size = reference_size,
         cross_engine_checked = if cross_engine { "true" } else { "null" },
         metrics_json = metrics.to_json(),

@@ -72,9 +72,14 @@ pub enum EngineChoice {
     PerNode,
     /// Only the struct-of-arrays batch engine.
     Batch,
-    /// Both engines, side by side (the default: the bench then also
-    /// asserts their reports are bit-identical).
+    /// Only the wide-lane vectorized engine.
+    Vectorized,
+    /// The two bit-identical engines, side by side (the bench then
+    /// also asserts their reports are bit-identical).
     Both,
+    /// Every engine (the default): the bit-identical pair plus the
+    /// vectorized engine under its bounded-divergence contract.
+    All,
 }
 
 impl EngineChoice {
@@ -83,7 +88,9 @@ impl EngineChoice {
         match self {
             EngineChoice::PerNode => vec![eh_fleet::Engine::PerNode],
             EngineChoice::Batch => vec![eh_fleet::Engine::Batch],
+            EngineChoice::Vectorized => vec![eh_fleet::Engine::Vectorized],
             EngineChoice::Both => vec![eh_fleet::Engine::PerNode, eh_fleet::Engine::Batch],
+            EngineChoice::All => eh_fleet::Engine::ALL.to_vec(),
         }
     }
 
@@ -92,7 +99,9 @@ impl EngineChoice {
         match self {
             EngineChoice::PerNode => "per-node",
             EngineChoice::Batch => "batch",
+            EngineChoice::Vectorized => "vectorized",
             EngineChoice::Both => "both",
+            EngineChoice::All => "all",
         }
     }
 }
@@ -108,11 +117,13 @@ where
     S: AsRef<str>,
 {
     let parse = |s: &str| match s.trim().to_ascii_lowercase().as_str() {
-        "both" | "all" => Some(EngineChoice::Both),
+        "both" => Some(EngineChoice::Both),
+        "all" => Some(EngineChoice::All),
         other => eh_fleet::Engine::parse(other).map(|e| match e {
             eh_fleet::Engine::PerNode => EngineChoice::PerNode,
             eh_fleet::Engine::Batch => EngineChoice::Batch,
-            _ => EngineChoice::Both,
+            eh_fleet::Engine::Vectorized => EngineChoice::Vectorized,
+            _ => EngineChoice::All,
         }),
     };
     let mut args = args.into_iter();
@@ -129,13 +140,32 @@ where
 }
 
 /// The engine selection for this invocation: `--engine` on the command
-/// line, else the `EH_ENGINE` environment variable, else both engines.
+/// line, else the `EH_ENGINE` environment variable, else every engine.
 pub fn engine_choice() -> EngineChoice {
     parse_engine(
         std::env::args().skip(1),
         std::env::var("EH_ENGINE").ok().as_deref(),
     )
-    .unwrap_or(EngineChoice::Both)
+    .unwrap_or(EngineChoice::All)
+}
+
+/// Clamps a worker-count sweep to the host's available parallelism,
+/// returning whether anything was clamped.
+///
+/// Worker counts beyond `host_parallelism` cannot add speed — they only
+/// add scheduling overhead, which used to show up as a *slowdown* on
+/// the largest fleet rows when the hard-coded sweep (1, 2, 4, ...) ran
+/// on a smaller container. The sweep is deduplicated and kept sorted;
+/// at least one count (min 1) always survives.
+pub fn clamp_worker_counts(counts: &mut Vec<usize>, host_parallelism: usize) -> bool {
+    let host = host_parallelism.max(1);
+    let clamped = counts.iter().any(|&c| c > host);
+    for c in counts.iter_mut() {
+        *c = (*c).clamp(1, host);
+    }
+    counts.sort_unstable();
+    counts.dedup();
+    clamped
 }
 
 /// The sweep runner every experiment binary should use: sized by
@@ -321,6 +351,14 @@ mod tests {
             parse_engine(Vec::<String>::new(), Some("batch")),
             Some(EngineChoice::Batch)
         );
+        assert_eq!(
+            parse_engine(["--engine", "all"], None),
+            Some(EngineChoice::All)
+        );
+        assert_eq!(
+            parse_engine(["--engine=vectorized"], None),
+            Some(EngineChoice::Vectorized)
+        );
         // Garbage degrades to None (default), never panics.
         assert_eq!(parse_engine(["--engine", "warp"], None), None);
         assert_eq!(parse_engine(Vec::<String>::new(), None), None);
@@ -330,6 +368,21 @@ mod tests {
             vec![eh_fleet::Engine::PerNode, eh_fleet::Engine::Batch]
         );
         assert_eq!(EngineChoice::Batch.engines(), vec![eh_fleet::Engine::Batch]);
+        assert_eq!(EngineChoice::All.engines(), eh_fleet::Engine::ALL.to_vec());
+    }
+
+    #[test]
+    fn worker_counts_clamp_to_host_parallelism() {
+        let mut counts = vec![1, 2, 4, 16];
+        assert!(clamp_worker_counts(&mut counts, 2));
+        assert_eq!(counts, vec![1, 2], "oversubscribed counts must collapse");
+        let mut counts = vec![1, 2, 4];
+        assert!(!clamp_worker_counts(&mut counts, 8));
+        assert_eq!(counts, vec![1, 2, 4], "in-budget counts are untouched");
+        // Degenerate host report: at least one worker survives.
+        let mut counts = vec![4, 8];
+        assert!(clamp_worker_counts(&mut counts, 0));
+        assert_eq!(counts, vec![1]);
     }
 
     #[test]

@@ -121,6 +121,7 @@ impl InputRegulatedConverter {
     /// module supplies `i_pv`. Returns an idle result if the operating
     /// point is below the converter's minimum input voltage or produces
     /// no net output.
+    #[inline]
     pub fn harvest(&self, v_in: Volts, i_pv: eh_units::Amps, dt: Seconds) -> HarvestResult {
         if v_in < self.min_input_voltage || i_pv.value() <= 0.0 || dt.value() <= 0.0 {
             return HarvestResult::idle();

@@ -98,6 +98,7 @@ impl EfficiencyModel {
     }
 
     /// Total losses at a given input power.
+    #[inline]
     pub fn losses(&self, input: Watts) -> Watts {
         let p = input.value().max(0.0);
         let quadratic = self.quadratic_coeff * p * p / self.quadratic_knee.value();
@@ -105,6 +106,7 @@ impl EfficiencyModel {
     }
 
     /// Output power for a given input power (clamped at zero).
+    #[inline]
     pub fn output_power(&self, input: Watts) -> Watts {
         Watts::new((input.value() - self.losses(input).value()).max(0.0))
     }

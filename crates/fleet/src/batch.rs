@@ -42,8 +42,8 @@
 use eh_converter::InputRegulatedConverter;
 use eh_core::baselines::{FocvDecision, FocvKernel, FocvLane};
 use eh_env::TimeSeries;
-use eh_node::{ConcreteStore, DutyCycledLoad, EnergyStore, NodeError, NodeReport};
-use eh_obs::{EnergyBucket, Metrics, Recorder};
+use eh_node::{ConcreteStore, DutyCycledLoad, EnergyStore, NodeError, NodeReport, ObsLocals};
+use eh_obs::{Metrics, Recorder};
 use eh_pv::{CachedPvSurface, ConnectPoint, PvCell, PvError};
 use eh_sim::{drive, Accumulator, Light, Mergeable, StepInput, StepOutput, Stepper};
 use eh_units::{Amps, Joules, Lux, Seconds, Volts};
@@ -85,13 +85,13 @@ pub(crate) fn simulate_shard(
 /// Per-lane constant state built from one [`NodeSpec`]: the
 /// devirtualized tracker (kernel + initial lane), the concrete store,
 /// and the tracker's report name.
-type LaneBuild = (FocvKernel, FocvLane, ConcreteStore, String);
+pub(crate) type LaneBuild = (FocvKernel, FocvLane, ConcreteStore, String);
 
 /// Builds one lane, replicating the per-node engine's error precedence:
 /// tracker construction, then store construction, then the
 /// `measurement_dwell` validation [`eh_node::NodeSimulation::new`]
 /// performs.
-fn build_lane(spec: &FleetSpec, node: &NodeSpec) -> Result<LaneBuild, FleetError> {
+pub(crate) fn build_lane(spec: &FleetSpec, node: &NodeSpec) -> Result<LaneBuild, FleetError> {
     let tracker = node.tracker()?;
     let store = node.store.unwrap_or(spec.store).build_concrete()?;
     let dwell = node.pulse_width;
@@ -159,6 +159,7 @@ fn simulate_shard_focv(
                             measurement_dwell: nodes[i].pulse_width,
                             acc: Accumulator::new(),
                             last_voc: None,
+                            obs: ObsLocals::default(),
                             metrics: spec.obs.then(Box::default),
                         };
                         stepper
@@ -207,7 +208,7 @@ fn simulate_shard_focv(
 /// `eval_many` error the group falls back to scalar evaluation so the
 /// failure is attributed to the lane that caused it, exactly as the
 /// per-node engine would.
-fn cold_start_lanes(
+pub(crate) fn cold_start_lanes(
     ctx: &FleetContext,
     nodes: &[NodeSpec],
     peaks: &[Lux],
@@ -327,6 +328,7 @@ struct FocvLaneStepper<'a> {
     measurement_dwell: Seconds,
     acc: Accumulator,
     last_voc: Option<Volts>,
+    obs: ObsLocals,
     metrics: Option<Box<Metrics>>,
 }
 
@@ -344,6 +346,8 @@ impl FocvLaneStepper<'_> {
         let acc = self.acc;
         let mut metrics = self.metrics.take().map(|b| *b);
         if let Some(m) = metrics.as_mut() {
+            // Per-step locals land before the conservation check.
+            self.obs.flush(m);
             m.add_counter("node.measurements", acc.measurements);
             // The FOCV tracker is analog (ComputeCost::ZERO); the
             // counters and the conservation term are mirrored anyway so
@@ -397,7 +401,9 @@ impl Stepper for FocvLaneStepper<'_> {
                     let harvest = self.converter.harvest(point.v_op, current, actual);
                     self.acc.add_harvest(harvest.output_energy);
                     self.acc.add_loss(harvest.losses * actual);
-                    harvest.observe(actual, &mut self.metrics);
+                    if self.metrics.is_some() {
+                        self.obs.observe_harvest(&harvest, actual);
+                    }
                     self.store.deposit(harvest.output_energy);
                 }
             }
@@ -431,22 +437,9 @@ impl Stepper for FocvLaneStepper<'_> {
 
         self.store.leak(actual);
 
-        if let Some(m) = self.metrics.as_deref_mut() {
-            let bucket = if is_connect {
-                EnergyBucket::Astable
-            } else {
-                EnergyBucket::SampleHold
-            };
-            m.charge(bucket, overhead);
-            m.charge(EnergyBucket::Compute, compute);
-            m.charge(EnergyBucket::Load, served);
-            let mut span = if is_connect {
-                eh_obs::span!("node.harvesting")
-            } else {
-                eh_obs::span!("node.measuring")
-            };
-            span.add_time(actual);
-            span.finish(m);
+        if self.metrics.is_some() {
+            self.obs
+                .observe_step(is_connect, overhead, compute, served, actual);
         }
 
         Ok(StepOutput::dwell(actual))

@@ -280,7 +280,7 @@ mod tests {
         // surface as a FleetError instead.
         let mut spec = FleetSpec::mixed_indoor_outdoor(6, 99).unwrap();
         spec.nodes = 0;
-        for engine in [crate::Engine::PerNode, crate::Engine::Batch] {
+        for engine in crate::Engine::ALL {
             let err = compare_trackers_over_fleet_with(&spec, &FleetRunner::new(2), engine);
             assert!(err.is_err(), "{engine:?} must reject an empty fleet");
         }

@@ -171,6 +171,7 @@ impl FleetContext {
     ) -> Result<FleetReport, FleetError> {
         match engine {
             Engine::Batch => crate::batch::simulate_shard(self, kind, nodes),
+            Engine::Vectorized => crate::vectorized::simulate_shard(self, kind, nodes),
             Engine::PerNode => {
                 use eh_sim::Mergeable as _;
                 let mut merged: Option<Result<FleetReport, FleetError>> = None;

@@ -15,11 +15,14 @@
 //! per-shard aggregates merge in shard index order. The result is
 //! bit-for-bit identical at any worker count.
 //!
-//! Two engines execute a shard: the per-node oracle (one boxed tracker
-//! and store per node, the reference semantics) and the batch engine in
-//! [`crate::batch`] (struct-of-arrays lane state, devirtualized
-//! tracker/store, fused PV lookups), which produces bit-identical
-//! reports roughly an order of magnitude faster.
+//! Three engines execute a shard: the per-node oracle (one boxed
+//! tracker and store per node, the reference semantics), the batch
+//! engine in [`crate::batch`] (struct-of-arrays lane state,
+//! devirtualized tracker/store, fused PV lookups), which produces
+//! bit-identical reports roughly an order of magnitude faster, and the
+//! wide-lane vectorized engine in [`crate::vectorized`], which trades
+//! bit-identity for a bounded-divergence contract and another large
+//! step-throughput multiple.
 
 use eh_sim::{BatchRunner, SweepRunner};
 
@@ -29,6 +32,7 @@ use crate::context::FleetContext;
 use crate::error::FleetError;
 use crate::report::FleetReport;
 use crate::spec::FleetSpec;
+use crate::vectorized;
 
 /// Which shard-execution engine a fleet run uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -42,25 +46,35 @@ pub enum Engine {
     /// shards advance with devirtualized lane state and fused PV
     /// lookups, bit-identical to [`Engine::PerNode`].
     Batch,
+    /// The wide-lane vectorized engine ([`crate::vectorized`]): lane
+    /// packs step in lockstep with strength-reduced physics (incremental
+    /// load phase, energy-domain supercap, cursored PV reads). Not
+    /// bit-identical to the oracle — counts and classifications are
+    /// exact, energies agree to rel 1e-9, and the engine is
+    /// bit-identical to itself at any worker count and shard size.
+    Vectorized,
 }
 
 impl Engine {
     /// Every engine, reference first.
-    pub const ALL: [Engine; 2] = [Engine::PerNode, Engine::Batch];
+    pub const ALL: [Engine; 3] = [Engine::PerNode, Engine::Batch, Engine::Vectorized];
 
     /// Stable label for reports and CLI flags.
     pub fn label(self) -> &'static str {
         match self {
             Engine::PerNode => "per-node",
             Engine::Batch => "batch",
+            Engine::Vectorized => "vectorized",
         }
     }
 
-    /// Parses a CLI/env spelling (`per-node`, `per_node`, `batch`, ...).
+    /// Parses a CLI/env spelling (`per-node`, `per_node`, `batch`,
+    /// `vectorized`, ...).
     pub fn parse(s: &str) -> Option<Engine> {
         match s.trim().to_ascii_lowercase().as_str() {
             "per-node" | "per_node" | "pernode" | "node" | "oracle" => Some(Engine::PerNode),
             "batch" | "batched" => Some(Engine::Batch),
+            "vectorized" | "vector" | "wide" | "lanes" => Some(Engine::Vectorized),
             _ => None,
         }
     }
@@ -237,8 +251,68 @@ impl FleetRunner {
         Ok(Self::stamp_fleet_counters(report))
     }
 
-    /// Dispatches to [`FleetRunner::run_tracker`] or
-    /// [`FleetRunner::run_tracker_batched`] by `engine`.
+    /// Runs the fleet through the vectorized engine (FOCV tracker).
+    ///
+    /// Holds the bounded-divergence contract against [`FleetRunner::run`]
+    /// (see [`Engine::Vectorized`]) rather than bit-identity.
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetRunner::run`].
+    pub fn run_vectorized(&self, spec: &FleetSpec) -> Result<FleetReport, FleetError> {
+        self.run_tracker_vectorized(spec, TrackerKind::Focv)
+    }
+
+    /// Runs an arbitrary tracker kind through the vectorized engine.
+    ///
+    /// Only [`TrackerKind::Focv`] on a `pv_cache` fleet has a wide
+    /// lane; everything else delegates to the batch engine and stays
+    /// bit-identical to the oracle.
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetRunner::run`].
+    pub fn run_tracker_vectorized(
+        &self,
+        spec: &FleetSpec,
+        kind: TrackerKind,
+    ) -> Result<FleetReport, FleetError> {
+        let ctx = FleetContext::prepare(spec)?;
+        self.run_tracker_vectorized_prepared(&ctx, kind)
+    }
+
+    /// [`FleetRunner::run_vectorized`] against an already-prepared
+    /// context.
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetRunner::run`].
+    pub fn run_vectorized_prepared(&self, ctx: &FleetContext) -> Result<FleetReport, FleetError> {
+        self.run_tracker_vectorized_prepared(ctx, TrackerKind::Focv)
+    }
+
+    /// [`FleetRunner::run_tracker_vectorized`] against an
+    /// already-prepared context.
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetRunner::run`].
+    pub fn run_tracker_vectorized_prepared(
+        &self,
+        ctx: &FleetContext,
+        kind: TrackerKind,
+    ) -> Result<FleetReport, FleetError> {
+        let batch_runner = BatchRunner::from_runner(self.runner, self.shard_size)?;
+        let population = ctx.population().to_vec();
+        let report = merged_or_empty(batch_runner.run_shards(population, |_idx, nodes| {
+            vectorized::simulate_shard(ctx, kind, nodes)
+        }))?;
+        Ok(Self::stamp_fleet_counters(report))
+    }
+
+    /// Dispatches to [`FleetRunner::run_tracker`],
+    /// [`FleetRunner::run_tracker_batched`] or
+    /// [`FleetRunner::run_tracker_vectorized`] by `engine`.
     ///
     /// # Errors
     ///
@@ -267,6 +341,7 @@ impl FleetRunner {
         match engine {
             Engine::PerNode => self.run_tracker_prepared(ctx, kind),
             Engine::Batch => self.run_tracker_batched_prepared(ctx, kind),
+            Engine::Vectorized => self.run_tracker_vectorized_prepared(ctx, kind),
         }
     }
 
@@ -462,6 +537,7 @@ mod tests {
         assert_eq!(Engine::parse("per-node"), Some(Engine::PerNode));
         assert_eq!(Engine::parse("PER_NODE"), Some(Engine::PerNode));
         assert_eq!(Engine::parse("warp"), None);
+        assert_eq!(Engine::parse("vectorized"), Some(Engine::Vectorized));
         for engine in Engine::ALL {
             assert_eq!(Engine::parse(engine.label()), Some(engine));
             assert_eq!(engine.to_string(), engine.label());
@@ -476,5 +552,12 @@ mod tests {
                 .run_engine(&spec, TrackerKind::Focv, Engine::PerNode)
                 .unwrap()
         );
+        // The vectorized engine is not bit-identical (bounded-divergence
+        // contract, pinned by the vectorized_equivalence suite), but it
+        // must dispatch and cover the same fleet.
+        let vectorized = runner
+            .run_engine(&spec, TrackerKind::Focv, Engine::Vectorized)
+            .unwrap();
+        assert_eq!(vectorized.nodes(), 24);
     }
 }

@@ -1,0 +1,284 @@
+//! Bounded-divergence contract of the wide-lane vectorized engine.
+//!
+//! The vectorized engine is **not** bit-identical to the per-node
+//! oracle — its strength reductions (cursored PV reads, energy-domain
+//! supercap, prefix-sum load profile) reassociate a handful of float
+//! operations. These tests pin the contract it holds instead
+//! (`DESIGN.md` §14):
+//!
+//! 1. Pulse/measurement/decision counts and outcome classifications
+//!    (brown-out, cold-start failure, net-negative) are **exactly**
+//!    equal to the oracle's.
+//! 2. Per-node energy totals agree to **rel 1e-9**.
+//! 3. The engine is **bit-identical to itself** across seeds × worker
+//!    counts {1, 2, 4} × shard sizes {1, 32, 257}.
+//! 4. Everything without a wide lane (other trackers, `pv_cache:
+//!    false`) delegates to the batch engine and stays bit-identical.
+
+use eh_fleet::{
+    compare_trackers_over_fleet_with, Engine, FleetContext, FleetReport, FleetRunner, FleetSpec,
+    TrackerKind,
+};
+use eh_units::Seconds;
+
+/// A fast, fully heterogeneous spec: every placement, 10-minute light
+/// grid, 10-minute step — the `batch_equivalence` reference scenario.
+fn spec(nodes: u32, seed: u64) -> FleetSpec {
+    let mut spec = FleetSpec::mixed_indoor_outdoor(nodes, seed).unwrap();
+    spec.trace_decimate = 600;
+    spec.dt = Seconds::new(600.0);
+    spec
+}
+
+/// Relative disagreement with an absolute floor well below any energy
+/// this scenario moves (loads draw millijoules per cycle; traces run a
+/// full day).
+fn rel_err(a: f64, b: f64) -> f64 {
+    (a - b).abs() / a.abs().max(b.abs()).max(1e-12)
+}
+
+/// The per-node divergence budget of the contract.
+const NET_ENERGY_REL: f64 = 1e-9;
+
+fn assert_contract(reference: &FleetReport, candidate: &FleetReport, what: &str) {
+    assert_eq!(
+        reference.outcomes.len(),
+        candidate.outcomes.len(),
+        "{what}: node count diverged"
+    );
+    for (a, b) in reference.outcomes.iter().zip(&candidate.outcomes) {
+        assert_eq!(a.id, b.id, "{what}: fleet order diverged");
+        assert_eq!(a.placement, b.placement, "{what}: node {} placement", a.id);
+        // Exact clauses: counts and classifications.
+        assert_eq!(
+            a.cold_start_ok, b.cold_start_ok,
+            "{what}: node {} cold-start classification",
+            a.id
+        );
+        assert_eq!(
+            a.report.measurements, b.report.measurements,
+            "{what}: node {} measurement count",
+            a.id
+        );
+        assert_eq!(
+            a.report.decisions, b.report.decisions,
+            "{what}: node {} decision count",
+            a.id
+        );
+        assert_eq!(
+            a.browned_out(),
+            b.browned_out(),
+            "{what}: node {} brown-out classification",
+            a.id
+        );
+        assert_eq!(
+            a.report.is_net_positive(),
+            b.report.is_net_positive(),
+            "{what}: node {} net-positive classification",
+            a.id
+        );
+        assert_eq!(a.report.tracker, b.report.tracker, "{what}: tracker name");
+        assert_eq!(
+            a.report.duration.value().to_bits(),
+            b.report.duration.value().to_bits(),
+            "{what}: node {} duration must be exact",
+            a.id
+        );
+        // Bounded clauses: every energy total within rel 1e-9.
+        for (label, x, y) in [
+            ("net", a.net_energy().value(), b.net_energy().value()),
+            (
+                "gross",
+                a.report.gross_energy.value(),
+                b.report.gross_energy.value(),
+            ),
+            (
+                "overhead",
+                a.report.overhead_energy.value(),
+                b.report.overhead_energy.value(),
+            ),
+            (
+                "load_demand",
+                a.report.load_demand.value(),
+                b.report.load_demand.value(),
+            ),
+            (
+                "load_served",
+                a.report.load_served.value(),
+                b.report.load_served.value(),
+            ),
+            (
+                "loss",
+                a.report.loss_energy.value(),
+                b.report.loss_energy.value(),
+            ),
+            (
+                "compute",
+                a.report.compute_energy.value(),
+                b.report.compute_energy.value(),
+            ),
+            (
+                "final_store",
+                a.report.final_store_energy.value(),
+                b.report.final_store_energy.value(),
+            ),
+        ] {
+            let rel = rel_err(x, y);
+            assert!(
+                rel <= NET_ENERGY_REL,
+                "{what}: node {} {label} energy diverged by rel {rel:.3e} ({x} vs {y})",
+                a.id
+            );
+        }
+    }
+    // Fleet-level classifications follow from the per-node ones, but
+    // assert them anyway — they are what campaign gates consume.
+    assert_eq!(reference.brown_out_count(), candidate.brown_out_count());
+    assert_eq!(
+        reference.cold_start_failures(),
+        candidate.cold_start_failures()
+    );
+    assert_eq!(
+        reference.net_negative_count(),
+        candidate.net_negative_count()
+    );
+}
+
+#[test]
+fn vectorized_holds_the_contract_against_the_oracle_across_seeds() {
+    for seed in [2011_u64, 7, 404] {
+        let spec = spec(24, seed);
+        let ctx = FleetContext::prepare(&spec).unwrap();
+        let reference = FleetRunner::new(1).run_prepared(&ctx).unwrap();
+        let vectorized = FleetRunner::new(2).run_vectorized_prepared(&ctx).unwrap();
+        assert_contract(&reference, &vectorized, &format!("seed {seed}"));
+    }
+}
+
+#[test]
+fn vectorized_is_bit_identical_to_itself_across_workers_and_shards() {
+    for seed in [2011_u64, 7, 404] {
+        let spec = spec(24, seed);
+        let ctx = FleetContext::prepare(&spec).unwrap();
+        let reference = FleetRunner::new(1).run_vectorized_prepared(&ctx).unwrap();
+        for workers in [1_usize, 2, 4] {
+            for shard_size in [1_usize, 32, 257] {
+                let runner = FleetRunner::new(workers).with_shard_size(shard_size);
+                let candidate = runner.run_vectorized_prepared(&ctx).unwrap();
+                assert_eq!(
+                    reference, candidate,
+                    "seed {seed}: vectorized run diverged from itself at \
+                     {workers} workers, shard {shard_size}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn vectorized_obs_counters_match_the_oracle_and_are_worker_invariant() {
+    let mut spec = spec(24, 2011);
+    spec.obs = true;
+    let ctx = FleetContext::prepare(&spec).unwrap();
+    let runner = FleetRunner::new(2).with_shard_size(8);
+    let per_node = runner.run_prepared(&ctx).unwrap();
+    let vectorized = runner.run_vectorized_prepared(&ctx).unwrap();
+    assert_contract(&per_node, &vectorized, "obs fleet");
+    let a = per_node.metrics.as_ref().expect("obs run carries metrics");
+    let b = vectorized
+        .metrics
+        .as_ref()
+        .expect("obs run carries metrics");
+    // Counter sums are integers, so the exact-count clause extends to
+    // the merged metric store verbatim.
+    for name in [
+        "engine.steps",
+        "engine.dwell_steps",
+        "node.measurements",
+        "tracker.decisions",
+        "tracker.ops",
+        "converter.transfer_steps",
+        "fleet.nodes",
+    ] {
+        assert_eq!(
+            a.counter(name),
+            b.counter(name),
+            "fleet counter {name} diverged"
+        );
+    }
+    // Span counts are exact too; their accumulated times are energies
+    // of the same bounded-divergence class as the rest.
+    for name in [
+        "engine.drive",
+        "engine.dwell",
+        "node.harvesting",
+        "node.measuring",
+    ] {
+        let sa = a.span_stats(name).expect("oracle records span");
+        let sb = b.span_stats(name).expect("vectorized records span");
+        assert_eq!(sa.count, sb.count, "span {name} count diverged");
+        assert!(
+            rel_err(sa.sim_time().value(), sb.sim_time().value()) <= NET_ENERGY_REL,
+            "span {name} time diverged"
+        );
+    }
+    // And the vectorized engine's merged store is worker-invariant at
+    // equal shard size.
+    let one = FleetRunner::new(1)
+        .with_shard_size(8)
+        .run_vectorized_prepared(&ctx)
+        .unwrap();
+    assert_eq!(one, vectorized, "vectorized obs run depends on workers");
+}
+
+#[test]
+fn trackers_without_a_wide_lane_stay_bit_identical() {
+    let spec = spec(8, 99);
+    let ctx = FleetContext::prepare(&spec).unwrap();
+    let runner = FleetRunner::new(2).with_shard_size(3);
+    for &kind in &TrackerKind::ALL {
+        if kind == TrackerKind::Focv {
+            continue;
+        }
+        let per_node = runner.run_tracker_prepared(&ctx, kind).unwrap();
+        let vectorized = runner.run_tracker_vectorized_prepared(&ctx, kind).unwrap();
+        assert_eq!(
+            per_node,
+            vectorized,
+            "{}: delegation lane must stay bit-identical",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn uncached_fleets_delegate_and_stay_bit_identical() {
+    let mut spec = spec(12, 7);
+    spec.pv_cache = false;
+    let ctx = FleetContext::prepare(&spec).unwrap();
+    let runner = FleetRunner::new(2);
+    let per_node = runner.run_prepared(&ctx).unwrap();
+    let vectorized = runner.run_vectorized_prepared(&ctx).unwrap();
+    assert_eq!(
+        per_node, vectorized,
+        "pv_cache: false has no cursor to reuse — must delegate to batch"
+    );
+}
+
+#[test]
+fn engine_aware_comparison_matrix_honours_the_contract() {
+    let spec = spec(6, 5);
+    let runner = FleetRunner::new(2);
+    let per_node = compare_trackers_over_fleet_with(&spec, &runner, Engine::PerNode).unwrap();
+    let vectorized = compare_trackers_over_fleet_with(&spec, &runner, Engine::Vectorized).unwrap();
+    assert_eq!(per_node.len(), TrackerKind::ALL.len());
+    assert_eq!(per_node.len(), vectorized.len());
+    for ((kind_a, report_a), (kind_b, report_b)) in per_node.iter().zip(&vectorized) {
+        assert_eq!(kind_a, kind_b);
+        if *kind_a == TrackerKind::Focv {
+            assert_contract(report_a, report_b, kind_a.label());
+        } else {
+            assert_eq!(report_a, report_b, "{}: delegation lane", kind_a.label());
+        }
+    }
+}

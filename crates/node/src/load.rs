@@ -216,6 +216,177 @@ impl DutyCycledLoad {
         }
         Joules::new(energy)
     }
+
+    /// [`energy_demand`] driven by an incremental phase cursor instead
+    /// of the absolute clock: the cursor carries the intra-period
+    /// position across calls, so the per-call `rem_euclid` (an `fmod`,
+    /// the hottest scalar op in the fleet step profile) disappears from
+    /// the hot path. The walk itself is the same exact phase-folded
+    /// integration; within a call the wrap uses a conditional
+    /// subtraction that is bit-identical to the `%` in
+    /// [`energy_demand`].
+    ///
+    /// Across calls the cursor position drifts from
+    /// `t.rem_euclid(period)` only by the rounding of its running
+    /// addition — bounded (and in practice smaller than the drift of
+    /// accumulating `t` itself) and property-tested over multi-year
+    /// step counts in `tests/properties.rs`.
+    ///
+    /// The cursor must have been created with this load's period (see
+    /// [`DutyCycledLoad::phase_cursor`]); a mismatched period walks the
+    /// wrong schedule.
+    ///
+    /// [`energy_demand`]: Self::energy_demand
+    #[inline]
+    pub fn energy_demand_with_cursor(
+        &self,
+        cursor: &mut eh_analog::phase::PhaseAccumulator,
+        dt: Seconds,
+    ) -> Joules {
+        if dt.value() <= 0.0 {
+            return Joules::ZERO;
+        }
+        let period = self.period.value();
+        // Whole cycles return the position to where it started, so only
+        // the partial remainder walks the cursor.
+        let cycles = (dt.value() / period).floor();
+        let mut energy = cycles * self.average_power().value() * period;
+        let mut rem = dt.value() - cycles * period;
+        let mut pos = cursor.position();
+        while rem > 1e-15 {
+            let mut acc = 0.0;
+            let mut advanced = false;
+            for p in &self.phases {
+                if pos < acc + p.duration.value() {
+                    let span = (acc + p.duration.value() - pos).min(rem);
+                    energy += p.power.value() * span;
+                    // `pos + span <= period + rounding`, so one
+                    // conditional subtraction matches `%` bit-for-bit.
+                    pos += span;
+                    if pos >= period {
+                        pos -= period;
+                    }
+                    rem -= span;
+                    advanced = true;
+                    break;
+                }
+                acc += p.duration.value();
+            }
+            if !advanced {
+                pos = 0.0;
+            }
+        }
+        cursor.set_position(pos);
+        Joules::new(energy)
+    }
+
+    /// Creates a phase cursor for this load positioned at absolute time
+    /// `t` (pays the one-off `rem_euclid`).
+    pub fn phase_cursor(&self, t: Seconds) -> eh_analog::phase::PhaseAccumulator {
+        eh_analog::phase::PhaseAccumulator::new(self.period.value(), t.value())
+            .expect("load periods are validated positive and finite")
+    }
+
+    /// Precomputes the cumulative-energy form of this load for
+    /// [`LoadEnergyProfile::energy_over`] — the fleet step path that
+    /// replaces the per-step phase *walk* with two prefix-sum lookups.
+    pub fn energy_profile(&self) -> LoadEnergyProfile {
+        let mut bounds = Vec::with_capacity(self.phases.len() + 1);
+        let mut cum = Vec::with_capacity(self.phases.len() + 1);
+        let mut powers = Vec::with_capacity(self.phases.len());
+        let mut b = 0.0;
+        let mut e = 0.0;
+        bounds.push(0.0);
+        cum.push(0.0);
+        for p in &self.phases {
+            b += p.duration.value();
+            e += p.power.value() * p.duration.value();
+            bounds.push(b);
+            cum.push(e);
+            powers.push(p.power.value());
+        }
+        LoadEnergyProfile {
+            period: self.period.value(),
+            average: self.average.value(),
+            cycle_energy: e,
+            bounds,
+            powers,
+            cum,
+        }
+    }
+}
+
+/// The cumulative-energy form of a [`DutyCycledLoad`]: the energy drawn
+/// over `[pos, pos + dt)` evaluates as a *difference of prefix sums*,
+/// `F(pos + rem) − F(pos)`, instead of iterating phase segments — two
+/// short lookups per step in place of the phase walk that tops the
+/// fleet step profile (DESIGN.md §10/§14).
+///
+/// Divergence vs [`DutyCycledLoad::energy_demand`] is the cancellation
+/// of the prefix-sum difference — on the order of `ε·E_cycle` per step,
+/// many orders inside the fleet's rel-1e-9 contract (property-tested at
+/// rel 1e-9 over multi-year walks in `tests/properties.rs`). Engines
+/// needing the oracle's bit-identity must keep the walking forms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadEnergyProfile {
+    period: f64,
+    average: f64,
+    cycle_energy: f64,
+    /// Phase start offsets plus the period, ascending: `len = phases+1`.
+    bounds: Vec<f64>,
+    /// Power per phase: `len = phases`.
+    powers: Vec<f64>,
+    /// Cumulative energy at each bound: `cum[i] = F(bounds[i])`.
+    cum: Vec<f64>,
+}
+
+impl LoadEnergyProfile {
+    /// The full cycle period in seconds.
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// Cumulative energy from the cycle start to intra-period position
+    /// `x` (clamped linear extrapolation beyond the last bound absorbs
+    /// ulp-scale overshoot of a wrapped position).
+    #[inline]
+    fn cumulative(&self, x: f64) -> f64 {
+        // Loads have a handful of phases; a linear scan beats a binary
+        // search and stays branch-predictable (early phases are long).
+        let mut i = self.powers.len() - 1;
+        for k in 0..self.powers.len() - 1 {
+            if x < self.bounds[k + 1] {
+                i = k;
+                break;
+            }
+        }
+        self.cum[i] + self.powers[i] * (x - self.bounds[i])
+    }
+
+    /// Energy demanded over `[*pos, *pos + dt)`, advancing `pos` (an
+    /// intra-period position in `[0, period)`, e.g. starting at `0.0`)
+    /// by `dt` modulo the period. Whole cycles contribute
+    /// `average · period` exactly as the walking forms do.
+    #[inline]
+    pub fn energy_over(&self, pos: &mut f64, dt: Seconds) -> Joules {
+        if dt.value() <= 0.0 {
+            return Joules::ZERO;
+        }
+        let cycles = (dt.value() / self.period).floor();
+        let mut energy = cycles * self.average * self.period;
+        let rem = dt.value() - cycles * self.period;
+        let p = *pos;
+        let end = p + rem;
+        if end < self.period {
+            energy += self.cumulative(end) - self.cumulative(p);
+            *pos = end;
+        } else {
+            let wrapped = end - self.period;
+            energy += (self.cycle_energy - self.cumulative(p)) + self.cumulative(wrapped);
+            *pos = wrapped;
+        }
+        Joules::new(energy)
+    }
 }
 
 #[cfg(test)]
@@ -294,6 +465,42 @@ mod tests {
         let e = motor.energy_demand(Seconds::ZERO, motor.period());
         let expect = motor.average_power().value() * motor.period().value();
         assert!((e.value() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cursor_demand_matches_absolute_demand_cumulatively() {
+        // Per-step energies may differ at the rounding level when a
+        // window straddles a phase boundary (the cursor and the
+        // re-derived clock position disagree by ~ulp, shifting a sliver
+        // of span between phases), but the cumulative integral — the
+        // quantity the net-energy contract bounds — must agree tightly.
+        let l = load();
+        let mut cursor = l.phase_cursor(Seconds::new(5.0));
+        let mut t = 5.0f64;
+        let (mut sum_clock, mut sum_cursor) = (0.0f64, 0.0f64);
+        // Alternate fleet-like steps: 60 s connects and 39 ms dwells.
+        for i in 0..10_000 {
+            let dt = if i % 3 == 0 { 0.039 } else { 60.0 };
+            sum_clock += l.energy_demand(Seconds::new(t), Seconds::new(dt)).value();
+            sum_cursor += l
+                .energy_demand_with_cursor(&mut cursor, Seconds::new(dt))
+                .value();
+            t += dt;
+        }
+        let rel = (sum_clock - sum_cursor).abs() / sum_clock;
+        assert!(rel < 1e-9, "cumulative divergence {rel}");
+    }
+
+    #[test]
+    fn cursor_zero_dt_demand_leaves_cursor_unchanged() {
+        let l = load();
+        let mut cursor = l.phase_cursor(Seconds::new(3.0));
+        let before = cursor.position();
+        assert_eq!(
+            l.energy_demand_with_cursor(&mut cursor, Seconds::ZERO),
+            Joules::ZERO
+        );
+        assert_eq!(cursor.position(), before);
     }
 
     #[test]

@@ -100,6 +100,103 @@ impl std::fmt::Debug for SimConfig {
     }
 }
 
+/// Per-step observability accumulated in plain locals and flushed once
+/// per node/lane into the [`Recorder`].
+///
+/// The per-step recording path costs a `BTreeMap` probe per counter and
+/// span on every simulated step; batching into locals cuts that to one
+/// flush per node. The flush is **value-identical** to per-step
+/// recording: every float add mirrors the sink's own guard (the ledger
+/// and spans ignore non-finite contributions per add), per-bucket sums
+/// accumulate in the same step order the per-step path would have used,
+/// counters are exact integers, and zero-count spans / zero counters are
+/// skipped so no map entry appears that per-step recording would not
+/// have created.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ObsLocals {
+    transfer_steps: u64,
+    switching_j: f64,
+    astable_j: f64,
+    sample_hold_j: f64,
+    compute_j: f64,
+    load_j: f64,
+    harvest_count: u64,
+    harvest_time: f64,
+    measure_count: u64,
+    measure_time: f64,
+}
+
+impl ObsLocals {
+    /// Mirrors the sinks' per-add guard: non-finite contributions are
+    /// dropped without poisoning the running sum.
+    #[inline]
+    fn add(dst: &mut f64, x: f64) {
+        if x.is_finite() {
+            *dst += x;
+        }
+    }
+
+    /// The local counterpart of
+    /// [`eh_converter::HarvestResult::observe`]: counts the step when
+    /// power actually transferred and accrues `losses · dt` toward the
+    /// converter-switching bucket.
+    #[inline]
+    pub fn observe_harvest(&mut self, harvest: &eh_converter::HarvestResult, dt: Seconds) {
+        if harvest.output_power.value() > 0.0 {
+            self.transfer_steps += 1;
+        }
+        Self::add(&mut self.switching_j, (harvest.losses * dt).value());
+    }
+
+    /// Accrues one step's phase attribution: tracker overhead split by
+    /// phase, compute and served-load energy, and the step's span.
+    #[inline]
+    pub fn observe_step(
+        &mut self,
+        is_connect: bool,
+        overhead: Joules,
+        compute: Joules,
+        served: Joules,
+        actual: Seconds,
+    ) {
+        if is_connect {
+            Self::add(&mut self.astable_j, overhead.value());
+            self.harvest_count += 1;
+            Self::add(&mut self.harvest_time, actual.value());
+        } else {
+            Self::add(&mut self.sample_hold_j, overhead.value());
+            self.measure_count += 1;
+            Self::add(&mut self.measure_time, actual.value());
+        }
+        Self::add(&mut self.compute_j, compute.value());
+        Self::add(&mut self.load_j, served.value());
+    }
+
+    /// Flushes the accumulated step observations into `recorder`. Call
+    /// exactly once per node, after the drive loop and before any
+    /// conservation check against the ledger.
+    pub fn flush<R: Recorder + ?Sized>(&self, recorder: &mut R) {
+        if self.transfer_steps > 0 {
+            recorder.add_counter("converter.transfer_steps", self.transfer_steps);
+        }
+        recorder.charge(
+            EnergyBucket::ConverterSwitching,
+            Joules::new(self.switching_j),
+        );
+        recorder.charge(EnergyBucket::Astable, Joules::new(self.astable_j));
+        recorder.charge(EnergyBucket::SampleHold, Joules::new(self.sample_hold_j));
+        recorder.charge(EnergyBucket::Compute, Joules::new(self.compute_j));
+        recorder.charge(EnergyBucket::Load, Joules::new(self.load_j));
+        recorder.record_span_stats(
+            "node.harvesting",
+            self.harvest_count,
+            self.harvest_time,
+            0.0,
+        );
+        recorder.record_span_stats("node.measuring", self.measure_count, self.measure_time, 0.0);
+    }
+}
+
 /// The closed-loop engine: cell + tracker + converter + store + load
 /// against a light trace.
 #[derive(Debug)]
@@ -165,6 +262,7 @@ impl NodeSimulation {
             last_power: Watts::ZERO,
             last_voc: None,
             last_isc: None,
+            obs: ObsLocals::default(),
             metrics,
         };
         drive(&mut stepper, &light, dt)?;
@@ -172,6 +270,9 @@ impl NodeSimulation {
 
         let mut metrics = stepper.metrics.take().map(|b| *b);
         if let Some(m) = metrics.as_mut() {
+            // Flush the per-step locals before the conservation check —
+            // the ledger is incomplete until they land.
+            stepper.obs.flush(m);
             m.add_counter("node.measurements", acc.measurements);
             m.add_counter("tracker.decisions", acc.decisions);
             m.add_counter("tracker.ops", acc.decisions * compute_cost.ops_per_decision);
@@ -216,6 +317,7 @@ struct NodeStepper<'a> {
     last_power: Watts,
     last_voc: Option<Volts>,
     last_isc: Option<Amps>,
+    obs: ObsLocals,
     metrics: Option<Box<Metrics>>,
 }
 
@@ -258,7 +360,9 @@ impl Stepper for NodeStepper<'_> {
                     let harvest = self.config.converter.harvest(v_op, i, actual);
                     self.acc.add_harvest(harvest.output_energy);
                     self.acc.add_loss(harvest.losses * actual);
-                    harvest.observe(actual, &mut self.metrics);
+                    if self.metrics.is_some() {
+                        self.obs.observe_harvest(&harvest, actual);
+                    }
                     self.config.store.deposit(harvest.output_energy);
                     self.last_voltage = v_op;
                     self.last_current = i;
@@ -315,28 +419,16 @@ impl Stepper for NodeStepper<'_> {
 
         self.config.store.leak(actual);
 
-        // Metric attribution. The tracker's lump overhead is split by
-        // phase: during a measurement dwell the sample-and-hold chain is
-        // what burns it; between measurements the astable timer is the
-        // consumer. Conversion losses were already charged by
-        // `HarvestResult::observe`; the load bucket takes what the store
+        // Metric attribution, accumulated in per-node locals (flushed
+        // once after the drive loop). The tracker's lump overhead is
+        // split by phase: during a measurement dwell the sample-and-hold
+        // chain is what burns it; between measurements the astable timer
+        // is the consumer. Conversion losses were already accrued by
+        // `observe_harvest`; the load bucket takes what the store
         // actually delivered.
-        if let Some(m) = self.metrics.as_deref_mut() {
-            let bucket = if is_connect {
-                EnergyBucket::Astable
-            } else {
-                EnergyBucket::SampleHold
-            };
-            m.charge(bucket, oh);
-            m.charge(EnergyBucket::Compute, compute);
-            m.charge(EnergyBucket::Load, served);
-            let mut span = if is_connect {
-                eh_obs::span!("node.harvesting")
-            } else {
-                eh_obs::span!("node.measuring")
-            };
-            span.add_time(actual);
-            span.finish(m);
+        if self.metrics.is_some() {
+            self.obs
+                .observe_step(is_connect, oh, compute, served, actual);
         }
 
         Ok(StepOutput::dwell(actual))

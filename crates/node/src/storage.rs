@@ -93,6 +93,26 @@ impl Supercapacitor {
         self.voltage
     }
 
+    /// The capacitance.
+    pub fn capacitance(&self) -> Farads {
+        self.capacitance
+    }
+
+    /// The maximum rated voltage.
+    pub fn v_max(&self) -> Volts {
+        self.v_max
+    }
+
+    /// The minimum usable voltage.
+    pub fn v_min(&self) -> Volts {
+        self.v_min
+    }
+
+    /// The leakage current.
+    pub fn leakage(&self) -> Amps {
+        self.leakage
+    }
+
     /// Usable capacity: `½C(v_max² − v_min²)`.
     pub fn usable_capacity(&self) -> Joules {
         Joules::new(
@@ -156,6 +176,127 @@ impl EnergyStore for Supercapacitor {
 
     fn state_of_charge(&self) -> Ratio {
         let usable = self.usable_capacity().value();
+        if usable <= 0.0 {
+            return Ratio::ZERO;
+        }
+        Ratio::new((self.stored_energy().value() / usable).clamp(0.0, 1.0))
+    }
+}
+
+/// A [`Supercapacitor`] with its state carried in the *energy* domain.
+///
+/// The voltage-domain store pays an energy→voltage `sqrt` round trip on
+/// every deposit and withdraw — three per simulated step on the fleet
+/// hot path, the second-largest entry in the DESIGN.md §10 step profile.
+/// Carrying `E = ½CV²` directly makes deposit and withdraw pure
+/// add/clamp operations; only `leak` (whose physics is linear in
+/// voltage) and the explicit [`voltage`](Self::voltage) observation pay
+/// a `sqrt`, cutting the per-step count from three to one.
+///
+/// The reordering changes float rounding, so the state is *not*
+/// bit-identical to the voltage-domain store — it tracks it within
+/// rel 1e-12 over arbitrary deposit/withdraw/leak sequences (including
+/// the campaign's worn-store `v₀ = √(v_min² + 2E/C_worn)` deployment
+/// path), property-tested in `tests/properties.rs`. Engines that use it
+/// therefore run under the fleet's bounded-divergence contract, not the
+/// oracle's bit-identity.
+///
+/// ```
+/// use eh_node::{EnergyDomainSupercap, EnergyStore, Supercapacitor};
+/// use eh_units::{Farads, Joules, Volts};
+///
+/// let mut sc = Supercapacitor::new(Farads::new(0.1), Volts::new(5.0), Volts::new(1.8))?;
+/// sc.deposit(Joules::new(0.4));
+/// let mut fast = EnergyDomainSupercap::from_supercapacitor(&sc);
+/// let rel = (fast.stored_energy().value() - sc.stored_energy().value()).abs()
+///     / sc.stored_energy().value();
+/// assert!(rel < 1e-12);
+/// # Ok::<(), eh_node::NodeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyDomainSupercap {
+    capacitance: f64,
+    leakage: f64,
+    e_max: f64,
+    e_floor: f64,
+    energy: f64,
+    /// `√(2/C)`, so `V(E) = √(2/C)·√E` costs one `sqrt` and one
+    /// multiply instead of a divide-then-`sqrt` round trip per step.
+    sqrt_2_over_c: f64,
+    /// `1/C`, hoisting the leak update's division out of the hot loop.
+    inv_c: f64,
+}
+
+impl EnergyDomainSupercap {
+    /// Captures a voltage-domain supercapacitor's parameters and current
+    /// state.
+    pub fn from_supercapacitor(sc: &Supercapacitor) -> Self {
+        let c = sc.capacitance().value();
+        Self {
+            capacitance: c,
+            leakage: sc.leakage().value(),
+            e_max: 0.5 * c * sc.v_max().value().powi(2),
+            e_floor: 0.5 * c * sc.v_min().value().powi(2),
+            energy: 0.5 * c * sc.voltage().value().powi(2),
+            sqrt_2_over_c: (2.0 / c).sqrt(),
+            inv_c: 1.0 / c,
+        }
+    }
+
+    /// The terminal voltage — the one observation that pays a `sqrt`.
+    pub fn voltage(&self) -> Volts {
+        Volts::new(self.sqrt_2_over_c * self.energy.max(0.0).sqrt())
+    }
+
+    /// Usable capacity: `½C(v_max² − v_min²)`.
+    pub fn usable_capacity(&self) -> Joules {
+        Joules::new(self.e_max - self.e_floor)
+    }
+}
+
+impl EnergyStore for EnergyDomainSupercap {
+    #[inline]
+    fn deposit(&mut self, energy: Joules) -> Joules {
+        if energy.value() <= 0.0 {
+            return Joules::ZERO;
+        }
+        // Mirrors the voltage-domain clamp without the √ round trip.
+        let absorbed = energy.value().min(self.e_max - self.energy);
+        self.energy += absorbed;
+        Joules::new(absorbed)
+    }
+
+    #[inline]
+    fn withdraw(&mut self, energy: Joules) -> Joules {
+        if energy.value() <= 0.0 {
+            return Joules::ZERO;
+        }
+        let supplied = energy.value().min((self.energy - self.e_floor).max(0.0));
+        self.energy -= supplied;
+        Joules::new(supplied)
+    }
+
+    #[inline]
+    fn leak(&mut self, dt: Seconds) {
+        if dt.value() <= 0.0 {
+            return;
+        }
+        // Leakage is a constant current, i.e. linear in *voltage*, so
+        // this is where the remaining per-step sqrt lives; the two
+        // divisions are hoisted into `sqrt_2_over_c` / `inv_c`.
+        let v = self.sqrt_2_over_c * self.energy.max(0.0).sqrt();
+        let dv = self.leakage * dt.value() * self.inv_c;
+        let after = (v - dv).max(0.0);
+        self.energy = 0.5 * self.capacitance * after * after;
+    }
+
+    #[inline]
+    fn stored_energy(&self) -> Joules {
+        Joules::new((self.energy - self.e_floor).max(0.0))
+    }
+
+    fn state_of_charge(&self) -> Ratio {
+        let usable = self.e_max - self.e_floor;
         if usable <= 0.0 {
             return Ratio::ZERO;
         }

@@ -175,6 +175,26 @@ impl Recorder for Metrics {
     fn charge(&mut self, bucket: EnergyBucket, energy: Joules) {
         self.ledger.charge(bucket, energy);
     }
+
+    // Bitwise-equal to `count` individual `record_span` folds whose
+    // time/energy contributions sum (in call order) to the totals:
+    // per-span folding starts the entry at 0.0 and adds, and a single
+    // add of the pre-summed total performs the same additions in the
+    // same order. Zero counts create no entry — presence of a span name
+    // is part of store equality.
+    fn record_span_stats(&mut self, name: &'static str, count: u64, sim_time: f64, energy: f64) {
+        if count == 0 {
+            return;
+        }
+        let stats = self.spans.entry(name).or_default();
+        stats.count += count;
+        if sim_time.is_finite() {
+            stats.sim_time += sim_time;
+        }
+        if energy.is_finite() {
+            stats.energy += energy;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -245,5 +265,44 @@ mod tests {
         let mut a = Metrics::new();
         a.merge_from(sample());
         assert_eq!(a, sample());
+    }
+
+    #[test]
+    fn span_stats_flush_is_bitwise_equal_to_per_span_folding() {
+        // The per-node flush path: accumulate in locals, record once.
+        let times = [0.039, 60.0, 60.0, 0.039, 59.961];
+        let mut per_span = Metrics::new();
+        let mut total = 0.0f64;
+        for t in times {
+            let mut s = span!("node.harvesting");
+            s.add_time(Seconds::new(t));
+            s.finish(&mut per_span);
+            total += t;
+        }
+        let mut flushed = Metrics::new();
+        flushed.record_span_stats("node.harvesting", times.len() as u64, total, 0.0);
+        assert_eq!(per_span, flushed);
+        let a = per_span.span_stats("node.harvesting").unwrap();
+        let b = flushed.span_stats("node.harvesting").unwrap();
+        assert_eq!(
+            a.sim_time().value().to_bits(),
+            b.sim_time().value().to_bits()
+        );
+    }
+
+    #[test]
+    fn zero_count_span_stats_create_no_entry() {
+        let mut m = Metrics::new();
+        m.record_span_stats("never", 0, 0.0, 0.0);
+        assert!(m.span_stats("never").is_none());
+        assert!(m.is_empty());
+        // The trait default agrees through a Box (forwarding override).
+        let mut boxed: Box<Metrics> = Box::default();
+        boxed.record_span_stats("never", 0, 1.0, 1.0);
+        assert!(boxed.is_empty());
+        boxed.record_span_stats("pulse", 3, 0.117, 3e-6);
+        let s = boxed.span_stats("pulse").unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sim_time(), Seconds::new(0.117));
     }
 }

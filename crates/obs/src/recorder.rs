@@ -36,6 +36,32 @@ pub trait Recorder {
     /// Adds energy to one bucket of the run's
     /// [`EnergyLedger`](crate::EnergyLedger).
     fn charge(&mut self, bucket: EnergyBucket, energy: Joules);
+
+    /// Folds `count` completions of span `name` totalling `sim_time`
+    /// seconds and `energy` joules in one call — the bulk counterpart
+    /// of [`Recorder::record_span`] for hot loops that accumulate span
+    /// stats in locals and flush once (e.g. once per simulated node).
+    ///
+    /// The default is bitwise-equivalent to recording one span carrying
+    /// the full totals plus `count − 1` empty spans: per-span folding
+    /// adds each span's time/energy to the running stats, and adding
+    /// zero is a float no-op, so `stats` end up identical to `count`
+    /// individual spans whose contributions sum (in order) to the
+    /// totals. A zero `count` records nothing — matching a loop that
+    /// never opened the span, which matters for sinks where presence of
+    /// a name is observable.
+    fn record_span_stats(&mut self, name: &'static str, count: u64, sim_time: f64, energy: f64) {
+        if count == 0 {
+            return;
+        }
+        let mut span = Span::new(name);
+        span.add_time(eh_units::Seconds::new(sim_time));
+        span.add_energy(Joules::new(energy));
+        self.record_span(span);
+        for _ in 1..count {
+            self.record_span(Span::new(name));
+        }
+    }
 }
 
 /// A recorder that discards everything — the cheap default for
@@ -59,6 +85,15 @@ impl Recorder for NoopRecorder {
     fn record_span(&mut self, _span: Span) {}
 
     fn charge(&mut self, _bucket: EnergyBucket, _energy: Joules) {}
+
+    fn record_span_stats(
+        &mut self,
+        _name: &'static str,
+        _count: u64,
+        _sim_time: f64,
+        _energy: f64,
+    ) {
+    }
 }
 
 impl<R: Recorder + ?Sized> Recorder for Box<R> {
@@ -84,6 +119,12 @@ impl<R: Recorder + ?Sized> Recorder for Box<R> {
 
     fn charge(&mut self, bucket: EnergyBucket, energy: Joules) {
         (**self).charge(bucket, energy);
+    }
+
+    // Forwarded explicitly so a `Box<Metrics>` reaches the Metrics
+    // override instead of the trait default's span-expansion loop.
+    fn record_span_stats(&mut self, name: &'static str, count: u64, sim_time: f64, energy: f64) {
+        (**self).record_span_stats(name, count, sim_time, energy);
     }
 }
 
@@ -123,6 +164,12 @@ impl<R: Recorder> Recorder for Option<R> {
     fn charge(&mut self, bucket: EnergyBucket, energy: Joules) {
         if let Some(r) = self {
             r.charge(bucket, energy);
+        }
+    }
+
+    fn record_span_stats(&mut self, name: &'static str, count: u64, sim_time: f64, energy: f64) {
+        if let Some(r) = self {
+            r.record_span_stats(name, count, sim_time, energy);
         }
     }
 }

@@ -64,6 +64,41 @@ pub struct ConnectPoint {
     pub current: Option<Amps>,
 }
 
+/// A per-lane memo of the last resolved log-lux cell, for
+/// [`CachedPvSurface::connect_point_lane`] /
+/// [`CachedPvSurface::eval_lanes`].
+///
+/// The `ln` in [`CachedPvSurface`]'s cell index is one of the three
+/// hottest scalar ops in the fleet step profile (DESIGN.md §10), yet
+/// consecutive steps of one node almost always land in the *same*
+/// log-lux cell (cells are ~13 % wide in lux; illuminance moves slowly
+/// on the simulation grid). A cursor remembers the cell's `[lo, hi)`
+/// edge illuminances; while the query stays inside, the fractional
+/// position is recovered from `ln(l/lo)` via a short, cheap `atanh`
+/// series instead of a full `ln`, and only a cell crossing pays the
+/// real thing. Divergence vs the scalar path is bounded by the series
+/// truncation — |Δtx| < 3e-11, orders of magnitude inside the cache's
+/// own documented 1e-3 interpolation bound and the fleet's rel-1e-9
+/// net-energy contract.
+///
+/// One cursor per (lane, surface): pointing a cursor at a different
+/// [`CachedPvSurface`] without resetting it reads the wrong cell.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LuxCursor {
+    /// `(j, lux_grid[j], lux_grid[j + 1], 1/(hi − lo))` of the last
+    /// resolved cell — the inverse width feeds the linear-in-lux `Isc`
+    /// interpolation without a per-step division.
+    cell: Option<(usize, f64, f64, f64)>,
+}
+
+impl LuxCursor {
+    /// A cursor with no remembered cell (first query pays the full
+    /// `ln`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// `exp(x) − 1` with the argument clamped to avoid overflow (mirrors the
 /// exact solver's clamping).
 #[inline]
@@ -134,6 +169,9 @@ pub struct CachedPvSurface {
     temperature: Kelvin,
     ln_min: f64,
     ln_step: f64,
+    /// `1/ln_step`, so the cursor fast path multiplies instead of
+    /// divides when recovering the fractional cell position.
+    inv_ln_step: f64,
     lux_grid: Vec<f64>,
     voc: Vec<f64>,
     isc: Vec<f64>,
@@ -214,6 +252,7 @@ impl CachedPvSurface {
             temperature,
             ln_min,
             ln_step,
+            inv_ln_step: 1.0 / ln_step,
             lux_grid,
             voc,
             isc,
@@ -320,6 +359,14 @@ impl CachedPvSurface {
     /// [`CachedPvSurface::lux_cell`].
     #[inline]
     fn shape_current(&self, vv: f64, j: usize, tx: f64, voc_q: f64, l: f64) -> f64 {
+        self.shape_factor(vv, j, tx, voc_q) * self.isc_interp(j, l)
+    }
+
+    /// The normalised shape factor `I(v, lux)/Isc(lux)` of
+    /// [`CachedPvSurface::shape_current`], split out so the cursored
+    /// lane path can pair it with a division-free `Isc` interpolation.
+    #[inline]
+    fn shape_factor(&self, vv: f64, j: usize, tx: f64, voc_q: f64) -> f64 {
         let u = (vv / voc_q).clamp(0.0, 1.0);
         let fu = u * (N_V - 1) as f64;
         let k = (fu as usize).min(N_V - 2);
@@ -328,8 +375,7 @@ impl CachedPvSurface {
         let row1 = &self.shape[(j + 1) * N_V..(j + 2) * N_V];
         let s0 = lerp(row0[k], row0[k + 1], tu);
         let s1 = lerp(row1[k], row1[k + 1], tu);
-        let s = lerp(s0, s1, tx);
-        s * self.isc_interp(j, l)
+        lerp(s0, s1, tx)
     }
 
     /// One connect step's operating point — `Voc(lux)`, the regulated
@@ -378,6 +424,138 @@ impl CachedPvSurface {
             None
         };
         Ok(ConnectPoint { voc, v_op, current })
+    }
+
+    /// Cell index and fractional position along the log-lux axis,
+    /// through a [`LuxCursor`]: a cursor hit recovers `tx` from
+    /// `ln(l / lo)` with a 4-term `atanh` series (the cell is at most
+    /// `ln_step ≈ 0.127` wide, so the series argument is ≤ 0.064 and
+    /// the truncation error < 3e-11 in `tx`); a miss pays the full
+    /// [`CachedPvSurface::lux_cell`] and re-arms the cursor. Requires an
+    /// in-domain `l`.
+    ///
+    /// Returns `(j, tx, lo, 1/(hi − lo))` so callers can reuse the
+    /// cell's lower edge and inverse width for division-free `Isc`
+    /// interpolation.
+    #[inline]
+    fn lux_cell_cursor(&self, cursor: &mut LuxCursor, l: f64) -> (usize, f64, f64, f64) {
+        if let Some((j, lo, hi, inv_w)) = cursor.cell {
+            if l >= lo && l < hi {
+                // `(l/lo − 1)/(l/lo + 1) = (l − lo)/(l + lo)`: one
+                // division instead of two for the series argument.
+                let z = (l - lo) / (l + lo);
+                let z2 = z * z;
+                // 2·atanh(z) = ln(l/lo), truncated after z⁷.
+                let ln_x = 2.0 * z * (1.0 + z2 * (1.0 / 3.0 + z2 * (0.2 + z2 / 7.0)));
+                return (j, (ln_x * self.inv_ln_step).clamp(0.0, 1.0), lo, inv_w);
+            }
+        }
+        let (j, tx) = self.lux_cell(l);
+        let (lo, hi) = (self.lux_grid[j], self.lux_grid[j + 1]);
+        let inv_w = 1.0 / (hi - lo);
+        cursor.cell = Some((j, lo, hi, inv_w));
+        (j, tx, lo, inv_w)
+    }
+
+    /// [`CachedPvSurface::open_circuit_voltage`] through a per-lane
+    /// [`LuxCursor`]. Out-of-domain and invalid illuminances invalidate
+    /// the cursor and delegate to the scalar path, so those answers stay
+    /// bit-identical to the uncached fallback; in-domain answers diverge
+    /// from the scalar table read only by the cursor's < 3e-11 `tx`
+    /// bound.
+    ///
+    /// # Errors
+    ///
+    /// Rejects negative/non-finite illuminance; propagates fallback
+    /// solver errors outside the domain.
+    #[inline]
+    pub fn open_circuit_voltage_lane(
+        &self,
+        cursor: &mut LuxCursor,
+        lux: Lux,
+    ) -> Result<Volts, PvError> {
+        let l = lux.value();
+        if !(l.is_finite() && l >= 0.0 && Self::in_domain(l)) {
+            cursor.cell = None;
+            return self.open_circuit_voltage(lux);
+        }
+        let (j, tx, _, _) = self.lux_cell_cursor(cursor, l);
+        Ok(Volts::new(self.voc_interp(j, tx)))
+    }
+
+    /// [`CachedPvSurface::connect_point`] through a per-lane
+    /// [`LuxCursor`] — the vectorized fleet engine's per-step surface
+    /// read. Same fused semantics as the scalar query; the cursor only
+    /// replaces the `ln`-derived cell index while the illuminance stays
+    /// within the current cell (divergence < 3e-11 in the fractional
+    /// cell position), and any out-of-domain or invalid query resets the
+    /// cursor and delegates to the scalar path unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Rejects negative/non-finite illuminance; propagates fallback
+    /// solver errors outside the domain.
+    #[inline]
+    pub fn connect_point_lane(
+        &self,
+        cursor: &mut LuxCursor,
+        target: Volts,
+        lux: Lux,
+    ) -> Result<ConnectPoint, PvError> {
+        let l = lux.value();
+        if !(l.is_finite() && l >= 0.0 && Self::in_domain(l)) {
+            cursor.cell = None;
+            return self.connect_point(target, lux);
+        }
+        let (j, tx, lo, inv_w) = self.lux_cell_cursor(cursor, l);
+        let voc_q = self.voc_interp(j, tx);
+        let voc = Volts::new(voc_q);
+        let v_op = target.min(voc);
+        let current = if v_op.value() > 0.0 {
+            // Same interpolation as `isc_interp` with the cell width's
+            // reciprocal taken from the cursor: one fewer division.
+            let isc = lerp(self.isc[j], self.isc[j + 1], (l - lo) * inv_w);
+            Some(Amps::new(
+                self.shape_factor(v_op.value(), j, tx, voc_q) * isc,
+            ))
+        } else {
+            None
+        };
+        Ok(ConnectPoint { voc, v_op, current })
+    }
+
+    /// Evaluates one connect point per active lane through per-lane
+    /// cursors: `out[i] = connect_point_lane(cursors[i], targets[i],
+    /// luxes[i])` for every `i` with `active[i]`; inactive lanes are
+    /// left untouched. All slices must share one length (the engine's
+    /// lane width).
+    ///
+    /// # Errors
+    ///
+    /// Rejects mismatched slice lengths as [`PvError::InvalidParameter`];
+    /// lane errors abort at the first failing lane (lowest index),
+    /// matching a scalar loop's error order.
+    pub fn eval_lanes(
+        &self,
+        targets: &[Volts],
+        luxes: &[Lux],
+        active: &[bool],
+        cursors: &mut [LuxCursor],
+        out: &mut [ConnectPoint],
+    ) -> Result<(), PvError> {
+        let n = targets.len();
+        if luxes.len() != n || active.len() != n || cursors.len() != n || out.len() != n {
+            return Err(PvError::InvalidParameter {
+                name: "eval_lanes slice lengths (must all equal the lane width)",
+                value: n as f64,
+            });
+        }
+        for i in 0..n {
+            if active[i] {
+                out[i] = self.connect_point_lane(&mut cursors[i], targets[i], luxes[i])?;
+            }
+        }
+        Ok(())
     }
 
     /// Evaluates terminal currents for a batch of interleaved

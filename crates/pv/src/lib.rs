@@ -63,7 +63,7 @@ pub mod spectrum;
 pub mod teg;
 pub mod thermal;
 
-pub use cache::{CachedPvSurface, ConnectPoint};
+pub use cache::{CachedPvSurface, ConnectPoint, LuxCursor};
 pub use cell::PvCell;
 pub use curve::{CurvePoint, IvCurve};
 pub use error::PvError;

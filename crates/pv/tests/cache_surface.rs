@@ -299,3 +299,109 @@ fn eval_many_rejects_bad_shapes_and_bad_elements() {
         .unwrap_err();
     assert!(matches!(err, eh_pv::PvError::OutOfRange { .. }));
 }
+
+/// A walking illuminance drives the cursor through cursor hits and cell
+/// crossings; at every point the lane read must agree with the scalar
+/// `connect_point` to the documented < 3e-11 fractional-cell bound
+/// (which maps to a comparable relative bound on Voc and current).
+#[test]
+fn connect_point_lane_tracks_the_scalar_query() {
+    let surf = surface();
+    let mut cursor = eh_pv::LuxCursor::new();
+    // Sweep up and back down: ~0.3 % steps stay in-cell for many
+    // consecutive queries, with periodic cell crossings.
+    let mut lux = 10.0f64;
+    for i in 0..4000 {
+        lux *= if i < 2000 { 1.003 } else { 1.0 / 1.003 };
+        let target = Volts::new(2.5);
+        let lane = surf
+            .connect_point_lane(&mut cursor, target, Lux::new(lux))
+            .expect("lane query");
+        let scalar = surf
+            .connect_point(target, Lux::new(lux))
+            .expect("scalar query");
+        let dvoc = (lane.voc - scalar.voc).value().abs() / scalar.voc.value();
+        assert!(dvoc < 1e-9, "voc diverged at lux {lux}: {dvoc}");
+        match (lane.current, scalar.current) {
+            (Some(a), Some(b)) => {
+                let rel = (a - b).value().abs() / b.value().abs().max(1e-15);
+                assert!(rel < 1e-8, "current diverged at lux {lux}: {rel}");
+            }
+            (a, b) => assert_eq!(a.is_some(), b.is_some(), "presence diverged at {lux}"),
+        }
+    }
+}
+
+/// Out-of-domain and invalid queries through the lane entry points are
+/// bit-identical to the scalar path (exact-solver fallback), and a
+/// fallback resets the cursor rather than leaving a stale cell armed.
+#[test]
+fn lane_queries_fall_back_bitwise_out_of_domain() {
+    let surf = surface();
+    let mut cursor = eh_pv::LuxCursor::new();
+    for l in [0.0, 0.01, 3.0e5] {
+        let lane = surf
+            .connect_point_lane(&mut cursor, Volts::new(1.0), Lux::new(l))
+            .expect("fallback query");
+        let scalar = surf
+            .connect_point(Volts::new(1.0), Lux::new(l))
+            .expect("scalar query");
+        assert_eq!(lane.voc.value().to_bits(), scalar.voc.value().to_bits());
+        assert_eq!(lane.v_op.value().to_bits(), scalar.v_op.value().to_bits());
+        assert_eq!(
+            lane.current.map(|a| a.value().to_bits()),
+            scalar.current.map(|a| a.value().to_bits()),
+            "lux {l}"
+        );
+        let voc_lane = surf
+            .open_circuit_voltage_lane(&mut cursor, Lux::new(l))
+            .expect("fallback voc");
+        let voc_scalar = surf.open_circuit_voltage(Lux::new(l)).expect("scalar voc");
+        assert_eq!(voc_lane.value().to_bits(), voc_scalar.value().to_bits());
+    }
+    assert!(surf
+        .connect_point_lane(&mut cursor, Volts::new(1.0), Lux::new(f64::NAN))
+        .is_err());
+    assert!(surf
+        .open_circuit_voltage_lane(&mut cursor, Lux::new(-1.0))
+        .is_err());
+}
+
+/// `eval_lanes` runs exactly the per-lane query for active lanes,
+/// leaves inactive lanes untouched, and rejects mismatched widths.
+#[test]
+fn eval_lanes_matches_per_lane_queries() {
+    let surf = surface();
+    let targets = [Volts::new(2.0); 4];
+    let luxes = [
+        Lux::new(50.0),
+        Lux::new(1.0e4),
+        Lux::new(0.0),
+        Lux::new(700.0),
+    ];
+    let active = [true, true, true, false];
+    let mut cursors = [eh_pv::LuxCursor::new(); 4];
+    let sentinel = eh_pv::ConnectPoint {
+        voc: Volts::new(-7.0),
+        v_op: Volts::new(-7.0),
+        current: None,
+    };
+    let mut out = [sentinel; 4];
+    surf.eval_lanes(&targets, &luxes, &active, &mut cursors, &mut out)
+        .expect("lane batch");
+    for i in 0..3 {
+        let mut solo = eh_pv::LuxCursor::new();
+        let reference = surf
+            .connect_point_lane(&mut solo, targets[i], luxes[i])
+            .expect("solo query");
+        assert_eq!(
+            out[i].voc.value().to_bits(),
+            reference.voc.value().to_bits()
+        );
+    }
+    assert_eq!(out[3].voc, sentinel.voc, "inactive lane must be untouched");
+    assert!(matches!(
+        surf.eval_lanes(&targets, &luxes[..3], &active, &mut cursors, &mut out),
+        Err(eh_pv::PvError::InvalidParameter { .. })
+    ));
+}

@@ -35,37 +35,44 @@ impl Accumulator {
     }
 
     /// Credits harvested energy.
+    #[inline]
     pub fn add_harvest(&mut self, e: Joules) {
         self.gross_energy += e;
     }
 
     /// Debits tracker overhead.
+    #[inline]
     pub fn add_overhead(&mut self, e: Joules) {
         self.overhead_energy += e;
     }
 
     /// Records a load request and how much of it was served.
+    #[inline]
     pub fn add_load(&mut self, demand: Joules, served: Joules) {
         self.load_demand += demand;
         self.load_served += served;
     }
 
     /// Debits energy dissipated in the conversion path.
+    #[inline]
     pub fn add_loss(&mut self, e: Joules) {
         self.loss_energy += e;
     }
 
     /// Counts one measurement interruption (Voc or Isc).
+    #[inline]
     pub fn count_measurement(&mut self) {
         self.measurements += 1;
     }
 
     /// Debits control-law compute energy.
+    #[inline]
     pub fn add_compute(&mut self, e: Joules) {
         self.compute_energy += e;
     }
 
     /// Counts one control decision.
+    #[inline]
     pub fn count_decision(&mut self) {
         self.decisions += 1;
     }

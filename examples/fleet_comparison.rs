@@ -6,8 +6,10 @@
 //! against every baseline tracker.
 //!
 //! Run with `cargo run --example fleet_comparison`. Pass
-//! `--engine per-node|batch` (default `batch`) to pick the execution
-//! engine — the two are bit-identical, the batch engine is just faster.
+//! `--engine per-node|batch|vectorized` (default `batch`) to pick the
+//! execution engine — per-node and batch are bit-identical, the
+//! vectorized engine matches under its bounded-divergence contract
+//! (exact counts/classifications, energies within rel 1e-9).
 
 use pv_mppt_repro::fleet::{
     compare_trackers_over_fleet_with, Engine, FleetRunner, FleetSpec, Placement, TrackerKind,
